@@ -1,0 +1,48 @@
+"""Shared fixtures for the reproduction benches.
+
+Each bench regenerates one table or figure of the paper (or one
+ablation) and writes its reproduction output to
+``benchmarks/results/<name>.txt`` so the rows survive the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import KoozaTrainer, ReplayHarness, compare_workloads
+from repro.datacenter import run_gfs_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One canonical trace-collection run shared by most benches.
+N_REQUESTS = 2000
+SEED = 7
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a bench's reproduction table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def gfs_run():
+    """The canonical GFS trace-collection run (Table 2's workload)."""
+    return run_gfs_workload(n_requests=N_REQUESTS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def kooza_model(gfs_run):
+    return KoozaTrainer().fit(gfs_run.traces)
+
+
+@pytest.fixture(scope="session")
+def kooza_report(gfs_run, kooza_model):
+    synthetic = kooza_model.synthesize(N_REQUESTS, np.random.default_rng(42))
+    replayed = ReplayHarness(seed=99).replay(synthetic)
+    return compare_workloads(gfs_run.traces, replayed)

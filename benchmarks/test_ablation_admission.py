@@ -1,0 +1,102 @@
+"""A15 — admission control on the in-depth model (Kamra et al.).
+
+Yaksha manages 3-tier web sites by shedding load with a PI controller
+when response time exceeds a target — a study that runs entirely on
+the in-depth machinery (queueing model + arrival stream).  This bench
+overloads a single-server station at 2.4x capacity and compares an
+uncontrolled system against the PI-controlled one: the controller
+trades a fraction of admitted requests for bounded latency.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.depth import AdmissionController
+from repro.queueing import PoissonArrivals
+from repro.simulation import Environment, Resource
+
+SERVICE_TIME = 0.02  # 50 req/s capacity
+OFFERED_RATE = 120.0  # 2.4x overload
+TARGET_LATENCY = 0.08
+HORIZON = 40.0
+
+
+def _run(controlled: bool):
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    latencies = []
+
+    def service():
+        with resource.request() as req:
+            yield req
+            yield env.timeout(SERVICE_TIME)
+
+    controller = None
+    if controlled:
+        controller = AdmissionController(
+            env,
+            target_latency=TARGET_LATENCY,
+            rng=np.random.default_rng(0),
+            control_interval=0.5,
+        )
+
+    def plain_request(env):
+        start = env.now
+        yield env.process(service())
+        latencies.append(env.now - start)
+
+    def source(env):
+        arrivals = PoissonArrivals(OFFERED_RATE, np.random.default_rng(1))
+        while env.now < HORIZON:
+            yield env.timeout(arrivals.next_interarrival())
+            if controlled:
+                env.process(controller.submit(service))
+            else:
+                env.process(plain_request(env))
+
+    env.process(source(env))
+    env.run(until=HORIZON)
+    if controller is not None:
+        controller.stop()
+        env.run()
+        return controller.stats.mean_latency, controller.stats.latency_percentile(
+            95
+        ), controller.stats.admission_rate
+    env.run()
+    return (
+        float(np.mean(latencies)),
+        float(np.percentile(latencies, 95)),
+        1.0,
+    )
+
+
+def test_ablation_admission_control(benchmark):
+    def run_both():
+        uncontrolled = _run(controlled=False)
+        controlled = _run(controlled=True)
+        return uncontrolled, controlled
+
+    uncontrolled, controlled = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    lines = [
+        "A15: PI admission control at 2.4x overload "
+        f"(target latency {TARGET_LATENCY * 1e3:.0f} ms)",
+        f"{'system':>12} | {'mean lat ms':>11} | {'p95 lat ms':>10} | "
+        f"{'admitted':>8}",
+        "-" * 52,
+        f"{'uncontrolled':>12} | {uncontrolled[0] * 1e3:>11.1f} | "
+        f"{uncontrolled[1] * 1e3:>10.1f} | {uncontrolled[2] * 100:>7.0f}%",
+        f"{'PI-admission':>12} | {controlled[0] * 1e3:>11.1f} | "
+        f"{controlled[1] * 1e3:>10.1f} | {controlled[2] * 100:>7.0f}%",
+    ]
+    save_result("ablation_a15_admission", "\n".join(lines))
+
+    # Uncontrolled overload: queue grows without bound over the run.
+    assert uncontrolled[0] > 10 * TARGET_LATENCY
+    # The controller sheds load and holds latency near target.
+    assert controlled[2] < 0.75
+    assert controlled[0] < 5 * TARGET_LATENCY
+    assert controlled[0] < uncontrolled[0] / 5

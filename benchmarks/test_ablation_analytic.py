@@ -1,0 +1,73 @@
+"""A12 — analytic vs simulated in-depth models (Liu et al.).
+
+Liu et al. solve the 3-tier model analytically; this repository also
+simulates it.  This bench fits the in-depth model from GFS traces,
+solves the same station configuration as an open Jackson network, and
+compares: analytic vs simulated (product form should agree) vs the
+observed application latency (both share the in-depth family's
+exponential-service bias).  Closed-loop MVA sizes the same stations
+for an interactive population.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import extract_request_features
+from repro.depth import InDepthModel
+from repro.depth.model import _STATION_SERVERS
+from repro.queueing import AnalyticStation, solve_jackson, solve_mva
+
+
+def test_ablation_analytic_vs_simulated(benchmark, gfs_run):
+    features = extract_request_features(gfs_run.traces)
+    observed = float(np.mean([f.latency for f in features]))
+    span = features[-1].arrival_time - features[0].arrival_time
+    rate = len(features) / span
+
+    def solve_all():
+        model = InDepthModel().fit(gfs_run.traces)
+        demands = model.mean_service_demand()
+        visits = {name: model.route.count(name) for name in demands}
+        stations = [
+            AnalyticStation(
+                name,
+                visits=visits[name],
+                service_time=demands[name],
+                servers=_STATION_SERVERS.get(name, 1),
+            )
+            for name in demands
+        ]
+        analytic = solve_jackson(stations, rate)
+        simulated = float(
+            model.predict_latencies(4000, np.random.default_rng(81)).mean()
+        )
+        mva = solve_mva(stations, n_customers=16, think_time=0.1)
+        return analytic, simulated, mva
+
+    analytic, simulated, mva = benchmark.pedantic(
+        solve_all, rounds=1, iterations=1
+    )
+
+    lines = [
+        "A12: in-depth model — analytic vs simulated vs observed",
+        f"observed application latency : {observed * 1e3:8.2f} ms "
+        f"(at {rate:.1f} req/s)",
+        f"Jackson analytic solution    : {analytic.mean_latency * 1e3:8.2f} ms "
+        f"(bottleneck: {analytic.bottleneck})",
+        f"queueing-network simulation  : {simulated * 1e3:8.2f} ms",
+        "",
+        f"closed-loop MVA (16 users, 100 ms think): "
+        f"X = {mva.throughput:.1f} req/s, R = {mva.response_time * 1e3:.1f} ms",
+    ]
+    save_result("ablation_a12_analytic", "\n".join(lines))
+
+    # Product-form analytic and the simulation of the same model agree.
+    assert analytic.mean_latency == (
+        __import__("pytest").approx(simulated, rel=0.25)
+    )
+    # Both carry the exponential-service bias vs the observed app, but
+    # stay within the right scale (the in-depth family's signature).
+    assert 0.5 < analytic.mean_latency / observed < 3.0
+    assert analytic.bottleneck == "disk"
+    assert mva.throughput > 0

@@ -1,0 +1,98 @@
+"""A14 — fixing the renewal network model with autocorrelation matching.
+
+A7 measured the paper's "simple queueing model" network component
+failing on self-similar traffic (~90% latency deviation): an i.i.d.
+interarrival fit cannot reproduce burst clustering.  Li's pipeline
+adds a second phase that matches autocorrelations; this bench swaps
+KOOZA's arrival model for the Gaussian-copula AR(p) generator and
+re-runs the A7 experiment on b-model traffic.
+
+Expected shape: the copula model recovers the burstiness (interarrival
+CoV, lag-1 ACF) of the traffic and meaningfully cuts the latency
+deviation relative to the renewal model.  It does not close the gap
+entirely: an AR(p) copula captures short-range correlation only, and
+queueing tails under long-range-dependent input remain sensitive to
+structure beyond its horizon (an i.i.d. *empirical* bootstrap, for
+contrast, measures the same ~92% deviation as the renewal fit — the
+independence assumption, not the fitted family, is what fails).
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import (
+    KoozaConfig,
+    KoozaTrainer,
+    ReplayHarness,
+    compare_workloads,
+    extract_request_features,
+)
+from repro.datacenter import run_gfs_workload
+from repro.queueing import BModelArrivals
+from repro.stats import acf, interarrival_cov
+
+
+def _burstiness(requests):
+    arrivals = np.sort([r.arrival_time for r in requests])
+    gaps = np.diff(arrivals)
+    gaps = gaps[gaps > 0]
+    return interarrival_cov(gaps), float(acf(gaps, 1)[1])
+
+
+def test_ablation_autocorrelated_arrivals(benchmark):
+    def run_study():
+        rng = np.random.default_rng(51)
+        run = run_gfs_workload(
+            n_requests=2500,
+            seed=37,
+            arrivals=BModelArrivals(25.0, rng, bias=0.8),
+        )
+        rows = []
+        for label, arrival_model in (
+            ("renewal", "renewal"),
+            ("copula-AR", "autocorrelated"),
+        ):
+            config = KoozaConfig(arrival_model=arrival_model)
+            model = KoozaTrainer(config).fit(run.traces)
+            synthetic = model.synthesize(2000, np.random.default_rng(9))
+            replay = ReplayHarness(seed=41).replay(synthetic)
+            report = compare_workloads(run.traces, replay)
+            syn_features = extract_request_features(replay)
+            cov, lag1 = _burstiness(syn_features)
+            rows.append(
+                (label, cov, lag1, report.mean_latency_deviation_pct)
+            )
+        orig_features = extract_request_features(run.traces)
+        true_cov, true_lag1 = _burstiness(orig_features)
+        return (true_cov, true_lag1), rows
+
+    (true_cov, true_lag1), rows = benchmark.pedantic(
+        run_study, rounds=1, iterations=1
+    )
+
+    lines = [
+        "A14: arrival autocorrelation matching on self-similar traffic",
+        f"{'model':>10} | {'interarrival CoV':>16} | {'lag-1 ACF':>9} | "
+        f"{'mean lat dev%':>13}",
+        "-" * 60,
+        f"{'original':>10} | {true_cov:>16.2f} | {true_lag1:>9.3f} | "
+        f"{'—':>13}",
+    ]
+    for label, cov, lag1, dev in rows:
+        lines.append(
+            f"{label:>10} | {cov:>16.2f} | {lag1:>9.3f} | {dev:>13.2f}"
+        )
+    save_result("ablation_a14_autocorrelation", "\n".join(lines))
+
+    by_label = {r[0]: r for r in rows}
+    renewal = by_label["renewal"]
+    copula = by_label["copula-AR"]
+    # The renewal model destroys the autocorrelation; the copula keeps
+    # a large share of it (and of the burstiness).
+    assert abs(renewal[2]) < 0.1
+    assert copula[2] > 0.5 * true_lag1
+    assert copula[1] > 0.5 * true_cov
+    # And the latency fidelity improves meaningfully (though LRD
+    # beyond the AR horizon keeps a substantial residual gap).
+    assert copula[3] < 0.8 * renewal[3]

@@ -1,0 +1,119 @@
+"""A16 — colocation interference and serving QoS (paper §5).
+
+§5 motivates "the effects of a heterogeneous processor or memory
+system in Quality of Service (QoS) and TCO" and studies "involving
+multiple machines servicing the same request".  A canonical DC
+question in that space: what does colocating batch (MapReduce) work on
+serving machines do to serving tail latency?
+
+This bench runs the GFS serving workload alone and colocated with a
+stream of MapReduce jobs on the *same machines*, comparing latency
+distributions.  Expected shape: means degrade some, tails degrade
+much more — the classic interference signature that motivates
+QoS-aware scheduling.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.datacenter import (
+    GfsCluster,
+    GfsSpec,
+    MapReduceCluster,
+    MapReduceJob,
+    MapReduceSpec,
+)
+from repro.queueing import PoissonArrivals
+from repro.simulation import Environment, RandomStreams
+from repro.tracing import Tracer
+from repro.workloads import OpenLoopClient, table2_mix
+
+N_SERVING = 1500
+SERVING_RATE = 40.0
+N_MACHINES = 2
+
+
+def _run(colocated: bool):
+    env = Environment()
+    tracer = Tracer()
+    streams = RandomStreams(61)
+    gfs = GfsCluster(
+        env, GfsSpec(chunkservers=N_MACHINES), streams, tracer
+    )
+    mix = table2_mix(streams.get("mix"))
+    client = OpenLoopClient(
+        env,
+        gfs.client_request,
+        mix.make_request,
+        PoissonArrivals(SERVING_RATE, streams.get("arrivals")),
+    )
+    client.start(N_SERVING)
+
+    if colocated:
+        batch = MapReduceCluster(
+            env,
+            MapReduceSpec(workers=N_MACHINES),
+            streams,
+            tracer,
+            machines=gfs.chunkservers,  # same physical machines
+        )
+
+        def batch_driver(env):
+            rng = streams.get("batch/jobs")
+            for i in range(12):
+                job = MapReduceJob(
+                    name=f"batch-{i}",
+                    input_bytes=int(rng.integers(64, 192)) << 20,
+                    n_map=4,
+                    n_reduce=2,
+                )
+                yield env.process(batch.run_job(job))
+
+        env.process(batch_driver(env))
+
+    env.run()
+    latencies = np.array(
+        [
+            r.latency
+            for r in tracer.traces.completed_requests()
+            if r.request_class in ("read_64K", "write_4M")
+        ]
+    )
+    return latencies
+
+
+def test_ablation_colocation_qos(benchmark):
+    def run_both():
+        return _run(colocated=False), _run(colocated=True)
+
+    alone, colocated = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def row(name, lat):
+        return (
+            name,
+            float(np.mean(lat)) * 1e3,
+            float(np.percentile(lat, 95)) * 1e3,
+            float(np.percentile(lat, 99)) * 1e3,
+        )
+
+    rows = [row("serving alone", alone), row("with batch", colocated)]
+    mean_blowup = rows[1][1] / rows[0][1]
+    p99_blowup = rows[1][3] / rows[0][3]
+    lines = [
+        "A16: batch colocation vs serving QoS "
+        f"({N_MACHINES} machines, {SERVING_RATE:.0f} req/s serving)",
+        f"{'scenario':>14} | {'mean ms':>8} | {'p95 ms':>8} | {'p99 ms':>8}",
+        "-" * 48,
+    ]
+    for name, mean, p95, p99 in rows:
+        lines.append(f"{name:>14} | {mean:>8.2f} | {p95:>8.2f} | {p99:>8.2f}")
+    lines.append(
+        f"interference: mean x{mean_blowup:.1f}, p99 x{p99_blowup:.1f} "
+        "(tails degrade disproportionately)"
+    )
+    save_result("ablation_a16_colocation", "\n".join(lines))
+
+    # Colocation hurts, and hurts the tail more than the mean.
+    assert mean_blowup > 1.1
+    assert p99_blowup > mean_blowup

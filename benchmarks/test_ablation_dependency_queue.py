@@ -1,0 +1,90 @@
+"""A2 — ablating KOOZA's structural components.
+
+The paper's pitch is that the dependency queue and the recorded
+job-id-level correlations are what lift four in-breadth models into a
+complete application model.  This bench removes each component in turn
+and measures what breaks:
+
+* no coupling -> cross-subsystem features decohere;
+* no dependency queue -> stage order is wrong (invalid stressing) and
+  latency fidelity degrades.
+"""
+
+import numpy as np
+
+from conftest import N_REQUESTS, save_result
+
+from repro.core import (
+    KoozaConfig,
+    KoozaTrainer,
+    ReplayHarness,
+    compare_workloads,
+)
+from repro.tracing import WRITE
+
+
+def _coherence(requests):
+    """Fraction of requests whose memory footprint matches their class."""
+    good = 0
+    for r in requests:
+        storage, memory = r.storage_stage, r.memory_stage
+        expected = 256 * 1024 if storage.op == WRITE else 16 * 1024
+        if memory.size_bytes == expected:
+            good += 1
+    return good / len(requests)
+
+
+def test_ablation_dependency_queue(benchmark, gfs_run, kooza_report):
+    rng = np.random.default_rng(2)
+
+    def run_ablations():
+        out = {}
+        for label, config in (
+            ("no-coupling", KoozaConfig(couple_subsystems=False)),
+            ("no-queue", KoozaConfig(use_dependency_queue=False)),
+            ("neither", KoozaConfig(couple_subsystems=False,
+                                    use_dependency_queue=False)),
+        ):
+            model = KoozaTrainer(config).fit(gfs_run.traces)
+            requests = model.synthesize(N_REQUESTS, rng)
+            replay = ReplayHarness(seed=13).replay(requests)
+            report = compare_workloads(
+                gfs_run.traces, replay, min_profile_count=1
+            )
+            out[label] = (requests, report)
+        return out
+
+    ablations = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    full_model = KoozaTrainer(KoozaConfig()).fit(gfs_run.traces)
+    full_requests = full_model.synthesize(500, np.random.default_rng(3))
+
+    rows = [
+        "A2: structural-component ablation (GFS workload)",
+        f"{'variant':>12} | {'coherent feat%':>14} | {'worst feat dev%':>15} | "
+        f"{'mean lat dev%':>13}",
+        "-" * 65,
+        f"{'full KOOZA':>12} | {_coherence(full_requests) * 100:>14.1f} | "
+        f"{kooza_report.worst_feature_deviation_pct:>15.2f} | "
+        f"{kooza_report.mean_latency_deviation_pct:>13.2f}",
+    ]
+    for label, (requests, report) in ablations.items():
+        rows.append(
+            f"{label:>12} | {_coherence(requests) * 100:>14.1f} | "
+            f"{report.worst_feature_deviation_pct:>15.2f} | "
+            f"{report.mean_latency_deviation_pct:>13.2f}"
+        )
+    save_result("ablation_a2_dependency_queue", "\n".join(rows))
+
+    # Coupling is what keeps per-request features coherent.
+    assert _coherence(full_requests) == 1.0
+    no_coupling_requests, no_coupling_report = ablations["no-coupling"]
+    assert _coherence(no_coupling_requests) < 0.95
+    assert (
+        no_coupling_report.worst_feature_deviation_pct
+        > kooza_report.worst_feature_deviation_pct
+    )
+    # The queue is what keeps the stage order (and with it the latency
+    # composition) right; without it order is structurally wrong.
+    no_queue_requests, _ = ablations["no-queue"]
+    assert no_queue_requests[0].stage_order()[0] != "network_rx"

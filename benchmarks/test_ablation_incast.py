@@ -1,0 +1,86 @@
+"""A11 — multi-machine effects: the fan-in (incast) bottleneck.
+
+§5: "given a unified address space in the DC, and since information on
+job/task ids is recorded the model can replicate effects like the
+TCP/IP incast problem, or other events involving multiple machines
+servicing the same request."
+
+We stripe one 8 MiB read over 1..8 chunkservers and measure latency
+with a fast (10 GbE) and a slow (1 GbE) client link.  With a fast
+link, striping parallelizes the disks and latency falls ~4x.  With a
+slow link, the synchronized responses serialize on the client NIC —
+the fan-in bottleneck — and striping buys almost nothing.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.datacenter import GfsCluster, GfsRequest, GfsSpec, MachineSpec
+from repro.datacenter.devices import NicSpec
+from repro.simulation import Environment, RandomStreams
+from repro.tracing import READ, Tracer
+
+OBJECT_BYTES = 8 << 20
+WIDTHS = (1, 2, 4, 8)
+
+
+def _striped_latency(width: int, client_bandwidth: float, seed: int) -> float:
+    env = Environment()
+    tracer = Tracer()
+    machine_spec = MachineSpec(nic=NicSpec(bandwidth=client_bandwidth))
+    cluster = GfsCluster(
+        env,
+        GfsSpec(chunkservers=8, master_cache_hit=1.0),
+        RandomStreams(seed),
+        tracer,
+        machine_spec,
+    )
+    request = GfsRequest("stripe", READ, OBJECT_BYTES, 0, 65536)
+    record = env.run(env.process(cluster.striped_read(request, width)))
+    return record.latency
+
+
+def test_ablation_incast(benchmark):
+    def sweep():
+        out = {}
+        for label, bandwidth in (("10GbE", 1.25e9), ("1GbE", 125e6)):
+            latencies = []
+            for width in WIDTHS:
+                samples = [
+                    _striped_latency(width, bandwidth, seed)
+                    for seed in range(5)
+                ]
+                latencies.append(float(np.mean(samples)))
+            out[label] = latencies
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "A11: striped-read latency vs stripe width (8 MiB object)",
+        f"{'width':>5} | {'10GbE client ms':>15} | {'1GbE client ms':>14}",
+        "-" * 42,
+    ]
+    for i, width in enumerate(WIDTHS):
+        lines.append(
+            f"{width:>5} | {results['10GbE'][i] * 1e3:>15.1f} | "
+            f"{results['1GbE'][i] * 1e3:>14.1f}"
+        )
+    fast_speedup = results["10GbE"][0] / results["10GbE"][-1]
+    slow_speedup = results["1GbE"][0] / results["1GbE"][-1]
+    lines.append(
+        f"striping speedup at width 8: {fast_speedup:.1f}x (10GbE) vs "
+        f"{slow_speedup:.1f}x (1GbE, fan-in bound)"
+    )
+    save_result("ablation_a11_incast", "\n".join(lines))
+
+    # Fast client link: striping parallelizes the disks.
+    assert fast_speedup > 3.5
+    # Slow client link: synchronized responses pile onto the client
+    # NIC; the fan-in bottleneck caps the benefit well below the fast
+    # link's scaling.
+    assert slow_speedup < 3.0
+    assert fast_speedup > 1.5 * slow_speedup
+    # The 1 GbE latency floor is the serialized 8 MiB client transfer.
+    assert results["1GbE"][-1] > OBJECT_BYTES / 125e6

@@ -1,0 +1,108 @@
+"""A9 — layered vs flat queueing networks (Franks et al.).
+
+The paper: LQNs "demonstrate the nested possession of multiple
+resources" but their complexity "often makes [them] prohibitive for
+large scale experiments".  Ground truth here is a thread-pool
+application in which app-server threads stay busy while waiting on the
+database (simulated exactly by the LQN).  A flat queueing network of
+the same stations cannot express that blocking: it under-predicts
+latency exactly when threads are scarce — and the gap closes as the
+pool grows.  Node counts quantify the complexity claim.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.queueing import (
+    Activity,
+    LqnSimulator,
+    LqnTask,
+    PoissonArrivals,
+    QueueingNetwork,
+    Station,
+)
+from repro.simulation import Environment
+
+APP_DEMAND = 0.002
+DB_DEMAND = 0.006
+RATE = 110.0
+N_REQUESTS = 6000
+
+
+def _lqn(threads: int) -> LqnSimulator:
+    return LqnSimulator(
+        [
+            LqnTask("app", threads, (Activity(APP_DEMAND, "db"),)),
+            LqnTask("db", 1, (Activity(DB_DEMAND),)),
+        ],
+        reference="app",
+    )
+
+
+def _flat_latency(threads: int, rng: np.random.Generator) -> float:
+    """The flat model: app and db as independent stations."""
+    env = Environment()
+    network = QueueingNetwork(
+        env,
+        [
+            Station("app", threads, lambda _c, r: APP_DEMAND),
+            Station("db", 1, lambda _c, r: DB_DEMAND),
+        ],
+        {"request": ["app", "db"]},
+        rng,
+    )
+    results = network.run_open(
+        PoissonArrivals(RATE, rng), lambda _r: "request", N_REQUESTS
+    )
+    return float(np.mean([r.latency for r in results]))
+
+
+def test_ablation_lqn_vs_flat(benchmark):
+    def sweep():
+        rows = []
+        for threads in (1, 2, 8):
+            rng = np.random.default_rng(61)
+            truth = _lqn(threads).run(
+                PoissonArrivals(RATE, rng), N_REQUESTS, rng
+            )
+            flat = _flat_latency(threads, np.random.default_rng(62))
+            rows.append(
+                (
+                    threads,
+                    truth.mean_latency * 1e3,
+                    flat * 1e3,
+                    abs(flat - truth.mean_latency)
+                    / truth.mean_latency
+                    * 100,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lqn_nodes = _lqn(1).n_nodes
+    flat_nodes = 2  # two stations
+    lines = [
+        "A9: simultaneous resource possession — LQN vs flat QN",
+        f"(app thread pool calling a database; rate {RATE:.0f}/s; "
+        f"model sizes: LQN {lqn_nodes} nodes, flat {flat_nodes} stations)",
+        f"{'threads':>7} | {'LQN (truth) ms':>14} | {'flat QN ms':>10} | "
+        f"{'flat error%':>11}",
+        "-" * 55,
+    ]
+    for threads, truth_ms, flat_ms, err in rows:
+        lines.append(
+            f"{threads:>7} | {truth_ms:>14.2f} | {flat_ms:>10.2f} | "
+            f"{err:>11.1f}"
+        )
+    save_result("ablation_a9_lqn", "\n".join(lines))
+
+    # With one thread, blocking dominates: the flat model is badly
+    # optimistic.  With a deep pool the gap nearly closes.
+    errors = {threads: err for threads, _, _, err in rows}
+    assert errors[1] > 30.0
+    assert errors[2] < 15.0  # even 2 threads mostly hide the blocking here
+    assert errors[8] < 15.0
+    # And the LQN costs more model nodes — the paper's complexity point.
+    assert lqn_nodes > flat_nodes

@@ -1,0 +1,78 @@
+"""A1 — quantitative Table 1: the three approaches head-to-head.
+
+The paper's comparison is qualitative; this bench makes it
+quantitative on the same workload: per-profile feature fidelity,
+cross-subsystem correlation fidelity, and latency fidelity for the
+in-breadth baseline, the in-depth baseline, and KOOZA.
+
+Expected shape (the paper's argument):
+* in-breadth keeps subsystem marginals but destroys joint features
+  and per-profile coherence;
+* in-depth gets latency scale right but has no features at all;
+* KOOZA achieves both.
+"""
+
+import numpy as np
+
+from conftest import N_REQUESTS, save_result
+
+from repro.breadth import InBreadthWorkloadModel
+from repro.core import ReplayHarness, compare_workloads, extract_request_features
+from repro.depth import InDepthModel
+
+
+def test_ablation_model_comparison(benchmark, gfs_run, kooza_report):
+    rng = np.random.default_rng(1)
+    original = extract_request_features(gfs_run.traces)
+    original_latency = np.mean([f.latency for f in original])
+
+    def run_baselines():
+        breadth = InBreadthWorkloadModel().fit(gfs_run.traces)
+        breadth_replay = ReplayHarness(seed=11).replay(
+            breadth.synthesize(N_REQUESTS, rng)
+        )
+        breadth_report = compare_workloads(
+            gfs_run.traces, breadth_replay, min_profile_count=1
+        )
+        depth = InDepthModel().fit(gfs_run.traces)
+        depth_latency = depth.predict_latencies(N_REQUESTS, rng).mean()
+        return breadth_report, depth_latency
+
+    breadth_report, depth_latency = benchmark.pedantic(
+        run_baselines, rounds=1, iterations=1
+    )
+    kooza = kooza_report
+    depth_latency_dev = (
+        abs(depth_latency - original_latency) / original_latency * 100
+    )
+
+    lines = [
+        "A1: quantitative model comparison (GFS workload)",
+        f"{'approach':>11} | {'worst feat dev%':>15} | "
+        f"{'joint-corr err':>14} | {'latency dev%':>12} | features?",
+        "-" * 70,
+        f"{'in-breadth':>11} | {breadth_report.worst_feature_deviation_pct:>15.1f} | "
+        f"{breadth_report.joint_correlation_error:>14.3f} | "
+        f"{breadth_report.mean_latency_deviation_pct:>12.2f} | marginals only",
+        f"{'in-depth':>11} | {'n/a':>15} | {'n/a':>14} | "
+        f"{depth_latency_dev:>12.2f} | none",
+        f"{'KOOZA':>11} | {kooza.worst_feature_deviation_pct:>15.2f} | "
+        f"{kooza.joint_correlation_error:>14.3f} | "
+        f"{kooza.mean_latency_deviation_pct:>12.2f} | full joint",
+    ]
+    save_result("ablation_a1_model_comparison", "\n".join(lines))
+
+    # Shape assertions: who wins on what.
+    assert kooza.worst_feature_deviation_pct < 1.0
+    assert kooza.joint_correlation_error < 0.1
+    # In-breadth mixes profiles: per-profile feature error explodes and
+    # the network-storage correlation collapses.
+    assert (
+        breadth_report.worst_feature_deviation_pct
+        > 50 * max(kooza.worst_feature_deviation_pct, 0.1)
+    )
+    assert breadth_report.joint_correlation_error > 0.5
+    # In-depth predicts latency within the right scale but worse than
+    # KOOZA's replay (exponential service assumption).
+    assert depth_latency_dev < 60.0
+    assert kooza.mean_latency_deviation_pct < depth_latency_dev

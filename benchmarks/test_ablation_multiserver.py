@@ -1,0 +1,67 @@
+"""A6 — scaling to multiple servers.
+
+§4: "Scaling to multiple servers in order to simulate real-application
+scenarios requires multiple instances of the model."  The library's
+:class:`MultiServerKooza` trains one KOOZA instance per chunkserver
+and validates each server's synthetic workload against that server's
+original traces; this bench sweeps the cluster size.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import MultiServerKooza
+from repro.datacenter import GfsSpec, run_gfs_workload
+
+
+def test_ablation_multiserver(benchmark):
+    def sweep():
+        rows = []
+        for n_servers in (1, 2, 4):
+            run = run_gfs_workload(
+                n_requests=1200 * n_servers,
+                seed=29,
+                arrival_rate=25.0 * n_servers,
+                gfs_spec=GfsSpec(chunkservers=n_servers),
+            )
+            msk = MultiServerKooza().fit(run.traces)
+            reports = msk.validate(
+                run.traces, np.random.default_rng(40), seed=31
+            )
+            rows.append(
+                (
+                    n_servers,
+                    msk.n_instances,
+                    max(
+                        r.worst_feature_deviation_pct
+                        for r in reports.values()
+                    ),
+                    float(
+                        np.mean(
+                            [
+                                r.mean_latency_deviation_pct
+                                for r in reports.values()
+                            ]
+                        )
+                    ),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "A6: per-server model instances vs cluster size (MultiServerKooza)",
+        f"{'servers':>7} | {'models':>6} | {'worst feat dev%':>15} | "
+        f"{'mean lat dev%':>13}",
+        "-" * 55,
+    ]
+    for n, m, feat, lat in rows:
+        lines.append(f"{n:>7} | {m:>6} | {feat:>15.2f} | {lat:>13.2f}")
+    save_result("ablation_a6_multiserver", "\n".join(lines))
+
+    for n_servers, trained, feat, lat in rows:
+        assert trained == n_servers  # one instance per server
+        assert feat < 1.0  # feature fidelity independent of scale
+        assert lat < 20.0

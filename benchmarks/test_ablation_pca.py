@@ -1,0 +1,74 @@
+"""A5 — feature-space dimensionality reduction with PCA.
+
+§4: "we can reduce the dimensionality of feature-space, to the ones
+necessary for a representative and succinct model, using techniques
+like PCA, SVD, sampling, or regression analysis."  This bench builds
+the per-request feature matrix, sweeps the retained components, and
+reports explained variance and reconstruction error — showing a
+2-3-component model already captures this workload.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import extract_request_features
+from repro.stats import PCA
+
+
+def _feature_matrix(features):
+    return np.array(
+        [
+            [
+                f.network_bytes,
+                f.cpu_busy,
+                f.memory_bytes,
+                f.storage_bytes,
+                abs(f.storage_delta),
+                f.latency,
+            ]
+            for f in features
+        ],
+        dtype=float,
+    )
+
+
+def test_ablation_pca_reduction(benchmark, gfs_run):
+    features = extract_request_features(gfs_run.traces)
+    X = _feature_matrix(features)
+    # Standardize: bytes and seconds live on wildly different scales.
+    X = (X - X.mean(axis=0)) / np.where(X.std(axis=0) > 0, X.std(axis=0), 1.0)
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 3, 6):
+            pca = PCA(k).fit(X)
+            rows.append(
+                (
+                    k,
+                    float(np.sum(pca.explained_variance_ratio_)),
+                    pca.reconstruction_error(X),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "A5: PCA feature-space reduction (6 raw per-request features)",
+        f"{'components':>10} | {'explained var':>13} | {'recon MSE':>10}",
+        "-" * 42,
+    ]
+    for k, evr, mse in rows:
+        lines.append(f"{k:>10} | {evr:>13.3f} | {mse:>10.4f}")
+    save_result("ablation_a5_pca", "\n".join(lines))
+
+    # Monotone improvement, and near-total capture at full rank.
+    evrs = [r[1] for r in rows]
+    mses = [r[2] for r in rows]
+    assert evrs == sorted(evrs)
+    assert mses == sorted(mses, reverse=True)
+    assert evrs[-1] > 0.999
+    # The workload is two request classes: a couple of components carry
+    # most of the variance.
+    assert evrs[1] > 0.6

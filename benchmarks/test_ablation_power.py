@@ -1,0 +1,76 @@
+"""A10 — the performance & power model (paper §5).
+
+"The CPU and memory models can be used to evaluate different processor
+options, given the increased interest in small-core usage for energy
+efficiency in the DC."  We replay the same KOOZA-modeled workload on a
+baseline server and a small-core (wimpy) server, and account energy
+with the utilization-linear power model: for this disk-bound workload
+the wimpy configuration saves energy per request at a modest latency
+penalty — the small-core argument, measured end to end without
+touching the original application.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import ReplayHarness, extract_request_features
+from repro.datacenter import MachinePowerSpec, MachineSpec, PowerModel
+from repro.datacenter.devices import CpuSpec
+
+BASELINE_POWER = MachinePowerSpec()
+#: A low-power part: much lower peak and idle draw.
+WIMPY_POWER = MachinePowerSpec(cpu_idle=20.0, cpu_peak=60.0, platform=35.0)
+
+
+def test_ablation_power_efficiency(benchmark, kooza_model):
+    synthetic = kooza_model.synthesize(1500, np.random.default_rng(71))
+
+    def run_configs():
+        rows = []
+        configs = (
+            ("baseline", MachineSpec(), BASELINE_POWER),
+            (
+                "wimpy-core",
+                MachineSpec(cpu=CpuSpec(speed_factor=0.4)),
+                WIMPY_POWER,
+            ),
+        )
+        for name, machine_spec, power_spec in configs:
+            harness = ReplayHarness(machine_spec=machine_spec, seed=73)
+            traces = harness.replay(synthetic)
+            features = extract_request_features(traces)
+            latency = float(np.mean([f.latency for f in features]))
+            model = PowerModel(power_spec)
+            report = model.report(harness.machines[0])
+            joules = model.energy_per_request(
+                harness.machines, len(features)
+            )
+            rows.append((name, latency * 1e3, report.mean_power, joules))
+        return rows
+
+    rows = benchmark.pedantic(run_configs, rounds=1, iterations=1)
+
+    lines = [
+        "A10: energy efficiency via the performance & power model",
+        f"{'config':>11} | {'mean lat ms':>11} | {'mean watts':>10} | "
+        f"{'J/request':>9}",
+        "-" * 52,
+    ]
+    for name, lat, watts, joules in rows:
+        lines.append(
+            f"{name:>11} | {lat:>11.2f} | {watts:>10.1f} | {joules:>9.3f}"
+        )
+    baseline, wimpy = rows
+    penalty = (wimpy[1] - baseline[1]) / baseline[1] * 100
+    saving = (baseline[3] - wimpy[3]) / baseline[3] * 100
+    lines.append(
+        f"wimpy cores: {penalty:+.1f}% latency, {saving:.1f}% energy/request"
+    )
+    save_result("ablation_a10_power", "\n".join(lines))
+
+    # Disk-bound workload: small cores cost little latency...
+    assert penalty < 30.0
+    # ...and save substantial energy per request.
+    assert saving > 15.0
+    assert wimpy[2] < baseline[2]

@@ -1,0 +1,71 @@
+"""A4 — Dapper-style trace-sampling rate.
+
+Dapper samples 1 in 1000 requests and still supports whole-system
+analysis (<1.5% overhead).  This bench sweeps the sampling rate and
+measures (a) span-collection volume (the overhead proxy), (b) whether
+the dependency queue is still recovered, and (c) KOOZA's end fidelity
+when trained on the sampled traces.
+"""
+
+import numpy as np
+
+from conftest import save_result
+
+from repro.core import KoozaTrainer, ReplayHarness, compare_workloads
+from repro.datacenter import run_gfs_workload
+
+FIGURE1 = (
+    "network_rx",
+    "cpu_lookup",
+    "memory",
+    "storage",
+    "cpu_aggregate",
+    "network_tx",
+)
+
+
+def test_ablation_sampling_rate(benchmark):
+    def sweep():
+        rows = []
+        for sample_every in (1, 10, 100):
+            run = run_gfs_workload(
+                n_requests=3000, seed=19, sample_every=sample_every
+            )
+            model = KoozaTrainer().fit(run.traces)
+            replay = ReplayHarness(seed=23).replay(
+                model.synthesize(1500, np.random.default_rng(6))
+            )
+            report = compare_workloads(run.traces, replay)
+            rows.append(
+                (
+                    sample_every,
+                    len(run.traces.spans),
+                    model.dependency_queue.default == FIGURE1,
+                    report.worst_feature_deviation_pct,
+                    report.mean_latency_deviation_pct,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "A4: trace sampling rate (3000 requests)",
+        f"{'1-in-N':>6} | {'spans':>6} | {'structure?':>10} | "
+        f"{'worst feat dev%':>15} | {'mean lat dev%':>13}",
+        "-" * 65,
+    ]
+    for n, spans, ok, feat, lat in rows:
+        lines.append(
+            f"{n:>6} | {spans:>6} | {str(ok):>10} | {feat:>15.2f} | "
+            f"{lat:>13.2f}"
+        )
+    save_result("ablation_a4_sampling", "\n".join(lines))
+
+    # Span volume drops with the sampling rate...
+    assert rows[0][1] > 5 * rows[1][1] > 5 * rows[2][1]
+    # ...structure and feature fidelity survive (Dapper's argument):
+    for _, _, structure_ok, feat, lat in rows:
+        assert structure_ok
+        assert feat < 1.0
+        assert lat < 15.0

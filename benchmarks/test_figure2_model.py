@@ -1,0 +1,85 @@
+"""Figure 2 — the complete workload model for one user request.
+
+The paper's Figure 2 shows the trained model: a CPU-utilization Markov
+chain, an LBN-based storage chain, a bank-based memory chain, a
+network arrival queue, and the dependency queue serializing them.
+This bench renders the trained model and checks every structural
+element of the figure is present and correctly shaped.
+"""
+
+from conftest import save_result
+
+from repro.tracing import READ, WRITE
+
+
+def test_figure2_model_structure(benchmark, kooza_model):
+    text = benchmark(kooza_model.describe)
+    save_result("figure2_model", text)
+
+    # Four subsystem models + the queue, as drawn in Figure 2.
+    for part in ("[network]", "[cpu]", "[memory]", "[storage]",
+                 "DependencyQueue"):
+        assert part in text
+
+
+def test_figure2_cpu_chain_states(kooza_model, benchmark):
+    """Figure 2's processor model: states are CPU-utilization levels."""
+    chain = benchmark.pedantic(
+        lambda: kooza_model.cpu_chain, rounds=1, iterations=1
+    )
+    assert 2 <= chain.n_states <= kooza_model.config.cpu_utilization_bins
+    for state in chain.states:
+        rep = kooza_model.cpu_utilization.representative(state)
+        assert 0.0 <= rep <= 1.0
+
+
+def test_figure2_storage_chain_states(kooza_model, benchmark):
+    """Figure 2's storage model: LBN-locality states with op + size."""
+    chain = benchmark.pedantic(
+        lambda: kooza_model.storage_chain, rounds=1, iterations=1
+    )
+    ops = {state[0] for state in chain.states}
+    assert ops == {READ, WRITE}
+    sizes = {
+        int(kooza_model.storage_sizes.representative(state[1]))
+        for state in chain.states
+    }
+    assert 64 * 1024 in sizes and (4 << 20) in sizes
+
+
+def test_figure2_memory_chain_states(kooza_model, benchmark):
+    """Figure 2's memory model: bank-granularity states."""
+    chain = benchmark.pedantic(
+        lambda: kooza_model.memory_chain, rounds=1, iterations=1
+    )
+    banks = {state[2] for state in chain.states}
+    assert len(banks) >= 2  # the rotating buffer pool hits many banks
+    assert all(0 <= b < 8 for b in banks)
+
+
+def test_figure2_network_queue(kooza_model, benchmark):
+    """Figure 2's network model: an arrival queue, not a Markov chain."""
+    gaps = benchmark.pedantic(
+        lambda: kooza_model.arrival_gaps, rounds=1, iterations=1
+    )
+    assert gaps is not None and gaps.size > 100
+    # The workload is open-loop Poisson at 25 req/s.
+    rate = 1.0 / gaps.mean()
+    assert 15.0 < rate < 35.0
+
+
+def test_figure2_transition_matrices_stochastic(kooza_model, benchmark):
+    import numpy as np
+
+    def check():
+        for chain in (
+            kooza_model.network_chain,
+            kooza_model.cpu_chain,
+            kooza_model.memory_chain,
+            kooza_model.storage_chain,
+        ):
+            rows = chain.transition_matrix.sum(axis=1)
+            assert np.allclose(rows, 1.0)
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,109 @@
+"""Table 2 — validation of request features and latency (the headline).
+
+The paper trains KOOZA on traces of simplified GFS requests and shows
+synthetic requests deviating <1% on request features and 3.7% / 6.6%
+on latency for the two user requests (a 64 KiB read with a 16 KiB
+memory read, and a 4 MiB write with a 256 KiB memory write).
+
+This bench reruns that experiment on the simulated GFS cluster and
+reports paper-vs-measured per profile.  Absolute latencies differ (our
+substrate is a simulator, not their testbed); the *shape* must hold:
+feature deviations ~0%, op types exact, latency deviations of a few
+percent, write slower and more CPU-hungry than read.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import N_REQUESTS, save_result
+
+from repro.core import KoozaTrainer, ReplayHarness, compare_workloads
+from repro.tracing import READ, WRITE
+
+#: The paper's Table 2, for side-by-side reporting.
+PAPER = {
+    (READ, 16): {
+        "network": "64K", "cpu_dev_pp": 0.2, "mem": "16K read",
+        "sto": "64K read", "latency_ms": 11.4, "lat_dev_pct": 3.7,
+    },
+    (WRITE, 22): {
+        "network": "4MB", "cpu_dev_pp": 0.5, "mem": "256KB write",
+        "sto": "4MB write", "latency_ms": 16.45, "lat_dev_pct": 6.6,
+    },
+}
+
+
+def test_table2_train_benchmark(benchmark, gfs_run):
+    model = benchmark.pedantic(
+        lambda: KoozaTrainer().fit(gfs_run.traces), rounds=1, iterations=1
+    )
+    assert model.is_fitted()
+
+
+def test_table2_synthesis_benchmark(benchmark, kooza_model):
+    requests = benchmark.pedantic(
+        lambda: kooza_model.synthesize(N_REQUESTS, np.random.default_rng(42)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(requests) == N_REQUESTS
+
+
+def test_table2_replay_benchmark(benchmark, kooza_model):
+    requests = kooza_model.synthesize(500, np.random.default_rng(43))
+    traces = benchmark.pedantic(
+        lambda: ReplayHarness(seed=99).replay(requests), rounds=1, iterations=1
+    )
+    assert len(traces.completed_requests()) == 500
+
+
+def test_table2_reproduction(benchmark, gfs_run, kooza_report):
+    report = kooza_report
+    benchmark(report.to_table)
+
+    lines = [
+        "Paper Table 2 vs this reproduction",
+        "(feature deviations in %, CPU in percentage points, latency in %)",
+        "",
+    ]
+    for p in sorted(report.profiles, key=lambda p: p.profile):
+        paper = PAPER[p.profile]
+        lines.extend(
+            [
+                f"profile {p.profile[0]}@2^{p.profile[1]} "
+                f"(paper: {paper['network']} request)",
+                f"  network size dev : paper 0.0%   measured "
+                f"{p.network_deviation_pct:.2f}%",
+                f"  cpu util dev     : paper {paper['cpu_dev_pp']:.1f}pp  "
+                f"measured {p.cpu_utilization_deviation_pp:.2f}pp",
+                f"  memory size dev  : paper 0.0%   measured "
+                f"{p.memory_deviation_pct:.2f}%",
+                f"  storage size dev : paper 0.0%   measured "
+                f"{p.storage_deviation_pct:.2f}%",
+                f"  op types         : paper exact  measured "
+                f"mem={p.memory_op_match:.2f} sto={p.storage_op_match:.2f}",
+                f"  latency          : paper {paper['latency_ms']:.2f}ms "
+                f"(dev {paper['lat_dev_pct']:.1f}%)  measured "
+                f"{p.latency[0] * 1e3:.2f}ms (dev "
+                f"{p.latency_deviation_pct:.2f}%)",
+                "",
+            ]
+        )
+    lines.append(report.to_table())
+    save_result("table2_validation", "\n".join(lines))
+
+    # -- shape assertions (the reproduction criteria) -------------------
+    assert {p.profile for p in report.profiles} == {(READ, 16), (WRITE, 22)}
+    for p in report.profiles:
+        assert p.max_feature_deviation_pct < 1.0  # paper: <= 1%
+        assert p.cpu_utilization_deviation_pp < 2.0
+        assert p.memory_op_match == 1.0
+        assert p.storage_op_match == 1.0
+        assert p.latency_deviation_pct < 10.0  # paper: <= 6.6%
+
+    by_profile = {p.profile: p for p in report.profiles}
+    read, write = by_profile[(READ, 16)], by_profile[(WRITE, 22)]
+    # Shape: the 4 MiB write is slower than the 64 KiB read, in both
+    # the original and the synthetic workload (paper: 16.45 vs 11.4ms).
+    assert write.latency[0] > read.latency[0]
+    assert write.latency[1] > read.latency[1]

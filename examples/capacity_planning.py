@@ -1,0 +1,67 @@
+"""Capacity planning with the in-depth model + queueing analytics.
+
+The in-depth family's home turf: given traces of the 3-tier web
+application, fit the queueing-network model, then (a) predict latency
+at higher load without re-running the application, and (b) use M/M/c
+analytics to size each tier for a latency SLA.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import run_webapp_workload
+from repro.core import extract_request_features
+from repro.depth import InDepthModel
+from repro.queueing import MMc, PoissonArrivals, QueueingNetwork, Station
+
+
+def main() -> None:
+    print("collecting 3-tier web application traces...")
+    traces = run_webapp_workload(n_requests=2000, seed=3, arrival_rate=80.0)
+    features = extract_request_features(traces)
+    observed = np.array([f.latency for f in features])
+    print(f"  observed mean latency: {observed.mean() * 1e3:.2f} ms "
+          f"at 80 req/s")
+
+    model = InDepthModel(exponential_services=False).fit(traces)
+    print(f"  fitted route: {' -> '.join(model.route)}")
+    demands = model.mean_service_demand()
+    for station, demand in sorted(demands.items(), key=lambda kv: -kv[1]):
+        print(f"    {station:>7}: {demand * 1e3:.3f} ms/visit")
+
+    # -- what-if: load sweep without the application -----------------------
+    print("\nlatency vs offered load (model prediction):")
+    base_rate = len(features) / (features[-1].arrival_time or 1.0)
+    for multiplier in (1.0, 1.5, 2.0, 2.5):
+        rng = np.random.default_rng(int(multiplier * 10))
+        network = model.build_network(rng)
+        arrivals = PoissonArrivals(base_rate * multiplier, rng)
+        results = network.run_open(arrivals, lambda _r: "request", 4000)
+        latencies = np.array([r.latency for r in results])
+        print(f"  {multiplier:>3.1f}x load ({base_rate * multiplier:5.0f}/s): "
+              f"mean {latencies.mean() * 1e3:6.2f} ms, "
+              f"p95 {np.percentile(latencies, 95) * 1e3:6.2f} ms")
+
+    # -- sizing with M/M/c ---------------------------------------------------
+    print("\nsizing the disk tier for a 20 ms mean-wait SLA (M/M/c):")
+    disk_demand = demands["disk"]
+    service_rate = 1.0 / disk_demand
+    visits_per_request = model.route.count("disk")
+    for target_rate in (100.0, 200.0, 400.0):
+        disk_arrivals = target_rate * visits_per_request
+        for servers in range(1, 33):
+            if disk_arrivals / (servers * service_rate) >= 1.0:
+                continue
+            metrics = MMc(disk_arrivals, service_rate, servers)
+            if metrics.mean_wait <= 0.020:
+                print(f"  {target_rate:5.0f} req/s -> {servers} disk server(s) "
+                      f"(util {metrics.utilization * 100:.0f}%, "
+                      f"wait {metrics.mean_wait * 1e3:.1f} ms)")
+                break
+        else:
+            print(f"  {target_rate:5.0f} req/s -> >32 servers needed")
+
+
+if __name__ == "__main__":
+    main()

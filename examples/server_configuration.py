@@ -1,0 +1,71 @@
+"""Server-configuration studies without application access (paper §5).
+
+"An obvious case of the opportunities this methodology offers is
+evaluating different server configurations without access to real DC
+application source-code."
+
+We train KOOZA once on traces from the production configuration, then
+replay the *model's* synthetic workload on candidate hardware — wimpy
+cores, a faster network, a disk without write cache — and compare
+latency and efficiency, never touching the original application again.
+
+Run:  python examples/server_configuration.py
+"""
+
+import numpy as np
+
+from repro import KoozaTrainer, MachineSpec, ReplayHarness, run_gfs_workload
+from repro.core import extract_request_features
+from repro.datacenter.devices import CpuSpec, DiskSpec, NicSpec
+
+
+def evaluate(name: str, machine_spec: MachineSpec, synthetic) -> dict:
+    """Replay the synthetic workload on one candidate configuration."""
+    traces = ReplayHarness(machine_spec=machine_spec, seed=17).replay(synthetic)
+    features = extract_request_features(traces)
+    latencies = np.array([f.latency for f in features])
+    return {
+        "config": name,
+        "mean_ms": latencies.mean() * 1e3,
+        "p95_ms": np.percentile(latencies, 95) * 1e3,
+        "p99_ms": np.percentile(latencies, 99) * 1e3,
+    }
+
+
+def main() -> None:
+    # Train once, on the baseline configuration's traces.
+    print("training KOOZA on the production configuration...")
+    run = run_gfs_workload(n_requests=2000, seed=7)
+    model = KoozaTrainer().fit(run.traces)
+    synthetic = model.synthesize(2000, np.random.default_rng(1))
+
+    candidates = {
+        "baseline": MachineSpec(),
+        "wimpy-cores (0.4x)": MachineSpec(cpu=CpuSpec(speed_factor=0.4)),
+        "beefy-cores (2x)": MachineSpec(cpu=CpuSpec(speed_factor=2.0)),
+        "1GbE network": MachineSpec(nic=NicSpec(bandwidth=125e6)),
+        "no write cache": MachineSpec(disk=DiskSpec(write_cache=False)),
+        "fast disk (15k rpm)": MachineSpec(
+            disk=DiskSpec(rpm=15000, min_seek=0.2e-3, max_seek=4e-3)
+        ),
+    }
+
+    print(f"\n{'configuration':>20} | {'mean ms':>8} | {'p95 ms':>8} | {'p99 ms':>8}")
+    print("-" * 56)
+    rows = [evaluate(name, spec, synthetic) for name, spec in candidates.items()]
+    for row in rows:
+        print(
+            f"{row['config']:>20} | {row['mean_ms']:>8.2f} | "
+            f"{row['p95_ms']:>8.2f} | {row['p99_ms']:>8.2f}"
+        )
+
+    baseline = rows[0]["mean_ms"]
+    print("\nfindings:")
+    for row in rows[1:]:
+        delta = (row["mean_ms"] - baseline) / baseline * 100
+        direction = "slower" if delta > 0 else "faster"
+        print(f"  {row['config']}: {abs(delta):.0f}% {direction} than baseline")
+
+
+if __name__ == "__main__":
+    main()

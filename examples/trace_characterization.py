@@ -1,0 +1,102 @@
+"""In-breadth characterization tour of a datacenter trace.
+
+Exercises the per-subsystem analysis stack the surveyed papers built:
+
+* storage: Gulati-style I/O profile + Sankar-style state model,
+* CPU: windowed utilization, Abrahao pattern classification,
+* network: Feitelson distribution fitting, burstiness, self-similarity,
+* memory: bank distribution + Moro-style ECHMM on the address stream,
+* cross-subsystem: Li-style model-based clustering of request vectors.
+
+Run:  python examples/trace_characterization.py
+"""
+
+import numpy as np
+
+from repro import run_gfs_workload
+from repro.breadth import (
+    CpuUtilizationModel,
+    EchmmMemoryModel,
+    MemoryAccessModel,
+    NetworkTrafficModel,
+    StorageModel,
+    StorageProfile,
+    utilization_series,
+)
+from repro.core import extract_request_features
+from repro.stats import select_components_bic
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    print("collecting traces (GFS, web-serving-like mix)...")
+    from repro.workloads import web_serving_mix
+
+    run = run_gfs_workload(
+        n_requests=3000, seed=13, mix_factory=web_serving_mix, arrival_rate=60.0
+    )
+    traces = run.traces
+
+    # -- storage ---------------------------------------------------------
+    profile = StorageProfile.characterize(traces.storage)
+    print("\nstorage profile (Gulati et al. features):")
+    print(f"  I/Os: {profile.n_ios}, read fraction: {profile.read_fraction:.2f}")
+    print(f"  mean size: {profile.mean_size / 1024:.1f} KiB "
+          f"(p95 {profile.p95_size / 1024:.1f} KiB)")
+    print(f"  sequential fraction: {profile.sequential_fraction:.2f}, "
+          f"mean |seek|: {profile.mean_abs_seek:.0f} blocks")
+    storage_model = StorageModel().fit(traces.storage)
+    synthetic_ios = storage_model.generate(1000, rng)
+    generated = StorageProfile.characterize(synthetic_ios)
+    print(f"  state-model synthetic trace: read fraction "
+          f"{generated.read_fraction:.2f}, mean size "
+          f"{generated.mean_size / 1024:.1f} KiB")
+
+    # -- CPU ---------------------------------------------------------------
+    series = utilization_series(traces.cpu, window=0.25, cores=8)
+    cpu_model = CpuUtilizationModel().fit(series)
+    print("\nCPU utilization (Abrahao et al.):")
+    print(f"  windows: {series.size}, mean: {series.mean() * 100:.1f}%")
+    print(f"  pattern class: {cpu_model.pattern}")
+    print(f"  chain stationary mean: {cpu_model.stationary_mean() * 100:.1f}%")
+
+    # -- network ---------------------------------------------------------
+    network_model = NetworkTrafficModel().fit(traces.network)
+    ch = network_model.characterization
+    print("\nnetwork arrivals (Feitelson / Sengupta):")
+    print(f"  rate: {ch.mean_rate:.1f} msg/s, interarrival CoV: "
+          f"{ch.interarrival_cov:.2f}")
+    print(f"  best-fit family: {ch.best_fit_family} "
+          f"(KS={ch.ks_statistic:.3f})")
+    print(f"  Hurst estimate: {ch.hurst:.2f}  "
+          f"(~0.5 = short-range dependent)")
+
+    # -- memory ------------------------------------------------------------
+    memory_model = MemoryAccessModel().fit(traces.memory)
+    banks = memory_model.bank_distribution()
+    top = sorted(banks.items(), key=lambda kv: -kv[1])[:3]
+    print("\nmemory accesses (bank model + Moro ECHMM):")
+    print("  hottest banks: "
+          + ", ".join(f"bank {b}: {p * 100:.0f}%" for b, p in top))
+    addresses = [
+        (r.bank * 4096 + i) for i, r in enumerate(traces.memory[:2000])
+    ]
+    echmm = EchmmMemoryModel(n_states=3, max_iter=15).fit(addresses, rng)
+    synthetic_addresses = echmm.generate(500)
+    print(f"  ECHMM synthetic address range: "
+          f"[{synthetic_addresses.min()}, {synthetic_addresses.max()}]")
+
+    # -- cross-subsystem clustering (Li) ---------------------------------
+    features = extract_request_features(traces)
+    X = np.array(
+        [[np.log2(f.storage_bytes), f.cpu_utilization * 100] for f in features]
+    )
+    mixture = select_components_bic(X, rng, max_components=6)
+    print("\nmodel-based clustering of request vectors (Li):")
+    print(f"  BIC selects {mixture.n_components} components "
+          f"(the workload has {len(set(f.request_class for f in features))} "
+          f"request classes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro: datacenter workload modeling — in-breadth, in-depth and KOOZA.
+
+A from-scratch reproduction of Delimitrou & Kozyrakis,
+"Cross-Examination of Datacenter Workload Modeling Techniques" (2011):
+a simulated datacenter substrate (discrete-event engine, device models,
+GFS / 3-tier / MapReduce applications, Dapper-style tracing), the two
+surveyed modeling families (per-subsystem in-breadth models and
+queueing-network in-depth models), and KOOZA — the combined approach
+with four subsystem models plus a time-dependency queue.
+
+Quickstart::
+
+    import numpy as np
+    from repro import run_gfs_workload, KoozaTrainer, ReplayHarness
+    from repro import compare_workloads
+
+    run = run_gfs_workload(n_requests=2000, seed=7)
+    model = KoozaTrainer().fit(run.traces)
+    synthetic = model.synthesize(2000, np.random.default_rng(42))
+    replayed = ReplayHarness().replay(synthetic)
+    print(compare_workloads(run.traces, replayed).to_table())
+"""
+
+from .core import (
+    CAPABILITIES,
+    KoozaConfig,
+    KoozaModel,
+    KoozaTrainer,
+    ReplayHarness,
+    SyntheticRequest,
+    ValidationReport,
+    capability_table,
+    compare_workloads,
+    extract_request_features,
+    mine_dependency_queue,
+)
+from .breadth import InBreadthWorkloadModel
+from .datacenter import (
+    GfsCluster,
+    GfsRequest,
+    GfsSpec,
+    Machine,
+    MachineSpec,
+    run_gfs_workload,
+    run_mapreduce_jobs,
+    run_webapp_workload,
+)
+from .depth import InDepthModel
+from .tracing import TraceSet, Tracer, load_traces, save_traces
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAPABILITIES",
+    "GfsCluster",
+    "GfsRequest",
+    "GfsSpec",
+    "InBreadthWorkloadModel",
+    "InDepthModel",
+    "KoozaConfig",
+    "KoozaModel",
+    "KoozaTrainer",
+    "Machine",
+    "MachineSpec",
+    "ReplayHarness",
+    "SyntheticRequest",
+    "TraceSet",
+    "Tracer",
+    "ValidationReport",
+    "capability_table",
+    "compare_workloads",
+    "extract_request_features",
+    "load_traces",
+    "mine_dependency_queue",
+    "run_gfs_workload",
+    "run_mapreduce_jobs",
+    "run_webapp_workload",
+    "save_traces",
+    "__version__",
+]

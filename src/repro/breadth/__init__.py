@@ -1,0 +1,33 @@
+"""In-breadth modeling: per-subsystem workload models.
+
+The paper's first family: models of the workload's behaviour in
+specific system parts — storage (Sankar, Gulati), CPU (Abrahao,
+Huang), memory (Barroso, Moro's ECHMM) and network (Feitelson,
+Sengupta) — plus the combined four-model workload generator used as
+the in-breadth baseline in the comparison benches.
+"""
+
+from .combined import InBreadthWorkloadModel
+from .cpu import CpuUtilizationModel, utilization_series
+from .kcca import KccaModel, rbf_kernel
+from .memory import EchmmMemoryModel, MemoryAccessModel
+from .network import NetworkCharacterization, NetworkTrafficModel
+from .offload import CpuBreakdown, OffloadModel
+from .storage import StorageModel, StorageProfile, seek_distances
+
+__all__ = [
+    "CpuBreakdown",
+    "CpuUtilizationModel",
+    "OffloadModel",
+    "EchmmMemoryModel",
+    "InBreadthWorkloadModel",
+    "KccaModel",
+    "rbf_kernel",
+    "MemoryAccessModel",
+    "NetworkCharacterization",
+    "NetworkTrafficModel",
+    "StorageModel",
+    "StorageProfile",
+    "seek_distances",
+    "utilization_series",
+]

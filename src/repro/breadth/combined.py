@@ -1,0 +1,60 @@
+"""The pure in-breadth workload model (the paper's first column).
+
+An in-breadth model keeps the four per-subsystem models but has no
+information about the application's structure: no time-dependency
+queue and no cross-subsystem coupling ("the most obvious disadvantage
+of this method is its inability to capture the time dependencies of a
+request ... which can result in invalid stressing of the system",
+§3.1).  Implemented as a KOOZA model with both structural components
+disabled, which makes the A1/A2 comparisons exact ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.model import KoozaConfig, KoozaModel
+from ..core.synthetic import SyntheticRequest
+from ..core.trainer import KoozaTrainer
+from ..tracing import TraceSet
+
+__all__ = ["InBreadthWorkloadModel"]
+
+
+class InBreadthWorkloadModel:
+    """Four independent subsystem models, no structural information."""
+
+    def __init__(self, config: Optional[KoozaConfig] = None):
+        base = config or KoozaConfig()
+        self.config = KoozaConfig(
+            network_size_bins=base.network_size_bins,
+            storage_size_bins=base.storage_size_bins,
+            storage_seek_bins=base.storage_seek_bins,
+            memory_size_bins=base.memory_size_bins,
+            cpu_utilization_bins=base.cpu_utilization_bins,
+            couple_subsystems=False,
+            use_dependency_queue=False,
+            hierarchical_storage=base.hierarchical_storage,
+            smoothing=base.smoothing,
+        )
+        self._model: Optional[KoozaModel] = None
+
+    def fit(self, traces: TraceSet) -> "InBreadthWorkloadModel":
+        """Train the four subsystem models on subsystem traces."""
+        self._model = KoozaTrainer(self.config).fit(traces)
+        return self
+
+    @property
+    def model(self) -> KoozaModel:
+        if self._model is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self._model
+
+    def synthesize(
+        self, n: int, rng: np.random.Generator, start_time: float = 0.0
+    ) -> list[SyntheticRequest]:
+        """Generate requests with independently sampled subsystem
+        features and an arbitrary fixed stage order."""
+        return self.model.synthesize(n, rng, start_time=start_time)

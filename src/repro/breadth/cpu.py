@@ -1,0 +1,113 @@
+"""In-breadth CPU modeling (Abrahao et al.; Huang et al.).
+
+Models the CPU-utilization time series of a server: windowed
+utilization extraction from CPU burst records, Abrahao-style
+periodic/noisy/spiky classification (after optional PCA over windowed
+shape vectors), a Markov chain over utilization levels, and synthetic
+utilization-series generation.  A simple next-window predictor covers
+the Huang et al. DVFS use case (predict low-utilization windows).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..markov import MarkovChain, QuantileDiscretizer
+from ..stats import classify_utilization_pattern
+from ..tracing import CpuRecord
+
+__all__ = ["CpuUtilizationModel", "utilization_series"]
+
+
+def utilization_series(
+    records: Sequence[CpuRecord],
+    window: float,
+    cores: int = 1,
+    end_time: Optional[float] = None,
+) -> np.ndarray:
+    """Per-window CPU utilization (fraction of capacity) from bursts.
+
+    Bursts are attributed to the window containing their start — an
+    approximation that matches how coarse utilization counters sample.
+    """
+    if not records:
+        raise ValueError("no CPU records")
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    start = min(r.timestamp for r in records)
+    end = end_time if end_time is not None else max(
+        r.timestamp + r.busy_seconds for r in records
+    )
+    n_windows = max(1, int(np.ceil((end - start) / window)))
+    busy = np.zeros(n_windows)
+    for r in records:
+        index = min(n_windows - 1, int((r.timestamp - start) / window))
+        busy[index] += r.busy_seconds
+    return np.clip(busy / (window * cores), 0.0, 1.0)
+
+
+class CpuUtilizationModel:
+    """Markov model over discretized utilization levels."""
+
+    def __init__(self, n_levels: int = 8):
+        self.n_levels = n_levels
+        self.discretizer = QuantileDiscretizer(n_levels)
+        self.chain: Optional[MarkovChain] = None
+        self.pattern: Optional[str] = None
+
+    def fit(self, utilization: Sequence[float]) -> "CpuUtilizationModel":
+        """Train on a windowed utilization series in [0, 1]."""
+        series = np.asarray(utilization, dtype=float)
+        if series.size < 8:
+            raise ValueError(f"need >= 8 windows, got {series.size}")
+        if np.any((series < 0) | (series > 1)):
+            raise ValueError("utilization must be within [0, 1]")
+        self.discretizer.fit(series)
+        states = [int(s) for s in self.discretizer.transform(series)]
+        self.chain = MarkovChain.from_sequence(states)
+        self.pattern = classify_utilization_pattern(series)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.chain is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate a synthetic utilization series of ``n`` windows."""
+        self._check_fitted()
+        path = self.chain.sample_path(n, rng)
+        return np.array([self.discretizer.representative(s) for s in path])
+
+    def predict_next(self, recent: Sequence[float]) -> float:
+        """Expected utilization of the next window given the latest one.
+
+        The one-step predictor behind DVFS decisions: switch to a low
+        power state when the predicted utilization is low.
+        """
+        self._check_fitted()
+        state = self.discretizer.transform_one(float(recent[-1]))
+        try:
+            row = self.chain.transition_matrix[self.chain.index_of(state)]
+        except KeyError:
+            # Level never seen in training: fall back to the last value.
+            return float(recent[-1])
+        expectation = sum(
+            p * self.discretizer.representative(s)
+            for p, s in zip(row, self.chain.states)
+        )
+        return float(expectation)
+
+    def stationary_mean(self) -> float:
+        """Long-run mean utilization implied by the chain."""
+        self._check_fitted()
+        pi = self.chain.stationary_distribution()
+        return float(
+            sum(
+                p * self.discretizer.representative(s)
+                for p, s in zip(pi, self.chain.states)
+            )
+        )

@@ -1,0 +1,156 @@
+"""Statistics-driven cloud workload modeling (Ganapathi et al.).
+
+Kernel Canonical Correlation Analysis: project job *features* (input
+size, task counts, shuffle volume) and job *performance* (execution
+time, ...) into maximally correlated subspaces, then predict a new
+job's performance from its neighbors in projection space.  This is the
+KCCA recipe of "Statistics-Driven Workload Modeling for the Cloud",
+implemented from scratch on numpy (RBF kernels, regularized dual CCA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["KccaModel", "rbf_kernel"]
+
+
+def rbf_kernel(
+    a: np.ndarray, b: np.ndarray, bandwidth: float
+) -> np.ndarray:
+    """Gaussian kernel matrix K[i, j] = exp(-||a_i - b_j||^2 / 2s^2)."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+    sq = (
+        np.sum(a**2, axis=1)[:, None]
+        + np.sum(b**2, axis=1)[None, :]
+        - 2.0 * a @ b.T
+    )
+    return np.exp(-np.maximum(sq, 0.0) / (2.0 * bandwidth**2))
+
+
+def _median_bandwidth(X: np.ndarray) -> float:
+    """Median pairwise distance — the standard RBF bandwidth heuristic."""
+    n = X.shape[0]
+    if n < 2:
+        return 1.0
+    sq = (
+        np.sum(X**2, axis=1)[:, None]
+        + np.sum(X**2, axis=1)[None, :]
+        - 2.0 * X @ X.T
+    )
+    distances = np.sqrt(np.maximum(sq[np.triu_indices(n, k=1)], 0.0))
+    positive = distances[distances > 0]
+    return float(np.median(positive)) if positive.size else 1.0
+
+
+class KccaModel:
+    """KCCA projection + nearest-neighbor performance prediction."""
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        regularization: float = 1e-3,
+        n_neighbors: int = 3,
+    ):
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        if regularization <= 0:
+            raise ValueError("regularization must be > 0")
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        self.n_components = n_components
+        self.regularization = regularization
+        self.n_neighbors = n_neighbors
+        self._X: Optional[np.ndarray] = None
+        self._Y: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None  # dual coefs, x side
+        self._x_projections: Optional[np.ndarray] = None
+        self.correlations_: Optional[np.ndarray] = None
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_scale: Optional[np.ndarray] = None
+        self._bandwidth: float = 1.0
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._x_mean) / self._x_scale
+
+    def fit(
+        self,
+        features: Sequence[Sequence[float]],
+        performance: Sequence[Sequence[float]],
+    ) -> "KccaModel":
+        """Learn projections from (n_jobs, d_x) features and
+        (n_jobs, d_y) performance vectors."""
+        X = np.atleast_2d(np.asarray(features, dtype=float))
+        Y = np.atleast_2d(np.asarray(performance, dtype=float))
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        n = X.shape[0]
+        if n != Y.shape[0]:
+            raise ValueError(f"feature/performance mismatch: {n} vs {Y.shape[0]}")
+        if n < max(4, self.n_components + 1):
+            raise ValueError(f"need more jobs than components, got {n}")
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._x_scale = np.where(scale > 0, scale, 1.0)
+        Xs = self._standardize(X)
+        y_scale = np.where(Y.std(axis=0) > 0, Y.std(axis=0), 1.0)
+        Ys = (Y - Y.mean(axis=0)) / y_scale
+
+        self._bandwidth = _median_bandwidth(Xs)
+        Kx = rbf_kernel(Xs, Xs, self._bandwidth)
+        Ky = rbf_kernel(Ys, Ys, max(_median_bandwidth(Ys), 1e-6))
+        # Center the kernels in feature space.
+        H = np.eye(n) - np.full((n, n), 1.0 / n)
+        Kx = H @ Kx @ H
+        Ky = H @ Ky @ H
+
+        reg = self.regularization * n
+        inv_x = np.linalg.inv(Kx + reg * np.eye(n))
+        inv_y = np.linalg.inv(Ky + reg * np.eye(n))
+        M = inv_x @ Ky @ inv_y @ Kx
+        eigvals, eigvecs = np.linalg.eig(M)
+        order = np.argsort(-np.real(eigvals))[: self.n_components]
+        self.correlations_ = np.sqrt(
+            np.clip(np.real(eigvals[order]), 0.0, 1.0)
+        )
+        alpha = np.real(eigvecs[:, order])
+        # Normalize projections to unit variance per component.
+        projections = Kx @ alpha
+        norms = projections.std(axis=0)
+        alpha = alpha / np.where(norms > 0, norms, 1.0)
+        self._alpha = alpha
+        self._X = Xs
+        self._Y = Y
+        self._x_projections = Kx @ alpha
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._alpha is None:
+            raise RuntimeError("KCCA is not fitted; call fit() first")
+
+    def project(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Project new jobs into the canonical feature subspace."""
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(features, dtype=float))
+        Xs = self._standardize(X)
+        k = rbf_kernel(Xs, self._X, self._bandwidth)
+        k = k - k.mean(axis=1, keepdims=True)
+        return k @ self._alpha
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predict performance vectors via neighbors in projection space."""
+        self._check_fitted()
+        Z = self.project(features)
+        out = np.empty((Z.shape[0], self._Y.shape[1]))
+        k = min(self.n_neighbors, self._x_projections.shape[0])
+        for i, z in enumerate(Z):
+            distances = np.linalg.norm(self._x_projections - z, axis=1)
+            nearest = np.argsort(distances)[:k]
+            weights = 1.0 / (distances[nearest] + 1e-12)
+            out[i] = (self._Y[nearest] * weights[:, None]).sum(
+                axis=0
+            ) / weights.sum()
+        return out

@@ -1,0 +1,108 @@
+"""In-breadth memory modeling (Barroso et al.; Moro et al.).
+
+Two models over the memory trace stream:
+
+* :class:`MemoryAccessModel` — Markov chain over
+  (op, size-bin, bank) states: the paper's own memory model
+  ("spatial locality in the granularity of ... Memory Banks").
+* :class:`EchmmMemoryModel` — Moro et al.'s approach: treat the
+  address stream as floating-point observations of an ergodic
+  continuous HMM, then generate synthetic address traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..markov import GaussianHMM, MarkovChain, QuantileDiscretizer
+from ..tracing import MemoryRecord
+
+__all__ = ["EchmmMemoryModel", "MemoryAccessModel"]
+
+
+class MemoryAccessModel:
+    """Markov chain over (op, size-bin, bank) memory-access states."""
+
+    def __init__(self, size_bins: int = 6):
+        self.size_bins = size_bins
+        self.size_discretizer = QuantileDiscretizer(size_bins)
+        self.chain: Optional[MarkovChain] = None
+
+    def fit(self, records: Sequence[MemoryRecord]) -> "MemoryAccessModel":
+        """Train on a time-ordered memory trace."""
+        if len(records) < 8:
+            raise ValueError(f"need >= 8 records, got {len(records)}")
+        records = sorted(records, key=lambda r: r.timestamp)
+        self.size_discretizer.fit([r.size_bytes for r in records])
+        states = [
+            (r.op, int(self.size_discretizer.transform_one(r.size_bytes)), r.bank)
+            for r in records
+        ]
+        self.chain = MarkovChain.from_sequence(states)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.chain is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def generate(
+        self, n: int, rng: np.random.Generator
+    ) -> list[tuple[str, int, int]]:
+        """Synthetic (op, size_bytes, bank) access tuples."""
+        self._check_fitted()
+        path = self.chain.sample_path(n, rng)
+        return [
+            (op, max(1, int(self.size_discretizer.representative(sb))), bank)
+            for op, sb, bank in path
+        ]
+
+    def bank_distribution(self) -> dict[int, float]:
+        """Stationary probability mass per bank."""
+        self._check_fitted()
+        pi = self.chain.stationary_distribution()
+        out: dict[int, float] = {}
+        for p, (_, _, bank) in zip(pi, self.chain.states):
+            out[bank] = out.get(bank, 0.0) + float(p)
+        return out
+
+
+class EchmmMemoryModel:
+    """Moro-style ECHMM over the raw address stream."""
+
+    def __init__(self, n_states: int = 4, max_iter: int = 30):
+        self.n_states = n_states
+        self.max_iter = max_iter
+        self.hmm: Optional[GaussianHMM] = None
+        self._scale: float = 1.0
+
+    def fit(
+        self, addresses: Sequence[int], rng: np.random.Generator
+    ) -> "EchmmMemoryModel":
+        """Train on a virtual-address (or page-number) sequence."""
+        data = np.asarray(addresses, dtype=float)
+        if data.size < 4 * self.n_states:
+            raise ValueError(
+                f"need >= {4 * self.n_states} addresses, got {data.size}"
+            )
+        # Normalize for EM conditioning; remember the scale to decode.
+        self._scale = max(1.0, float(data.max()))
+        self.hmm = GaussianHMM(self.n_states, rng, max_iter=self.max_iter)
+        self.hmm.fit(data / self._scale)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.hmm is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def generate(self, n: int) -> np.ndarray:
+        """Synthetic address sequence of length ``n``."""
+        self._check_fitted()
+        return np.maximum(0, self.hmm.sample(n) * self._scale).astype(np.int64)
+
+    def score(self, addresses: Sequence[int]) -> float:
+        """Log-likelihood of an address sequence under the model."""
+        self._check_fitted()
+        data = np.asarray(addresses, dtype=float) / self._scale
+        return self.hmm.score(data)

@@ -1,0 +1,77 @@
+"""Protocol-offload throughput modeling (Patwardhan et al.).
+
+"Communication Breakdown": break per-request CPU time into networking
+(protocol) overhead and data processing, then predict the throughput
+improvement from offloading the protocol work to hardware.  Their
+conclusion, reproduced analytically: offload helps *static* content
+serving (protocol-dominated CPU) and is marginal for *dynamic*
+applications (data-processing-dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuBreakdown", "OffloadModel"]
+
+
+@dataclass(frozen=True)
+class CpuBreakdown:
+    """Per-request CPU time split into protocol and data processing."""
+
+    protocol_seconds: float
+    data_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.protocol_seconds < 0 or self.data_seconds < 0:
+            raise ValueError("CPU components must be non-negative")
+        if self.protocol_seconds + self.data_seconds == 0:
+            raise ValueError("breakdown is empty")
+
+    @property
+    def total(self) -> float:
+        return self.protocol_seconds + self.data_seconds
+
+    @property
+    def protocol_fraction(self) -> float:
+        return self.protocol_seconds / self.total
+
+    @property
+    def application_kind(self) -> str:
+        """Patwardhan's taxonomy: protocol-dominated = static serving."""
+        return "static" if self.protocol_fraction >= 0.5 else "dynamic"
+
+
+class OffloadModel:
+    """Predicts CPU-bound throughput improvement from protocol offload."""
+
+    def __init__(self, breakdown: CpuBreakdown, cores: int = 1):
+        if cores < 1:
+            raise ValueError(f"need >= 1 core, got {cores}")
+        self.breakdown = breakdown
+        self.cores = cores
+
+    def throughput(self, offload_fraction: float = 0.0) -> float:
+        """Requests/s at the CPU bound with a fraction of protocol work
+        moved to hardware."""
+        if not 0.0 <= offload_fraction <= 1.0:
+            raise ValueError(
+                f"offload fraction must be in [0,1], got {offload_fraction}"
+            )
+        remaining = (
+            self.breakdown.protocol_seconds * (1.0 - offload_fraction)
+            + self.breakdown.data_seconds
+        )
+        if remaining == 0:
+            return float("inf")
+        return self.cores / remaining
+
+    def speedup(self, offload_fraction: float = 1.0) -> float:
+        """Throughput ratio vs no offload (Amdahl over protocol time)."""
+        return self.throughput(offload_fraction) / self.throughput(0.0)
+
+    def worthwhile(
+        self, offload_fraction: float = 1.0, threshold: float = 1.2
+    ) -> bool:
+        """Patwardhan's verdict: is the offload win above ``threshold``?"""
+        return self.speedup(offload_fraction) >= threshold

@@ -1,0 +1,157 @@
+"""In-breadth storage modeling (Sankar et al.; Gulati et al.).
+
+Two artifacts:
+
+* :class:`StorageProfile` — Gulati-style characterization of an I/O
+  stream: randomness (seek distances), I/O sizes, read:write ratio,
+  outstanding I/Os, interarrivals.
+* :class:`StorageModel` — Sankar-style state-diagram model: a Markov
+  chain over (op, size-bin, seek-distance-bin) states capturing I/O
+  characteristics plus spatial and temporal locality, able to generate
+  representative synthetic storage traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..markov import MarkovChain, QuantileDiscretizer
+from ..queueing import FittedDistribution, fit_distribution
+from ..stats import summarize
+from ..tracing import READ, StorageRecord
+
+__all__ = ["StorageModel", "StorageProfile", "seek_distances"]
+
+
+def seek_distances(records: Sequence[StorageRecord]) -> np.ndarray:
+    """Signed LBN gaps between consecutive I/Os (0 = fully sequential).
+
+    The gap is measured from the *end* of the previous I/O, so a
+    perfectly sequential stream yields zeros.
+    """
+    if len(records) < 2:
+        raise ValueError(f"need >= 2 records, got {len(records)}")
+    gaps = np.empty(len(records) - 1)
+    block = 4096
+    for i in range(1, len(records)):
+        prev = records[i - 1]
+        prev_end = prev.lbn + max(1, -(-prev.size_bytes // block))
+        gaps[i - 1] = records[i].lbn - prev_end
+    return gaps
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Gulati-style workload fingerprint of an I/O stream."""
+
+    n_ios: int
+    read_fraction: float
+    mean_size: float
+    p95_size: float
+    sequential_fraction: float  # |seek| == 0
+    mean_abs_seek: float
+    mean_queue_depth: float
+    mean_interarrival: float
+
+    @classmethod
+    def characterize(cls, records: Sequence[StorageRecord]) -> "StorageProfile":
+        if len(records) < 2:
+            raise ValueError(f"need >= 2 records, got {len(records)}")
+        sizes = summarize([r.size_bytes for r in records])
+        seeks = seek_distances(records)
+        times = np.array([r.timestamp for r in records])
+        gaps = np.diff(np.sort(times))
+        return cls(
+            n_ios=len(records),
+            read_fraction=float(
+                np.mean([1.0 if r.op == READ else 0.0 for r in records])
+            ),
+            mean_size=sizes.mean,
+            p95_size=sizes.p95,
+            sequential_fraction=float(np.mean(seeks == 0)),
+            mean_abs_seek=float(np.mean(np.abs(seeks))),
+            mean_queue_depth=float(np.mean([r.queue_depth for r in records])),
+            mean_interarrival=float(gaps.mean()) if gaps.size else 0.0,
+        )
+
+
+class StorageModel:
+    """State-diagram storage model with synthetic trace generation."""
+
+    def __init__(self, size_bins: int = 6, seek_bins: int = 6):
+        self.size_bins = size_bins
+        self.seek_bins = seek_bins
+        self.chain: Optional[MarkovChain] = None
+        self.size_discretizer = QuantileDiscretizer(size_bins)
+        self.seek_discretizer = QuantileDiscretizer(seek_bins)
+        self.interarrival_fit: Optional[FittedDistribution] = None
+        self._interarrivals: Optional[np.ndarray] = None
+
+    def _states(self, records: Sequence[StorageRecord]) -> list[tuple]:
+        sizes = [r.size_bytes for r in records]
+        seeks = np.concatenate([[0.0], seek_distances(records)])
+        size_states = self.size_discretizer.transform(sizes)
+        seek_states = self.seek_discretizer.transform(seeks)
+        return [
+            (r.op, int(sb), int(kb))
+            for r, sb, kb in zip(records, size_states, seek_states)
+        ]
+
+    def fit(self, records: Sequence[StorageRecord]) -> "StorageModel":
+        """Train on a time-ordered storage trace."""
+        if len(records) < 8:
+            raise ValueError(f"need >= 8 records, got {len(records)}")
+        records = sorted(records, key=lambda r: r.timestamp)
+        self.size_discretizer.fit([r.size_bytes for r in records])
+        self.seek_discretizer.fit(np.concatenate([[0.0], seek_distances(records)]))
+        self.chain = MarkovChain.from_sequence(self._states(records))
+        times = np.array([r.timestamp for r in records])
+        gaps = np.diff(times)
+        gaps = gaps[gaps > 0]
+        self._interarrivals = gaps
+        try:
+            self.interarrival_fit = fit_distribution(gaps)
+        except ValueError:
+            self.interarrival_fit = None  # fall back to bootstrap
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.chain is None:
+            raise RuntimeError("StorageModel is not fitted; call fit() first")
+
+    def generate(
+        self, n: int, rng: np.random.Generator, start_lbn: int = 0
+    ) -> list[StorageRecord]:
+        """Generate a synthetic storage trace of ``n`` I/Os."""
+        self._check_fitted()
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        path = self.chain.sample_path(n, rng)
+        if self.interarrival_fit is not None:
+            gaps = self.interarrival_fit.sample(n, rng)
+        else:
+            gaps = rng.choice(self._interarrivals, size=n)
+        out = []
+        lbn = start_lbn
+        t = 0.0
+        block = 4096
+        for (op, size_state, seek_state), gap in zip(path, gaps):
+            size = max(1, int(self.size_discretizer.representative(size_state)))
+            seek = int(self.seek_discretizer.representative(seek_state))
+            lbn = max(0, lbn + seek)
+            t += float(gap)
+            out.append(
+                StorageRecord(
+                    request_id=-1,
+                    server="synthetic",
+                    timestamp=t,
+                    lbn=lbn,
+                    size_bytes=size,
+                    op=op,
+                )
+            )
+            lbn += max(1, -(-size // block))
+        return out

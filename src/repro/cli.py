@@ -1,0 +1,194 @@
+"""Command-line interface: collect / train / describe / validate / characterize.
+
+Mirrors the deployment the paper assumes — trace collection on the
+cluster, model training offline, validation and studies anywhere:
+
+    repro collect --app gfs --requests 2000 --out traces/
+    repro train traces/ --model model.json
+    repro describe model.json
+    repro validate traces/ --model model.json
+    repro characterize traces/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from .datacenter import run_gfs_workload, run_webapp_workload
+    from .tracing import save_traces
+
+    if args.app == "gfs":
+        traces = run_gfs_workload(
+            n_requests=args.requests, seed=args.seed, arrival_rate=args.rate
+        ).traces
+    elif args.app == "webapp":
+        traces = run_webapp_workload(
+            n_requests=args.requests, seed=args.seed, arrival_rate=args.rate
+        )
+    else:
+        raise SystemExit(f"unknown app {args.app!r}")
+    save_traces(traces, args.out)
+    summary = ", ".join(f"{k}={v}" for k, v in traces.summary().items())
+    print(f"saved traces to {args.out} ({summary})")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .core import KoozaConfig, KoozaTrainer, save_model
+    from .tracing import load_traces
+
+    traces = load_traces(args.traces)
+    config = KoozaConfig(
+        network_size_bins=args.network_bins,
+        storage_size_bins=args.storage_bins,
+        memory_size_bins=args.memory_bins,
+        cpu_utilization_bins=args.cpu_bins,
+        hierarchical_storage=args.hierarchical,
+    )
+    model = KoozaTrainer(config).fit(traces)
+    save_model(model, args.model)
+    print(
+        f"trained on {model.n_training_requests} requests "
+        f"({model.n_parameters} parameters); model written to {args.model}"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .core import load_model
+
+    print(load_model(args.model).describe())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core import (
+        KoozaTrainer,
+        ReplayHarness,
+        compare_workloads,
+        load_model,
+    )
+    from .tracing import load_traces
+
+    traces = load_traces(args.traces)
+    if args.model:
+        model = load_model(args.model)
+    else:
+        model = KoozaTrainer().fit(traces)
+    n = len(traces.completed_requests())
+    synthetic = model.synthesize(n, np.random.default_rng(args.seed))
+    replayed = ReplayHarness(seed=args.seed + 1).replay(synthetic)
+    try:
+        report = compare_workloads(traces, replayed)
+    except ValueError as error:
+        # E.g. a model trained on a different workload: no common
+        # request profiles at all — the strongest possible mismatch.
+        print(f"validation failed: {error}")
+        return 1
+    print(report.to_table())
+    print(
+        f"worst feature deviation: {report.worst_feature_deviation_pct:.2f}%  "
+        f"worst latency deviation: {report.worst_latency_deviation_pct:.2f}%"
+    )
+    return 0 if report.worst_feature_deviation_pct < args.feature_limit else 1
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .breadth import (
+        NetworkTrafficModel,
+        StorageProfile,
+        utilization_series,
+    )
+    from .stats import classify_utilization_pattern
+    from .tracing import load_traces
+
+    traces = load_traces(args.traces)
+    if traces.storage:
+        profile = StorageProfile.characterize(traces.storage)
+        print(
+            f"storage: {profile.n_ios} I/Os, read fraction "
+            f"{profile.read_fraction:.2f}, mean size "
+            f"{profile.mean_size / 1024:.1f} KiB, sequential "
+            f"{profile.sequential_fraction:.2f}"
+        )
+    if traces.cpu:
+        series = utilization_series(traces.cpu, window=args.window, cores=8)
+        print(
+            f"cpu: {series.size} windows, mean utilization "
+            f"{series.mean() * 100:.1f}%, pattern "
+            f"{classify_utilization_pattern(series)}"
+        )
+    if traces.network:
+        model = NetworkTrafficModel().fit(traces.network)
+        ch = model.characterization
+        print(
+            f"network: {ch.n_messages} arrivals at {ch.mean_rate:.1f}/s, "
+            f"CoV {ch.interarrival_cov:.2f}, best fit "
+            f"{ch.best_fit_family} (KS {ch.ks_statistic:.3f})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Datacenter workload modeling: in-breadth, in-depth, KOOZA",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="run a workload, save traces")
+    collect.add_argument("--app", choices=("gfs", "webapp"), default="gfs")
+    collect.add_argument("--requests", type=int, default=2000)
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument("--rate", type=float, default=25.0)
+    collect.add_argument("--out", type=Path, required=True)
+    collect.set_defaults(func=_cmd_collect)
+
+    train = sub.add_parser("train", help="train KOOZA from saved traces")
+    train.add_argument("traces", type=Path)
+    train.add_argument("--model", type=Path, required=True)
+    train.add_argument("--network-bins", type=int, default=8)
+    train.add_argument("--storage-bins", type=int, default=6)
+    train.add_argument("--memory-bins", type=int, default=6)
+    train.add_argument("--cpu-bins", type=int, default=8)
+    train.add_argument("--hierarchical", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    describe = sub.add_parser("describe", help="print a trained model")
+    describe.add_argument("model", type=Path)
+    describe.set_defaults(func=_cmd_describe)
+
+    validate = sub.add_parser(
+        "validate", help="synthesize, replay and compare against traces"
+    )
+    validate.add_argument("traces", type=Path)
+    validate.add_argument("--model", type=Path, default=None)
+    validate.add_argument("--seed", type=int, default=42)
+    validate.add_argument("--feature-limit", type=float, default=1.0)
+    validate.set_defaults(func=_cmd_validate)
+
+    characterize = sub.add_parser(
+        "characterize", help="in-breadth summary of saved traces"
+    )
+    characterize.add_argument("traces", type=Path)
+    characterize.add_argument("--window", type=float, default=0.25)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""KOOZA: the paper's combined workload-modeling approach.
+
+Public API:
+
+* :class:`KoozaTrainer` / :class:`KoozaModel` / :class:`KoozaConfig` —
+  train the four-subsystem-models-plus-dependency-queue model from a
+  :class:`~repro.tracing.TraceSet` and generate synthetic workloads.
+* :class:`ReplayHarness` — replay synthetic requests on simulated
+  server hardware.
+* :func:`compare_workloads` — Table-2 style fidelity validation.
+* :func:`extract_request_features` — joint per-request feature vectors.
+* :func:`mine_dependency_queue` — the structural component.
+* :data:`CAPABILITIES` — the Table 1 qualitative matrix.
+"""
+
+from .capabilities import CAPABILITIES, Capability, capability_table
+from .dependency import DependencyQueue, mine_dependency_queue
+from .features import RequestFeatures, extract_request_features
+from .instances import MultiServerKooza, split_traces_by_server
+from .model import KoozaConfig, KoozaModel, SubsystemCoupler
+from .replay import ReplayHarness
+from .serialize import load_model, model_from_dict, model_to_dict, save_model
+from .synthetic import Stage, SyntheticRequest
+from .trainer import KoozaTrainer
+from .validation import (
+    ProfileComparison,
+    ValidationReport,
+    compare_workloads,
+    profile_key,
+)
+
+__all__ = [
+    "CAPABILITIES",
+    "Capability",
+    "DependencyQueue",
+    "KoozaConfig",
+    "KoozaModel",
+    "KoozaTrainer",
+    "ProfileComparison",
+    "ReplayHarness",
+    "RequestFeatures",
+    "Stage",
+    "SubsystemCoupler",
+    "SyntheticRequest",
+    "ValidationReport",
+    "capability_table",
+    "compare_workloads",
+    "extract_request_features",
+    "load_model",
+    "mine_dependency_queue",
+    "MultiServerKooza",
+    "model_from_dict",
+    "split_traces_by_server",
+    "model_to_dict",
+    "profile_key",
+    "save_model",
+]

@@ -1,0 +1,93 @@
+"""The time-dependency queue: KOOZA's structural component.
+
+"…and a queue, configurable for each workload, that demonstrates the
+structure of the application, i.e. the order in which each model
+becomes active" (§4).  The queue is mined from Dapper-style trace
+trees: for each request profile, the modal ordered sequence of
+subsystem activations.  Control-plane stages (master lookups) are
+optional hops and are excluded from the canonical structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Optional, Sequence
+
+from ..tracing import TraceTree
+
+__all__ = ["DependencyQueue", "mine_dependency_queue"]
+
+#: Span names that are optional control-plane hops, not the structure.
+_OPTIONAL_STAGES = ("master_lookup",)
+
+
+class DependencyQueue:
+    """Per-profile modal stage sequences with support counts."""
+
+    def __init__(
+        self,
+        sequences: dict[Hashable, tuple[str, ...]],
+        supports: dict[Hashable, int],
+        default: tuple[str, ...],
+    ):
+        if not default:
+            raise ValueError("default stage sequence must be non-empty")
+        self.sequences = dict(sequences)
+        self.supports = dict(supports)
+        self.default = tuple(default)
+
+    def sequence_for(self, profile: Hashable = None) -> tuple[str, ...]:
+        """Stage order for a request profile (the global mode if the
+        profile was never observed)."""
+        return self.sequences.get(profile, self.default)
+
+    @property
+    def n_profiles(self) -> int:
+        return len(self.sequences)
+
+    def describe(self) -> str:
+        lines = [f"DependencyQueue: default={' -> '.join(self.default)}"]
+        for profile, seq in sorted(self.sequences.items(), key=lambda kv: str(kv[0])):
+            lines.append(
+                f"  profile {profile}: {' -> '.join(seq)}"
+                f" (n={self.supports.get(profile, 0)})"
+            )
+        return "\n".join(lines)
+
+
+def mine_dependency_queue(
+    trees: Sequence[TraceTree],
+    profile_of: Optional[dict[int, Hashable]] = None,
+) -> DependencyQueue:
+    """Extract the dependency queue from sampled trace trees.
+
+    ``profile_of`` maps trace ids to request profiles (e.g. the KOOZA
+    network state of the request); without it a single global sequence
+    is mined.  The modal sequence per profile wins — occasional
+    divergent orderings (overlapping replica activity, lost spans) are
+    treated as noise.
+    """
+    if not trees:
+        raise ValueError("no trace trees to mine")
+    per_profile: dict[Hashable, Counter] = {}
+    overall: Counter = Counter()
+    for tree in trees:
+        sequence = tuple(
+            name
+            for name in tree.stage_sequence()
+            if name not in _OPTIONAL_STAGES
+        )
+        if not sequence:
+            continue
+        overall[sequence] += 1
+        if profile_of is not None and tree.trace_id in profile_of:
+            profile = profile_of[tree.trace_id]
+            per_profile.setdefault(profile, Counter())[sequence] += 1
+    if not overall:
+        raise ValueError("all traces were empty after filtering")
+    default = overall.most_common(1)[0][0]
+    sequences = {}
+    supports = {}
+    for profile, counter in per_profile.items():
+        sequences[profile], supports[profile] = counter.most_common(1)[0]
+    return DependencyQueue(sequences, supports, default)

@@ -1,0 +1,123 @@
+"""Per-request joint feature vectors assembled from subsystem traces.
+
+The Dapper-style global request id ties every subsystem record to its
+originating request ("the model relies on ... a unique global
+identifier that ties each message to the originating request"), which
+is what lets KOOZA learn *joint* per-request behaviour — the
+correlations between individual subsystem models the paper highlights
+(§5) — rather than four unrelated marginals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tracing import TraceSet
+
+__all__ = ["RequestFeatures", "extract_request_features"]
+
+#: Servers whose records are control-plane, not data-path.
+_CONTROL_SERVERS = ("master",)
+
+
+@dataclass
+class RequestFeatures:
+    """Joint per-request features across the four subsystems."""
+
+    request_id: int
+    request_class: str  # ground-truth label, used only for evaluation
+    server: str
+    arrival_time: float
+    latency: float
+    network_bytes: int
+    cpu_lookup_busy: float
+    cpu_aggregate_busy: float
+    memory_op: str
+    memory_bytes: int
+    memory_bank: int
+    storage_op: str
+    storage_bytes: int
+    storage_lbn: int
+    storage_delta: int = 0  # seek gap vs the previous request on this server
+    stage_sequence: Optional[list[str]] = None
+
+    @property
+    def cpu_busy(self) -> float:
+        return self.cpu_lookup_busy + self.cpu_aggregate_busy
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of one core busy over the request lifetime."""
+        return self.cpu_busy / self.latency if self.latency > 0 else 0.0
+
+
+def extract_request_features(traces: TraceSet) -> list[RequestFeatures]:
+    """Assemble per-request feature vectors, sorted by arrival time.
+
+    Control-plane records (master lookups) are excluded from the
+    data-path features.  Requests missing any subsystem record (e.g.
+    cut off at simulation end) are dropped.
+    """
+    storage_by_request: dict[int, list] = {}
+    for r in traces.storage:
+        storage_by_request.setdefault(r.request_id, []).append(r)
+    memory_by_request: dict[int, list] = {}
+    for r in traces.memory:
+        memory_by_request.setdefault(r.request_id, []).append(r)
+    cpu_by_request: dict[int, list] = {}
+    for r in traces.cpu:
+        if r.server not in _CONTROL_SERVERS:
+            cpu_by_request.setdefault(r.request_id, []).append(r)
+    network_by_request: dict[int, list] = {}
+    for r in traces.network:
+        if r.server not in _CONTROL_SERVERS:
+            network_by_request.setdefault(r.request_id, []).append(r)
+    stage_by_request: dict[int, list[str]] = {}
+    for tree in traces.trace_trees():
+        stage_by_request[tree.trace_id] = tree.stage_sequence()
+
+    features = []
+    for record in traces.completed_requests():
+        rid = record.request_id
+        storage = sorted(
+            storage_by_request.get(rid, []), key=lambda r: r.timestamp
+        )
+        memory = sorted(memory_by_request.get(rid, []), key=lambda r: r.timestamp)
+        cpu = cpu_by_request.get(rid, [])
+        network = network_by_request.get(rid, [])
+        if not storage or not memory or not cpu or not network:
+            continue
+        lookup = sum(r.busy_seconds for r in cpu if r.phase == "lookup")
+        aggregate = sum(r.busy_seconds for r in cpu if r.phase != "lookup")
+        features.append(
+            RequestFeatures(
+                request_id=rid,
+                request_class=record.request_class,
+                server=record.server,
+                arrival_time=record.arrival_time,
+                latency=record.latency,
+                network_bytes=max(r.size_bytes for r in network),
+                cpu_lookup_busy=lookup,
+                cpu_aggregate_busy=aggregate,
+                memory_op=memory[0].op,
+                memory_bytes=sum(r.size_bytes for r in memory),
+                memory_bank=memory[0].bank,
+                storage_op=storage[0].op,
+                storage_bytes=sum(r.size_bytes for r in storage),
+                storage_lbn=storage[0].lbn,
+                stage_sequence=stage_by_request.get(rid),
+            )
+        )
+    features.sort(key=lambda f: f.arrival_time)
+
+    # Seek deltas between consecutive requests on the same server.
+    block = 4096
+    last_end: dict[str, int] = {}
+    for f in features:
+        blocks = max(1, -(-f.storage_bytes // block))
+        if f.server in last_end:
+            f.storage_delta = f.storage_lbn - last_end[f.server]
+        f.storage_delta = int(f.storage_delta)
+        last_end[f.server] = f.storage_lbn + blocks
+    return features

@@ -1,0 +1,126 @@
+"""Per-server model instances for multi-server clusters.
+
+"Scaling to multiple servers in order to simulate real-application
+scenarios requires multiple instances of the model" (§4).
+:class:`MultiServerKooza` partitions a cluster's traces by server,
+trains one :class:`KoozaModel` per server, and synthesizes/replays each
+server's workload against its own simulated hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datacenter import MachineSpec
+from ..tracing import TraceSet
+from .model import KoozaConfig, KoozaModel
+from .replay import ReplayHarness
+from .trainer import KoozaTrainer
+from .validation import ValidationReport, compare_workloads
+
+__all__ = ["MultiServerKooza", "split_traces_by_server"]
+
+
+def split_traces_by_server(traces: TraceSet) -> dict[str, TraceSet]:
+    """Partition a TraceSet by the server each request ran on.
+
+    Requests are assigned by their RequestRecord's server; all of a
+    request's records (including remote hops) travel with it, so each
+    per-server TraceSet is self-contained for training.
+    """
+    server_of: dict[int, str] = {
+        r.request_id: r.server for r in traces.requests
+    }
+    out: dict[str, TraceSet] = {}
+
+    def bucket(server: str) -> TraceSet:
+        if server not in out:
+            out[server] = TraceSet()
+        return out[server]
+
+    for record in traces.requests:
+        bucket(record.server).requests.append(record)
+    for stream in ("network", "cpu", "memory", "storage"):
+        for record in getattr(traces, stream):
+            server = server_of.get(record.request_id)
+            if server is not None:
+                getattr(bucket(server), stream).append(record)
+    for span in traces.spans:
+        server = server_of.get(span.trace_id)
+        if server is not None:
+            bucket(server).spans.append(span)
+    return out
+
+
+class MultiServerKooza:
+    """One KOOZA instance per server, trained and validated together."""
+
+    def __init__(
+        self,
+        config: Optional[KoozaConfig] = None,
+        min_requests: int = 64,
+    ):
+        self.config = config or KoozaConfig()
+        self.min_requests = min_requests
+        self.models: dict[str, KoozaModel] = {}
+        self.skipped: list[str] = []
+
+    def fit(self, traces: TraceSet) -> "MultiServerKooza":
+        """Train one model per server with enough completed requests."""
+        per_server = split_traces_by_server(traces)
+        if not per_server:
+            raise ValueError("no requests to train on")
+        trainer = KoozaTrainer(self.config)
+        self.models.clear()
+        self.skipped.clear()
+        for server, server_traces in sorted(per_server.items()):
+            if len(server_traces.completed_requests()) < self.min_requests:
+                self.skipped.append(server)
+                continue
+            self.models[server] = trainer.fit(server_traces)
+        if not self.models:
+            raise ValueError(
+                f"no server reached {self.min_requests} completed requests"
+            )
+        return self
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.models)
+
+    def synthesize(
+        self, per_server: int, rng: np.random.Generator
+    ) -> dict[str, list]:
+        """Synthesize ``per_server`` requests from each instance."""
+        if not self.models:
+            raise RuntimeError("not fitted; call fit() first")
+        return {
+            server: model.synthesize(per_server, rng)
+            for server, model in self.models.items()
+        }
+
+    def validate(
+        self,
+        traces: TraceSet,
+        rng: np.random.Generator,
+        machine_spec: Optional[MachineSpec] = None,
+        seed: int = 1000,
+    ) -> dict[str, ValidationReport]:
+        """Per-server replay validation against the original traces."""
+        if not self.models:
+            raise RuntimeError("not fitted; call fit() first")
+        per_server = split_traces_by_server(traces)
+        reports = {}
+        for index, (server, model) in enumerate(sorted(self.models.items())):
+            server_traces = per_server[server]
+            n = len(server_traces.completed_requests())
+            synthetic = model.synthesize(n, rng)
+            harness = ReplayHarness(
+                machine_spec=machine_spec, seed=seed + index
+            )
+            reports[server] = compare_workloads(
+                server_traces, harness.replay(synthetic)
+            )
+        return reports

@@ -1,0 +1,84 @@
+"""Synthetic workload representation shared by all modeling techniques.
+
+A :class:`SyntheticRequest` is an arrival time plus an ordered list of
+:class:`Stage` activations with concrete parameters — exactly what the
+replay harness needs to exercise a simulated server, and what the
+validation framework compares against original trace features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tracing import READ
+
+__all__ = ["Stage", "SyntheticRequest"]
+
+#: Stage kinds the replay harness understands.
+STAGE_KINDS = ("network_rx", "cpu", "memory", "storage", "network_tx")
+
+#: Header-message size used for the non-data direction.
+HEADER_BYTES = 256
+
+
+@dataclass(slots=True)
+class Stage:
+    """One subsystem activation of a synthetic request."""
+
+    kind: str
+    # Parameters by kind:
+    #   network_rx / network_tx: size_bytes
+    #   cpu: busy_seconds
+    #   memory: op, size_bytes, address
+    #   storage: op, size_bytes, lbn
+    size_bytes: int = 0
+    busy_seconds: float = 0.0
+    op: str = READ
+    address: int = 0
+    lbn: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STAGE_KINDS:
+            raise ValueError(f"unknown stage kind {self.kind!r}")
+
+
+@dataclass(slots=True)
+class SyntheticRequest:
+    """A generated request: arrival time + ordered stage activations."""
+
+    arrival_time: float
+    stages: list[Stage]
+    label: str = ""  # generator's own profile tag (diagnostic only)
+
+    @property
+    def storage_stage(self) -> Optional[Stage]:
+        for stage in self.stages:
+            if stage.kind == "storage":
+                return stage
+        return None
+
+    @property
+    def memory_stage(self) -> Optional[Stage]:
+        for stage in self.stages:
+            if stage.kind == "memory":
+                return stage
+        return None
+
+    @property
+    def network_bytes(self) -> int:
+        """The data payload: the larger of the rx/tx message sizes."""
+        sizes = [
+            s.size_bytes
+            for s in self.stages
+            if s.kind in ("network_rx", "network_tx")
+        ]
+        return max(sizes) if sizes else 0
+
+    @property
+    def cpu_busy_seconds(self) -> float:
+        return sum(s.busy_seconds for s in self.stages if s.kind == "cpu")
+
+    def stage_order(self) -> list[str]:
+        """The stage-kind sequence (the request's structure)."""
+        return [s.kind for s in self.stages]

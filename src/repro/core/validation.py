@@ -1,0 +1,253 @@
+"""Validation framework: original vs synthetic workload fidelity.
+
+Reproduces the paper's Table 2 methodology: group requests into
+profiles (the paper's "user requests"), then compare per-profile
+request features — network request size, CPU utilization, memory
+size/type, storage size/type — and the latency performance metric.
+Feature deviations are percentages (CPU utilization in absolute
+percentage points, as the paper reports), latency deviation as a
+percentage of the original mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..stats import cross_correlation, ks_two_sample
+from ..tracing import TraceSet
+from .features import RequestFeatures, extract_request_features
+
+__all__ = [
+    "ProfileComparison",
+    "ValidationReport",
+    "compare_workloads",
+    "profile_key",
+]
+
+
+def profile_key(features: RequestFeatures) -> tuple[str, int]:
+    """Profile of a request: (storage op, log2 size bucket of payload).
+
+    Groups the same way for original and synthetic requests without
+    relying on ground-truth class labels.
+    """
+    size = max(1, features.network_bytes)
+    return (features.storage_op, int(round(np.log2(size))))
+
+
+def _pct_deviation(original: float, synthetic: float) -> float:
+    """|synthetic - original| as a percentage of the original."""
+    if original == 0:
+        return 0.0 if synthetic == 0 else float("inf")
+    return abs(synthetic - original) / abs(original) * 100.0
+
+
+@dataclass
+class ProfileComparison:
+    """Table-2 row pair: one request profile, original vs synthetic."""
+
+    profile: tuple[str, int]
+    n_original: int
+    n_synthetic: int
+    # Mean feature values.
+    network_bytes: tuple[float, float]
+    cpu_utilization: tuple[float, float]
+    memory_bytes: tuple[float, float]
+    storage_bytes: tuple[float, float]
+    latency: tuple[float, float]
+    latency_p95: tuple[float, float]
+    memory_op_match: float  # fraction of synthetic with the modal original op
+    storage_op_match: float
+
+    @property
+    def network_deviation_pct(self) -> float:
+        return _pct_deviation(*self.network_bytes)
+
+    @property
+    def cpu_utilization_deviation_pp(self) -> float:
+        """Absolute deviation in percentage points (paper's convention)."""
+        return abs(self.cpu_utilization[1] - self.cpu_utilization[0]) * 100.0
+
+    @property
+    def memory_deviation_pct(self) -> float:
+        return _pct_deviation(*self.memory_bytes)
+
+    @property
+    def storage_deviation_pct(self) -> float:
+        return _pct_deviation(*self.storage_bytes)
+
+    @property
+    def latency_deviation_pct(self) -> float:
+        return _pct_deviation(*self.latency)
+
+    @property
+    def latency_p95_deviation_pct(self) -> float:
+        """Tail fidelity: deviation of the 95th latency percentile."""
+        return _pct_deviation(*self.latency_p95)
+
+    @property
+    def max_feature_deviation_pct(self) -> float:
+        """Worst of the size-feature deviations (the paper's "request
+        features" bound)."""
+        return max(
+            self.network_deviation_pct,
+            self.memory_deviation_pct,
+            self.storage_deviation_pct,
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Full original-vs-synthetic comparison."""
+
+    profiles: list[ProfileComparison]
+    latency_ks: float
+    latency_ks_pvalue: float
+    joint_correlation_original: float
+    joint_correlation_synthetic: float
+    n_original: int
+    n_synthetic: int
+
+    @property
+    def joint_correlation_error(self) -> float:
+        """|corr(net, storage sizes)| gap — collapses for models that
+        sample subsystems independently."""
+        return abs(
+            self.joint_correlation_original - self.joint_correlation_synthetic
+        )
+
+    @property
+    def worst_feature_deviation_pct(self) -> float:
+        return max(p.max_feature_deviation_pct for p in self.profiles)
+
+    @property
+    def worst_latency_deviation_pct(self) -> float:
+        return max(p.latency_deviation_pct for p in self.profiles)
+
+    @property
+    def mean_latency_deviation_pct(self) -> float:
+        weights = np.array([p.n_original for p in self.profiles], dtype=float)
+        values = np.array([p.latency_deviation_pct for p in self.profiles])
+        return float(np.average(values, weights=weights))
+
+    def to_table(self) -> str:
+        """Render in the layout of the paper's Table 2."""
+        lines = [
+            f"{'profile':>16} | {'n(o/s)':>11} | {'net dev%':>8} | "
+            f"{'cpu dev(pp)':>11} | {'mem dev%':>8} | {'sto dev%':>8} | "
+            f"{'mem-op':>6} | {'sto-op':>6} | {'lat dev%':>8} | "
+            f"{'p95 dev%':>8}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for p in sorted(self.profiles, key=lambda p: p.profile):
+            name = f"{p.profile[0]}@2^{p.profile[1]}"
+            lines.append(
+                f"{name:>16} | {p.n_original:>5}/{p.n_synthetic:<5} | "
+                f"{p.network_deviation_pct:>8.2f} | "
+                f"{p.cpu_utilization_deviation_pp:>11.2f} | "
+                f"{p.memory_deviation_pct:>8.2f} | "
+                f"{p.storage_deviation_pct:>8.2f} | "
+                f"{p.memory_op_match:>6.2f} | {p.storage_op_match:>6.2f} | "
+                f"{p.latency_deviation_pct:>8.2f} | "
+                f"{p.latency_p95_deviation_pct:>8.2f}"
+            )
+        lines.append(
+            f"latency KS={self.latency_ks:.3f} (p={self.latency_ks_pvalue:.3f})  "
+            f"joint corr: original={self.joint_correlation_original:.3f} "
+            f"synthetic={self.joint_correlation_synthetic:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def _modal_op(ops: list[str]) -> str:
+    values, counts = np.unique(ops, return_counts=True)
+    return str(values[np.argmax(counts)])
+
+
+def compare_workloads(
+    original: TraceSet,
+    synthetic: TraceSet,
+    min_profile_count: int = 5,
+) -> ValidationReport:
+    """Compare an original trace set against a replayed synthetic one.
+
+    Profiles observed fewer than ``min_profile_count`` times on either
+    side are skipped (their means are too noisy to grade a model on).
+    """
+    orig = extract_request_features(original)
+    synth = extract_request_features(synthetic)
+    if not orig or not synth:
+        raise ValueError("both trace sets must contain complete requests")
+
+    orig_by_profile: dict[tuple, list[RequestFeatures]] = {}
+    for f in orig:
+        orig_by_profile.setdefault(profile_key(f), []).append(f)
+    synth_by_profile: dict[tuple, list[RequestFeatures]] = {}
+    for f in synth:
+        synth_by_profile.setdefault(profile_key(f), []).append(f)
+
+    profiles = []
+    for key in sorted(set(orig_by_profile) & set(synth_by_profile)):
+        o, s = orig_by_profile[key], synth_by_profile[key]
+        if len(o) < min_profile_count or len(s) < min_profile_count:
+            continue
+        modal_mem_op = _modal_op([f.memory_op for f in o])
+        modal_sto_op = _modal_op([f.storage_op for f in o])
+        profiles.append(
+            ProfileComparison(
+                profile=key,
+                n_original=len(o),
+                n_synthetic=len(s),
+                network_bytes=(
+                    float(np.mean([f.network_bytes for f in o])),
+                    float(np.mean([f.network_bytes for f in s])),
+                ),
+                cpu_utilization=(
+                    float(np.mean([f.cpu_utilization for f in o])),
+                    float(np.mean([f.cpu_utilization for f in s])),
+                ),
+                memory_bytes=(
+                    float(np.mean([f.memory_bytes for f in o])),
+                    float(np.mean([f.memory_bytes for f in s])),
+                ),
+                storage_bytes=(
+                    float(np.mean([f.storage_bytes for f in o])),
+                    float(np.mean([f.storage_bytes for f in s])),
+                ),
+                latency=(
+                    float(np.mean([f.latency for f in o])),
+                    float(np.mean([f.latency for f in s])),
+                ),
+                latency_p95=(
+                    float(np.percentile([f.latency for f in o], 95)),
+                    float(np.percentile([f.latency for f in s], 95)),
+                ),
+                memory_op_match=float(
+                    np.mean([f.memory_op == modal_mem_op for f in s])
+                ),
+                storage_op_match=float(
+                    np.mean([f.storage_op == modal_sto_op for f in s])
+                ),
+            )
+        )
+    if not profiles:
+        raise ValueError("no common profiles with enough requests to compare")
+
+    ks, pvalue = ks_two_sample(
+        [f.latency for f in orig], [f.latency for f in synth]
+    )
+    report = ValidationReport(
+        profiles=profiles,
+        latency_ks=ks,
+        latency_ks_pvalue=pvalue,
+        joint_correlation_original=cross_correlation(
+            [f.network_bytes for f in orig], [f.storage_bytes for f in orig]
+        ),
+        joint_correlation_synthetic=cross_correlation(
+            [f.network_bytes for f in synth], [f.storage_bytes for f in synth]
+        ),
+        n_original=len(orig),
+        n_synthetic=len(synth),
+    )
+    return report

@@ -1,0 +1,55 @@
+"""Simulated datacenter substrate.
+
+Machines built from device models, plus the three applications the
+repository's experiments run: the GFS-like file system (the paper's
+Figure 1 workload), a 3-tier web application (the in-depth baseline's
+native workload) and a MapReduce-like batch framework.
+"""
+
+from .dvfs import (
+    DvfsPolicyResult,
+    DvfsSetting,
+    evaluate_dvfs_policy,
+    model_guided_policy,
+)
+from .failures import DiskFault, FaultInjector
+from .gfs import GfsCluster, GfsRequest, GfsSpec
+from .machine import Machine, MachineSpec
+from .mapreduce import JobResult, MapReduceCluster, MapReduceJob, MapReduceSpec
+from .power import EnergyReport, MachinePowerSpec, PowerModel
+from .run import (
+    GfsRun,
+    run_gfs_workload,
+    run_mapreduce_jobs,
+    run_webapp_workload,
+)
+from .webapp import WebAppCluster, WebAppSpec, WebRequest, WebRequestClass
+
+__all__ = [
+    "DiskFault",
+    "DvfsPolicyResult",
+    "DvfsSetting",
+    "FaultInjector",
+    "GfsCluster",
+    "evaluate_dvfs_policy",
+    "model_guided_policy",
+    "GfsRequest",
+    "GfsRun",
+    "GfsSpec",
+    "EnergyReport",
+    "JobResult",
+    "Machine",
+    "MachinePowerSpec",
+    "MachineSpec",
+    "PowerModel",
+    "MapReduceCluster",
+    "MapReduceJob",
+    "MapReduceSpec",
+    "WebAppCluster",
+    "WebAppSpec",
+    "WebRequest",
+    "WebRequestClass",
+    "run_gfs_workload",
+    "run_mapreduce_jobs",
+    "run_webapp_workload",
+]

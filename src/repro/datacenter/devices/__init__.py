@@ -1,0 +1,22 @@
+"""Device-level models: disk, CPU, memory banks, NIC/link.
+
+Each device couples an analytic service-time model with a simulation
+wrapper that queues requests and emits subsystem trace records.
+"""
+
+from .cpu import Cpu, CpuSpec
+from .disk import Disk, DiskModel, DiskSpec
+from .memory import Memory, MemorySpec
+from .nic import Nic, NicSpec
+
+__all__ = [
+    "Cpu",
+    "CpuSpec",
+    "Disk",
+    "DiskModel",
+    "DiskSpec",
+    "Memory",
+    "MemorySpec",
+    "Nic",
+    "NicSpec",
+]

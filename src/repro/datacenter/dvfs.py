@@ -1,0 +1,126 @@
+"""DVFS policy evaluation driven by the CPU-utilization model (Huang et al.).
+
+"Energy-Efficient Cluster Computing via Accurate Workload
+Characterization": predict the next window's CPU utilization from the
+workload model and switch to a low-power state when the predicted
+demand fits — saving energy during long off-chip/batch-I/O phases
+without hurting performance.
+
+The evaluator replays a utilization series under a frequency policy:
+per window, the policy picks a frequency; running work ``u`` at
+relative frequency ``f`` needs ``u / f`` of the window, so any window
+with ``u > f`` overruns (an SLA violation).  Energy integrates the
+frequency-specific power curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a datacenter <-> breadth import cycle
+    from ..breadth.cpu import CpuUtilizationModel
+
+__all__ = ["DvfsPolicyResult", "DvfsSetting", "evaluate_dvfs_policy",
+           "model_guided_policy"]
+
+
+@dataclass(frozen=True)
+class DvfsSetting:
+    """One frequency step: relative speed and its power curve."""
+
+    name: str
+    frequency: float  # relative to nominal, in (0, 1]
+    idle_power: float  # watts at zero utilization
+    peak_power: float  # watts at full utilization
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frequency <= 1.0:
+            raise ValueError(f"frequency must be in (0,1], got {self.frequency}")
+        if self.idle_power < 0 or self.peak_power < self.idle_power:
+            raise ValueError("need 0 <= idle <= peak power")
+
+    def power(self, utilization: float) -> float:
+        """Draw at a given *delivered* utilization of this step."""
+        u = min(1.0, max(0.0, utilization))
+        return self.idle_power + (self.peak_power - self.idle_power) * u
+
+
+#: A policy maps (recent utilization history) -> chosen setting index.
+Policy = Callable[[Sequence[float]], int]
+
+
+@dataclass
+class DvfsPolicyResult:
+    """Outcome of evaluating a policy over a utilization series."""
+
+    energy_joules: float
+    violations: int
+    n_windows: int
+    settings_used: dict[str, int]
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.n_windows if self.n_windows else 0.0
+
+
+def evaluate_dvfs_policy(
+    utilization: Sequence[float],
+    settings: Sequence[DvfsSetting],
+    policy: Policy,
+    window: float = 1.0,
+) -> DvfsPolicyResult:
+    """Replay a utilization series under a frequency policy."""
+    series = np.asarray(utilization, dtype=float)
+    if series.size == 0:
+        raise ValueError("empty utilization series")
+    if not settings:
+        raise ValueError("need at least one DVFS setting")
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    energy = 0.0
+    violations = 0
+    used: dict[str, int] = {s.name: 0 for s in settings}
+    for i, demand in enumerate(series):
+        choice = policy(series[: i + 1])
+        if not 0 <= choice < len(settings):
+            raise ValueError(f"policy chose invalid setting {choice}")
+        setting = settings[choice]
+        used[setting.name] += 1
+        # Work u at frequency f occupies u/f of the window.
+        occupancy = demand / setting.frequency
+        if occupancy > 1.0 + 1e-9:
+            violations += 1
+            occupancy = 1.0
+        energy += setting.power(occupancy) * window
+    return DvfsPolicyResult(
+        energy_joules=energy,
+        violations=violations,
+        n_windows=int(series.size),
+        settings_used=used,
+    )
+
+
+def model_guided_policy(
+    model: "CpuUtilizationModel",
+    settings: Sequence[DvfsSetting],
+    headroom: float = 1.25,
+) -> Policy:
+    """Huang-style policy: pick the slowest setting whose frequency
+    covers the *predicted* next-window utilization with ``headroom``."""
+    if headroom < 1.0:
+        raise ValueError(f"headroom must be >= 1, got {headroom}")
+    order = sorted(
+        range(len(settings)), key=lambda i: settings[i].frequency
+    )
+
+    def policy(history: Sequence[float]) -> int:
+        predicted = model.predict_next(history)
+        for index in order:
+            if settings[index].frequency >= min(1.0, predicted * headroom):
+                return index
+        return order[-1]  # fastest setting as the fallback
+
+    return policy

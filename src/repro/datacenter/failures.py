@@ -1,0 +1,67 @@
+"""Fault injection for availability and detection studies.
+
+Schedules device degradations (and repairs) against a running cluster,
+so the in-depth anomaly-detection stack can be exercised on incidents
+with a time axis: when did the fault start, which machine, which
+device — the "error detection" study the paper reserves for in-depth
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulation import Environment
+from .devices import DiskSpec
+from .machine import Machine
+
+__all__ = ["DiskFault", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One scheduled disk degradation (and optional repair)."""
+
+    machine: str
+    start_time: float
+    degraded_spec: DiskSpec
+    repair_time: float | None = None  # None = never repaired
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError("fault start must be >= 0")
+        if self.repair_time is not None and self.repair_time <= self.start_time:
+            raise ValueError("repair must come after the fault starts")
+
+
+class FaultInjector:
+    """Applies scheduled faults to a set of machines."""
+
+    def __init__(
+        self,
+        env: Environment,
+        machines: list[Machine],
+        faults: list[DiskFault],
+    ):
+        self._machines = {m.name: m for m in machines}
+        for fault in faults:
+            if fault.machine not in self._machines:
+                raise ValueError(f"unknown machine {fault.machine!r}")
+        self.env = env
+        self.faults = list(faults)
+        self.log: list[tuple[float, str, str]] = []
+        for fault in self.faults:
+            env.process(self._inject(fault))
+
+    def _inject(self, fault: DiskFault):
+        machine = self._machines[fault.machine]
+        healthy_spec = machine.disk.model.spec
+        delay = fault.start_time - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        machine.disk.replace_spec(fault.degraded_spec)
+        self.log.append((self.env.now, fault.machine, "degraded"))
+        if fault.repair_time is not None:
+            yield self.env.timeout(fault.repair_time - fault.start_time)
+            machine.disk.replace_spec(healthy_spec)
+            self.log.append((self.env.now, fault.machine, "repaired"))

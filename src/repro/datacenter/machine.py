@@ -1,0 +1,86 @@
+"""A simulated server: CPU + memory + disk + NIC.
+
+Machines bundle the four device models that correspond one-to-one to
+the four subsystem models in KOOZA (processor, memory, storage,
+network).  Applications (GFS, the 3-tier web app, MapReduce) run
+requests across a machine's devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulation import Environment, RandomStreams
+from ..tracing import Tracer
+from .devices import Cpu, CpuSpec, Disk, DiskSpec, Memory, MemorySpec, Nic, NicSpec
+
+__all__ = ["Machine", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware configuration of one server.
+
+    Evaluating different server configurations without application
+    access is the paper's headline use case — swap specs here and rerun
+    the same workload or model replay.
+    """
+
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+
+
+class Machine:
+    """One server with its four devices and a name used in trace records."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        spec: MachineSpec,
+        streams: RandomStreams,
+        tracer: Tracer,
+    ):
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.cpu = Cpu(env, name, spec.cpu, streams.get(f"{name}/cpu"), tracer)
+        self.memory = Memory(
+            env, name, spec.memory, streams.get(f"{name}/memory"), tracer
+        )
+        self.disk = Disk(env, name, spec.disk, streams.get(f"{name}/disk"), tracer)
+        self.nic = Nic(env, name, spec.nic, streams.get(f"{name}/nic"), tracer)
+
+    def utilization_report(self, since: float = 0.0) -> dict[str, float]:
+        """Busy fractions of all four devices since ``since``."""
+        return {
+            "cpu": self.cpu.utilization(since),
+            "memory": self.memory.utilization(since),
+            "disk": self.disk.utilization(since),
+            "nic": self.nic.utilization(since),
+        }
+
+    def busy_report(self) -> dict[str, float]:
+        """Cumulative busy slot-seconds per device.
+
+        Checkpoint these and diff to get utilization over sliding
+        windows (what the continuous profiler does).
+        """
+        return {
+            "cpu": self.cpu.busy_seconds(),
+            "memory": self.memory.busy_seconds(),
+            "disk": self.disk.busy_seconds(),
+            "nic": self.nic.busy_seconds(),
+        }
+
+    def device_capacity(self, device: str) -> int:
+        """Parallel slots of one device (for busy-time normalization)."""
+        capacities = {
+            "cpu": self.spec.cpu.cores,
+            "memory": self.spec.memory.channels,
+            "disk": 1,
+            "nic": 1,
+        }
+        return capacities[device]

@@ -1,0 +1,144 @@
+"""Server power and energy modeling (paper §5).
+
+"Studying these correlations can facilitate the development of a
+performance and power model for the datacenter, enabling system
+studies that would otherwise be impractical from a cost and time
+perspective."  This module provides that model: utilization-linear
+device power (the standard DC power model of the era — Barroso's
+energy-proportionality framing), energy accounting over a simulation
+or replay window, and per-request energy efficiency metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import Machine
+
+__all__ = ["EnergyReport", "MachinePowerSpec", "PowerModel"]
+
+
+@dataclass(frozen=True)
+class MachinePowerSpec:
+    """Idle/peak power per device, in watts.
+
+    Defaults approximate a 2011 2-socket server: ~150 W idle, ~300 W
+    peak, with CPU the dominant dynamic term.
+    """
+
+    cpu_idle: float = 70.0
+    cpu_peak: float = 190.0
+    memory_idle: float = 25.0
+    memory_peak: float = 45.0
+    disk_idle: float = 7.0
+    disk_peak: float = 12.0
+    nic_idle: float = 4.0
+    nic_peak: float = 8.0
+    platform: float = 45.0  # fans, VRMs, board — utilization-independent
+
+    def __post_init__(self) -> None:
+        for device in ("cpu", "memory", "disk", "nic"):
+            idle = getattr(self, f"{device}_idle")
+            peak = getattr(self, f"{device}_peak")
+            if idle < 0 or peak < idle:
+                raise ValueError(
+                    f"{device}: need 0 <= idle <= peak, got {idle}/{peak}"
+                )
+
+    @property
+    def idle_power(self) -> float:
+        """Whole-server idle draw."""
+        return (
+            self.cpu_idle
+            + self.memory_idle
+            + self.disk_idle
+            + self.nic_idle
+            + self.platform
+        )
+
+    @property
+    def peak_power(self) -> float:
+        """Whole-server peak draw."""
+        return (
+            self.cpu_peak
+            + self.memory_peak
+            + self.disk_peak
+            + self.nic_peak
+            + self.platform
+        )
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one machine over a window."""
+
+    machine: str
+    window: float  # seconds
+    utilization: dict[str, float]
+    power: dict[str, float]  # mean watts per device
+    platform_power: float
+
+    @property
+    def mean_power(self) -> float:
+        """Whole-server mean power over the window (watts)."""
+        return sum(self.power.values()) + self.platform_power
+
+    @property
+    def energy_joules(self) -> float:
+        return self.mean_power * self.window
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{device}={watts:.1f}W" for device, watts in self.power.items()
+        )
+        return (
+            f"{self.machine}: {self.mean_power:.1f} W over "
+            f"{self.window:.2f}s ({parts}, platform="
+            f"{self.platform_power:.1f}W)"
+        )
+
+
+class PowerModel:
+    """Maps device utilizations to power draw and energy."""
+
+    def __init__(self, spec: MachinePowerSpec | None = None):
+        self.spec = spec or MachinePowerSpec()
+
+    def device_power(self, device: str, utilization: float) -> float:
+        """Linear idle→peak interpolation for one device."""
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise ValueError(f"utilization must be in [0,1], got {utilization}")
+        idle = getattr(self.spec, f"{device}_idle")
+        peak = getattr(self.spec, f"{device}_peak")
+        return idle + (peak - idle) * min(1.0, utilization)
+
+    def report(self, machine: Machine, since: float = 0.0) -> EnergyReport:
+        """Energy report for a machine from its utilization meters."""
+        window = machine.env.now - since
+        if window <= 0:
+            raise ValueError(f"empty accounting window (since={since})")
+        utilization = machine.utilization_report(since)
+        power = {
+            device: self.device_power(device, value)
+            for device, value in utilization.items()
+        }
+        return EnergyReport(
+            machine=machine.name,
+            window=window,
+            utilization=utilization,
+            power=power,
+            platform_power=self.spec.platform,
+        )
+
+    def energy_per_request(
+        self, machines: list[Machine], n_requests: int, since: float = 0.0
+    ) -> float:
+        """Mean joules per completed request across a set of machines.
+
+        The TCO-flavored efficiency metric the paper's server-
+        configuration use case optimizes.
+        """
+        if n_requests < 1:
+            raise ValueError(f"need >= 1 request, got {n_requests}")
+        total = sum(self.report(m, since).energy_joules for m in machines)
+        return total / n_requests

@@ -1,0 +1,23 @@
+"""In-depth modeling: request-flow queueing models.
+
+The paper's second family: trace a request through the system and
+model the flow as a queueing network (Liu et al., Kamra et al.), with
+Dapper-style span traces as the training input.
+"""
+
+from .admission import AdmissionController, AdmissionStats
+from .anomaly import AnomalyDetector, AnomalyVerdict, StageProfile
+from .model import InDepthModel
+from .sqs import SqsEvaluator, SqsResult, SqsWorkloadModel
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AnomalyDetector",
+    "AnomalyVerdict",
+    "InDepthModel",
+    "SqsEvaluator",
+    "SqsResult",
+    "SqsWorkloadModel",
+    "StageProfile",
+]

@@ -1,0 +1,129 @@
+"""Yaksha-style self-tuning admission control (Kamra et al.).
+
+The survey's §2.2: "a 3-tier workload is simulated using a queueing
+model for admission control of HTTP requests using a PI controller."
+:class:`AdmissionController` is that controller: it measures response
+time over control windows and adjusts the admission probability with a
+proportional-integral law to hold a latency target under overload,
+shedding the excess instead of letting queues grow without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+import numpy as np
+
+from ..simulation import Environment
+
+__all__ = ["AdmissionController", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Outcome counters of an admission-controlled run."""
+
+    admitted: int = 0
+    rejected: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def admission_rate(self) -> float:
+        return self.admitted / self.offered if self.offered else 1.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+
+class AdmissionController:
+    """PI controller on mean response time -> admission probability."""
+
+    def __init__(
+        self,
+        env: Environment,
+        target_latency: float,
+        rng: np.random.Generator,
+        kp: float = 0.4,
+        ki: float = 0.15,
+        control_interval: float = 1.0,
+        min_admission: float = 0.05,
+    ):
+        if target_latency <= 0:
+            raise ValueError(f"target must be > 0, got {target_latency}")
+        if control_interval <= 0:
+            raise ValueError("control interval must be > 0")
+        if not 0.0 < min_admission <= 1.0:
+            raise ValueError("min_admission must be in (0, 1]")
+        self.env = env
+        self.target_latency = target_latency
+        self.rng = rng
+        self.kp = kp
+        self.ki = ki
+        self.control_interval = control_interval
+        self.min_admission = min_admission
+        self.admission_probability = 1.0
+        self.stats = AdmissionStats()
+        self._window_latencies: list[float] = []
+        self._integral = 0.0
+        self._controller = env.process(self._control_loop())
+
+    def _control_loop(self):
+        from ..simulation import Interrupt
+
+        try:
+            while True:
+                yield self.env.timeout(self.control_interval)
+                if not self._window_latencies:
+                    continue
+                measured = float(np.mean(self._window_latencies))
+                self._window_latencies.clear()
+                # Normalized error: positive when we are too slow.
+                error = (measured - self.target_latency) / self.target_latency
+                self._integral += error * self.control_interval
+                # Anti-windup: clamp the integral term's contribution.
+                self._integral = float(
+                    np.clip(self._integral, -2.0 / self.ki, 2.0 / self.ki)
+                )
+                adjustment = self.kp * error + self.ki * self._integral
+                self.admission_probability = float(
+                    np.clip(1.0 - adjustment, self.min_admission, 1.0)
+                )
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Halt the control loop (e.g. at the end of a bounded run)."""
+        if self._controller.is_alive:
+            self._controller.interrupt("controller stopped")
+
+    def submit(self, service: Callable[[], Generator]):
+        """Process generator: admit-or-shed, then measure the request.
+
+        ``service`` builds the request-servicing generator (e.g. a
+        queueing-network submit or a cluster request).
+        """
+
+        def run(env):
+            if self.rng.random() > self.admission_probability:
+                self.stats.rejected += 1
+                return False
+            self.stats.admitted += 1
+            start = env.now
+            yield env.process(service())
+            latency = env.now - start
+            self.stats.latencies.append(latency)
+            self._window_latencies.append(latency)
+            return True
+
+        return run(self.env)

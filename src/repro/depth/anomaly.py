@@ -1,0 +1,127 @@
+"""Bottleneck and anomaly detection from request traces.
+
+The paper's Table-1 argument for in-depth data: "studies that involve
+identifying performance bottlenecks for a specific job, performing
+error detection or sophisticated job mapping are only possible with an
+in-depth modeling scheme."  This module implements both studies on
+span trees:
+
+* :class:`StageProfile` — per-stage duration statistics learned from
+  healthy traces;
+* :class:`AnomalyDetector` — flags requests whose per-stage durations
+  deviate, and names the stage (the bottleneck) responsible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tracing import TraceTree
+
+__all__ = ["AnomalyDetector", "AnomalyVerdict", "StageProfile"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Duration statistics of one stage across healthy requests."""
+
+    stage: str
+    count: int
+    mean: float
+    std: float
+    p99: float
+
+    def zscore(self, duration: float) -> float:
+        if self.std <= 0:
+            return 0.0 if duration == self.mean else float("inf")
+        return (duration - self.mean) / self.std
+
+
+@dataclass(frozen=True)
+class AnomalyVerdict:
+    """Judgement on one request."""
+
+    trace_id: int
+    is_anomalous: bool
+    worst_stage: Optional[str]
+    worst_zscore: float
+    stage_durations: dict[str, float]
+
+
+class AnomalyDetector:
+    """Per-stage duration model + z-score anomaly flagging."""
+
+    def __init__(self, threshold_sigmas: float = 4.0):
+        if threshold_sigmas <= 0:
+            raise ValueError(
+                f"threshold must be > 0 sigmas, got {threshold_sigmas}"
+            )
+        self.threshold_sigmas = threshold_sigmas
+        self.profiles: dict[str, StageProfile] = {}
+
+    @staticmethod
+    def _stage_durations(tree: TraceTree) -> dict[str, float]:
+        durations: dict[str, float] = {}
+        for span in tree.walk():
+            if span.parent_id is None:
+                continue
+            durations[span.name] = durations.get(span.name, 0.0) + span.duration
+        return durations
+
+    def fit(self, trees: Sequence[TraceTree]) -> "AnomalyDetector":
+        """Learn healthy per-stage statistics from trace trees."""
+        if not trees:
+            raise ValueError("no trace trees to fit on")
+        samples: dict[str, list[float]] = {}
+        for tree in trees:
+            for stage, duration in self._stage_durations(tree).items():
+                samples.setdefault(stage, []).append(duration)
+        self.profiles = {
+            stage: StageProfile(
+                stage=stage,
+                count=len(values),
+                mean=float(np.mean(values)),
+                std=float(np.std(values)),
+                p99=float(np.percentile(values, 99)),
+            )
+            for stage, values in samples.items()
+        }
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.profiles:
+            raise RuntimeError("detector is not fitted; call fit() first")
+
+    def judge(self, tree: TraceTree) -> AnomalyVerdict:
+        """Score one request; the worst-deviating stage is the suspect."""
+        self._check_fitted()
+        durations = self._stage_durations(tree)
+        worst_stage = None
+        worst_z = 0.0
+        for stage, duration in durations.items():
+            profile = self.profiles.get(stage)
+            if profile is None:
+                continue  # stage unseen in training: cannot judge it
+            z = profile.zscore(duration)
+            if z > worst_z:
+                worst_z = z
+                worst_stage = stage
+        return AnomalyVerdict(
+            trace_id=tree.trace_id,
+            is_anomalous=worst_z > self.threshold_sigmas,
+            worst_stage=worst_stage,
+            worst_zscore=worst_z,
+            stage_durations=durations,
+        )
+
+    def scan(self, trees: Sequence[TraceTree]) -> list[AnomalyVerdict]:
+        """Judge a batch; returns only the anomalous verdicts."""
+        return [v for v in map(self.judge, trees) if v.is_anomalous]
+
+    def bottleneck(self) -> StageProfile:
+        """The stage with the largest mean duration (the hot spot)."""
+        self._check_fitted()
+        return max(self.profiles.values(), key=lambda p: p.mean)

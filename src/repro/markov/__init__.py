@@ -1,0 +1,21 @@
+"""Markov modeling library.
+
+Discrete-time Markov chains (KOOZA's storage/CPU/memory models),
+quantile discretization of continuous features into states,
+hierarchical two-level chains (the paper's configurable-detail
+substitution), and the Gaussian HMM used by the ECHMM memory baseline.
+"""
+
+from .chain import MarkovChain
+from .discretize import QuantileDiscretizer
+from .hierarchical import HierarchicalMarkovChain
+from .higher_order import HigherOrderMarkovChain
+from .hmm import GaussianHMM
+
+__all__ = [
+    "GaussianHMM",
+    "HierarchicalMarkovChain",
+    "HigherOrderMarkovChain",
+    "MarkovChain",
+    "QuantileDiscretizer",
+]

@@ -1,0 +1,111 @@
+"""Hierarchical Markov chains.
+
+The paper notes that "in order to convey more detailed information on
+one or multiple aspects of the workload, the simple Markov Chain can be
+substituted by a corresponding hierarchical representation" (§4), and
+Sankar et al.'s storage model is explicitly hierarchical.  A
+:class:`HierarchicalMarkovChain` keeps a coarse top-level chain over
+state *groups* (e.g. LBN ranges) and one sub-chain per group over the
+fine states observed inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from .chain import MarkovChain
+
+__all__ = ["HierarchicalMarkovChain"]
+
+
+class HierarchicalMarkovChain:
+    """Two-level Markov model: group chain + per-group state chains."""
+
+    def __init__(
+        self,
+        group_chain: MarkovChain,
+        sub_chains: dict[Hashable, MarkovChain],
+    ):
+        missing = [g for g in group_chain.states if g not in sub_chains]
+        if missing:
+            raise ValueError(f"groups without sub-chains: {missing}")
+        self.group_chain = group_chain
+        self.sub_chains = dict(sub_chains)
+
+    @classmethod
+    def from_sequence(
+        cls,
+        sequence: Sequence[Hashable],
+        group_of: Callable[[Hashable], Hashable],
+        smoothing: float = 0.0,
+    ) -> "HierarchicalMarkovChain":
+        """Estimate both levels from one fine-state sequence.
+
+        The top level sees the group of each observation; each group's
+        sub-chain sees the fine states observed while in that group
+        (concatenated across visits — a standard simplification).
+        """
+        if len(sequence) < 2:
+            raise ValueError(f"need >= 2 observations, got {len(sequence)}")
+        groups = [group_of(s) for s in sequence]
+        group_chain = MarkovChain.from_sequence(groups, smoothing=smoothing)
+        per_group: dict[Hashable, list[Hashable]] = {}
+        for state, group in zip(sequence, groups):
+            per_group.setdefault(group, []).append(state)
+        sub_chains = {}
+        for group, states in per_group.items():
+            if len(states) >= 2:
+                sub_chains[group] = MarkovChain.from_sequence(
+                    states, smoothing=smoothing
+                )
+            else:
+                # Single observation: degenerate one-state chain.
+                sub_chains[group] = MarkovChain(
+                    [states[0]], np.array([[1.0]]), np.array([1.0])
+                )
+        return cls(group_chain, sub_chains)
+
+    @property
+    def n_parameters(self) -> int:
+        """Total free transition parameters across both levels."""
+        count = self.group_chain.n_states * (self.group_chain.n_states - 1)
+        for chain in self.sub_chains.values():
+            count += chain.n_states * (chain.n_states - 1)
+        return count
+
+    @property
+    def n_fine_states(self) -> int:
+        """Total fine states across all groups."""
+        return sum(c.n_states for c in self.sub_chains.values())
+
+    def sample_path(
+        self, n_steps: int, rng: np.random.Generator
+    ) -> list[Hashable]:
+        """Generate fine states by walking groups then states in-group."""
+        if n_steps < 1:
+            raise ValueError(f"need >= 1 step, got {n_steps}")
+        path: list[Hashable] = []
+        group_cursor: dict[Hashable, Hashable] = {}
+        groups = self.group_chain.sample_path(n_steps, rng)
+        for group in groups:
+            chain = self.sub_chains[group]
+            previous = group_cursor.get(group)
+            if previous is None:
+                state = chain.sample_path(1, rng)[0]
+            else:
+                state = chain.sample_path(2, rng, start=previous)[1]
+            group_cursor[group] = state
+            path.append(state)
+        return path
+
+    def describe(self) -> str:
+        """Readable rendering of both levels."""
+        lines = [
+            f"HierarchicalMarkovChain: {self.group_chain.n_states} groups, "
+            f"{self.n_fine_states} fine states"
+        ]
+        for group in self.group_chain.states:
+            lines.append(f"group {group}: {self.sub_chains[group].n_states} states")
+        return "\n".join(lines)

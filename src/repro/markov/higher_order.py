@@ -1,0 +1,95 @@
+"""Higher-order Markov chains via state augmentation.
+
+§4's trade-off — "additional detail increases the model's complexity,
+and that remains a trade-off dependent on the application's behaviour"
+— in the temporal dimension: a k-order chain conditions each state on
+the previous k, capturing patterns a first-order chain cannot (e.g.
+strict A-A-B cycles), at a state-space cost that grows with k.
+Implemented by lifting to tuples of the last k states and delegating
+to :class:`MarkovChain`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from .chain import MarkovChain
+
+__all__ = ["HigherOrderMarkovChain"]
+
+
+class HigherOrderMarkovChain:
+    """Order-k Markov chain over hashable states."""
+
+    def __init__(self, order: int, lifted_chain: MarkovChain):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self.lifted_chain = lifted_chain
+
+    @classmethod
+    def from_sequence(
+        cls,
+        sequence: Sequence[Hashable],
+        order: int = 2,
+        smoothing: float = 0.0,
+    ) -> "HigherOrderMarkovChain":
+        """Estimate from one observed sequence.
+
+        The lifted chain runs over sliding windows of ``order`` states;
+        sequences must therefore have at least ``order + 1``
+        observations.
+        """
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if len(sequence) < order + 1:
+            raise ValueError(
+                f"need >= {order + 1} observations for order {order}"
+            )
+        windows = [
+            tuple(sequence[i : i + order])
+            for i in range(len(sequence) - order + 1)
+        ]
+        return cls(order, MarkovChain.from_sequence(windows, smoothing=smoothing))
+
+    @property
+    def n_states(self) -> int:
+        """Lifted states actually observed (the complexity metric)."""
+        return self.lifted_chain.n_states
+
+    @property
+    def n_parameters(self) -> int:
+        n = self.lifted_chain.n_states
+        return n * (n - 1)
+
+    def sample_path(
+        self, n_steps: int, rng: np.random.Generator
+    ) -> list[Hashable]:
+        """Generate ``n_steps`` base states (not lifted windows)."""
+        if n_steps < 1:
+            raise ValueError(f"need >= 1 step, got {n_steps}")
+        lifted = self.lifted_chain.sample_path(
+            max(1, n_steps - self.order + 1), rng
+        )
+        path = list(lifted[0])
+        for window in lifted[1:]:
+            path.append(window[-1])
+        return path[:n_steps]
+
+    def log_likelihood(self, sequence: Sequence[Hashable]) -> float:
+        """Log-probability of a sequence under the lifted chain.
+
+        Windows unseen in training raise ``KeyError`` (use smoothing at
+        estimation time for open-world scoring).
+        """
+        if len(sequence) < self.order + 1:
+            raise ValueError(
+                f"need >= {self.order + 1} observations for order {self.order}"
+            )
+        windows = [
+            tuple(sequence[i : i + self.order])
+            for i in range(len(sequence) - self.order + 1)
+        ]
+        return self.lifted_chain.log_likelihood(windows)

@@ -1,0 +1,62 @@
+"""Queueing substrate: arrival processes, analytic queues, networks.
+
+Provides the arrival-process zoo used by open-loop workload clients,
+distribution fitting with KS-test selection (Feitelson's method),
+closed-form M/M/1, M/M/c and M/G/1 results, and a class-routed
+multi-station queueing-network simulator — the machinery of the
+in-depth modeling baseline.
+"""
+
+from .analytic import MG1, MM1, MMc, erlang_c
+from .arrivals import (
+    ArrivalProcess,
+    BModelArrivals,
+    DeterministicArrivals,
+    DistributionArrivals,
+    EmpiricalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from .autocorrelated import CopulaArrivals, fit_ar_coefficients
+from .fitting import CANDIDATE_FAMILIES, FittedDistribution, fit_distribution
+from .lqn import Activity, LqnResult, LqnSimulator, LqnTask
+from .mva import (
+    AnalyticStation,
+    JacksonSolution,
+    MvaSolution,
+    solve_jackson,
+    solve_mva,
+)
+from .network import NetworkResult, QueueingNetwork, Station, StationVisit
+
+__all__ = [
+    "Activity",
+    "AnalyticStation",
+    "ArrivalProcess",
+    "BModelArrivals",
+    "CANDIDATE_FAMILIES",
+    "CopulaArrivals",
+    "JacksonSolution",
+    "fit_ar_coefficients",
+    "LqnResult",
+    "LqnSimulator",
+    "LqnTask",
+    "MvaSolution",
+    "solve_jackson",
+    "solve_mva",
+    "DeterministicArrivals",
+    "DistributionArrivals",
+    "EmpiricalArrivals",
+    "FittedDistribution",
+    "MG1",
+    "MM1",
+    "MMc",
+    "MMPPArrivals",
+    "NetworkResult",
+    "PoissonArrivals",
+    "QueueingNetwork",
+    "Station",
+    "StationVisit",
+    "erlang_c",
+    "fit_distribution",
+]

@@ -1,0 +1,111 @@
+"""Closed-form queueing results: M/M/1, M/M/c, M/G/1.
+
+Used as analytic cross-checks for the simulated queueing network (the
+in-depth baseline) and as capacity-planning primitives in the examples.
+All formulas assume FCFS and stability (rho < 1) and raise otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MG1", "MM1", "MMc", "erlang_c"]
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state metrics of a queueing station."""
+
+    utilization: float
+    mean_queue_length: float  # Lq: waiting only
+    mean_number_in_system: float  # L
+    mean_wait: float  # Wq: queueing delay
+    mean_response: float  # W = Wq + service
+
+
+def _check_stability(rho: float) -> None:
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: offered load rho={rho:.3f} >= 1")
+    if rho < 0:
+        raise ValueError(f"negative load rho={rho:.3f}")
+
+
+def MM1(arrival_rate: float, service_rate: float) -> QueueMetrics:
+    """Single exponential server fed by Poisson arrivals."""
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    lq = rho * rho / (1.0 - rho)
+    wq = lq / arrival_rate if arrival_rate > 0 else 0.0
+    return QueueMetrics(
+        utilization=rho,
+        mean_queue_length=lq,
+        mean_number_in_system=rho / (1.0 - rho),
+        mean_wait=wq,
+        mean_response=wq + 1.0 / service_rate,
+    )
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an arrival must queue in an M/M/c system.
+
+    ``offered_load`` is a = lambda/mu (in Erlangs); requires a < c.
+    """
+    if servers < 1:
+        raise ValueError(f"need >= 1 server, got {servers}")
+    a = offered_load
+    _check_stability(a / servers)
+    # Sum in log space is unnecessary at datacenter scales; direct
+    # iterative evaluation is stable for c up to thousands.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= a / k
+        total += term
+    term *= a / servers
+    top = term * servers / (servers - a)
+    return top / (total + top)
+
+
+def MMc(arrival_rate: float, service_rate: float, servers: int) -> QueueMetrics:
+    """``c`` exponential servers fed by Poisson arrivals."""
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    a = arrival_rate / service_rate
+    rho = a / servers
+    _check_stability(rho)
+    pq = erlang_c(servers, a)
+    lq = pq * rho / (1.0 - rho)
+    wq = lq / arrival_rate if arrival_rate > 0 else 0.0
+    return QueueMetrics(
+        utilization=rho,
+        mean_queue_length=lq,
+        mean_number_in_system=lq + a,
+        mean_wait=wq,
+        mean_response=wq + 1.0 / service_rate,
+    )
+
+
+def MG1(
+    arrival_rate: float, mean_service: float, service_scv: float
+) -> QueueMetrics:
+    """Single general server: Pollaczek-Khinchine mean-value formula.
+
+    ``service_scv`` is the squared coefficient of variation of service
+    time (1.0 recovers M/M/1).  Useful for disk queues, whose service
+    times are decidedly non-exponential.
+    """
+    if arrival_rate < 0 or mean_service <= 0 or service_scv < 0:
+        raise ValueError("invalid parameters")
+    rho = arrival_rate * mean_service
+    _check_stability(rho)
+    wq = rho * mean_service * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+    lq = arrival_rate * wq
+    return QueueMetrics(
+        utilization=rho,
+        mean_queue_length=lq,
+        mean_number_in_system=lq + rho,
+        mean_wait=wq,
+        mean_response=wq + mean_service,
+    )

@@ -1,0 +1,139 @@
+"""Analytic queueing-network solvers: open Jackson networks and MVA.
+
+Liu et al.'s 3-tier model is solved analytically; these are the two
+standard solvers for that job:
+
+* :func:`solve_jackson` — open product-form networks: each station is
+  an independent M/M/c fed by its aggregate visit rate.
+* :func:`solve_mva` — exact Mean-Value Analysis for single-class
+  *closed* networks (N interactive users with think time), the model
+  behind closed-loop capacity planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .analytic import MMc
+
+__all__ = ["AnalyticStation", "JacksonSolution", "MvaSolution",
+           "solve_jackson", "solve_mva"]
+
+
+@dataclass(frozen=True)
+class AnalyticStation:
+    """One station of an analytic network.
+
+    ``visits`` is the mean number of visits a request makes to this
+    station; ``service_time`` the mean time per visit; ``servers`` the
+    parallel-server count.
+    """
+
+    name: str
+    visits: float
+    service_time: float
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.visits < 0 or self.service_time <= 0 or self.servers < 1:
+            raise ValueError(f"invalid station {self!r}")
+
+    @property
+    def demand(self) -> float:
+        """Total service demand per request (visits x service time)."""
+        return self.visits * self.service_time
+
+
+@dataclass(frozen=True)
+class JacksonSolution:
+    """Open-network solution: per-station metrics and totals."""
+
+    arrival_rate: float
+    station_utilization: dict[str, float]
+    station_response: dict[str, float]  # per visit
+    mean_latency: float  # per request, over all visits
+
+    @property
+    def bottleneck(self) -> str:
+        return max(self.station_utilization, key=self.station_utilization.get)
+
+
+def solve_jackson(
+    stations: Sequence[AnalyticStation], arrival_rate: float
+) -> JacksonSolution:
+    """Solve an open product-form network at ``arrival_rate`` req/s.
+
+    Raises ``ValueError`` if any station saturates.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be > 0, got {arrival_rate}")
+    utilization: dict[str, float] = {}
+    response: dict[str, float] = {}
+    latency = 0.0
+    for station in stations:
+        rate_in = arrival_rate * station.visits
+        if rate_in == 0:
+            utilization[station.name] = 0.0
+            response[station.name] = station.service_time
+            continue
+        metrics = MMc(rate_in, 1.0 / station.service_time, station.servers)
+        utilization[station.name] = metrics.utilization
+        response[station.name] = metrics.mean_response
+        latency += station.visits * metrics.mean_response
+    return JacksonSolution(
+        arrival_rate=arrival_rate,
+        station_utilization=utilization,
+        station_response=response,
+        mean_latency=latency,
+    )
+
+
+@dataclass(frozen=True)
+class MvaSolution:
+    """Closed-network solution at population N."""
+
+    n_customers: int
+    throughput: float
+    response_time: float  # total time in stations per cycle
+    queue_lengths: dict[str, float]
+
+    @property
+    def cycle_time(self) -> float:
+        """Response time + think time (derivable from throughput)."""
+        return self.n_customers / self.throughput if self.throughput else 0.0
+
+
+def solve_mva(
+    stations: Sequence[AnalyticStation],
+    n_customers: int,
+    think_time: float = 0.0,
+) -> MvaSolution:
+    """Exact single-class MVA for a closed network of queueing stations.
+
+    Stations are treated as single-queue FCFS (multi-server stations
+    are approximated by dividing service time by the server count —
+    the standard load-dependent shortcut).
+    """
+    if n_customers < 1:
+        raise ValueError(f"need >= 1 customer, got {n_customers}")
+    if think_time < 0:
+        raise ValueError(f"think time must be >= 0, got {think_time}")
+    demands = [s.demand / s.servers for s in stations]
+    queue = [0.0] * len(stations)
+    throughput = 0.0
+    for n in range(1, n_customers + 1):
+        residence = [
+            d * (1.0 + q) for d, q in zip(demands, queue)
+        ]
+        total_residence = sum(residence)
+        throughput = n / (think_time + total_residence)
+        queue = [throughput * r for r in residence]
+    return MvaSolution(
+        n_customers=n_customers,
+        throughput=throughput,
+        response_time=sum(d * (1.0 + 0.0) for d in demands)
+        if n_customers == 0
+        else n_customers / throughput - think_time,
+        queue_lengths={s.name: q for s, q in zip(stations, queue)},
+    )

@@ -1,0 +1,140 @@
+"""Multi-station queueing-network simulator.
+
+The machinery of in-depth models (Liu et al.'s 3-tier model is three
+multi-station queues in series): requests of a class visit a fixed
+route of stations, queue for a server at each, and hold it for a
+sampled service time.  Runs on the repository's DES engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..simulation import Environment, Resource
+from .arrivals import ArrivalProcess
+
+__all__ = ["QueueingNetwork", "Station", "StationVisit", "NetworkResult"]
+
+#: Samples a service time: (request_class, rng) -> seconds.
+ServiceSampler = Callable[[str, np.random.Generator], float]
+
+
+@dataclass
+class Station:
+    """One service station: ``servers`` parallel servers, one queue."""
+
+    name: str
+    servers: int
+    service_sampler: ServiceSampler
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError(f"station {self.name!r} needs >= 1 server")
+
+
+@dataclass(slots=True)
+class StationVisit:
+    """Measured outcome of one visit to one station."""
+
+    station: str
+    wait: float
+    service: float
+
+
+@dataclass(slots=True)
+class NetworkResult:
+    """Measured outcome of one request through the network."""
+
+    request_class: str
+    arrival_time: float
+    completion_time: float
+    visits: list[StationVisit]
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+class QueueingNetwork:
+    """An open queueing network with class-based deterministic routes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        stations: Sequence[Station],
+        routes: dict[str, Sequence[str]],
+        rng: np.random.Generator,
+    ):
+        self.env = env
+        self.rng = rng
+        self.stations = {s.name: s for s in stations}
+        if len(self.stations) != len(stations):
+            raise ValueError("duplicate station names")
+        for request_class, route in routes.items():
+            unknown = [name for name in route if name not in self.stations]
+            if unknown:
+                raise ValueError(
+                    f"route for {request_class!r} visits unknown stations {unknown}"
+                )
+        self.routes = {k: list(v) for k, v in routes.items()}
+        self._resources = {
+            name: Resource(env, capacity=s.servers)
+            for name, s in self.stations.items()
+        }
+        self.results: list[NetworkResult] = []
+
+    def submit(self, request_class: str):
+        """Process generator: route one request; returns NetworkResult."""
+        if request_class not in self.routes:
+            raise KeyError(f"no route for request class {request_class!r}")
+        result = NetworkResult(
+            request_class=request_class,
+            arrival_time=self.env.now,
+            completion_time=float("nan"),
+            visits=[],
+        )
+        for name in self.routes[request_class]:
+            station = self.stations[name]
+            resource = self._resources[name]
+            enqueue = self.env.now
+            with resource.request() as slot:
+                yield slot
+                wait = self.env.now - enqueue
+                service = float(station.service_sampler(request_class, self.rng))
+                if service < 0:
+                    raise ValueError(
+                        f"station {name!r} sampled negative service {service}"
+                    )
+                yield self.env.timeout(service)
+            result.visits.append(StationVisit(name, wait, service))
+        result.completion_time = self.env.now
+        self.results.append(result)
+        return result
+
+    def run_open(
+        self,
+        arrivals: ArrivalProcess,
+        class_sampler: Callable[[np.random.Generator], str],
+        n_requests: int,
+    ) -> list[NetworkResult]:
+        """Drive the network with ``n_requests`` open-loop arrivals.
+
+        Runs the embedded environment to completion and returns the
+        per-request results in completion order.
+        """
+
+        def source(env):
+            for _ in range(n_requests):
+                yield env.timeout(arrivals.next_interarrival())
+                env.process(self.submit(class_sampler(self.rng)))
+
+        self.env.process(source(self.env))
+        self.env.run()
+        return self.results
+
+    def station_utilization(self, name: str) -> float:
+        """Observed utilization of a station since time zero."""
+        return self._resources[name].utilization()

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+A compact generator-based simulation kernel (:class:`Environment`,
+:class:`Process`, :class:`Event`), shared resources (:class:`Resource`,
+:class:`Store`) and deterministic random streams
+(:class:`RandomStreams`).  All datacenter device and application models
+in :mod:`repro.datacenter` run on this engine.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Request, Resource, Store, UtilizationMeter
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "RandomStreams",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "UtilizationMeter",
+]

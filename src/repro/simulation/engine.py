@@ -1,0 +1,391 @@
+"""Discrete-event simulation engine.
+
+A compact, dependency-free, generator-based discrete-event kernel in the
+style of SimPy.  Simulation *processes* are Python generators that yield
+:class:`Event` objects; the :class:`Environment` advances virtual time and
+resumes processes when the events they wait on are triggered.
+
+The engine is deliberately small but complete enough to drive the
+datacenter substrate used throughout this repository: timeouts, process
+joining, condition events (``AllOf`` / ``AnyOf``), failure propagation and
+process interruption are all supported.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+#: Scheduling priorities (lower value pops first at equal timestamps).
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    Events start *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers them, which schedules their callbacks to run at the current
+    simulation time.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event that triggers when the generator
+    terminates — other processes can therefore ``yield`` a process to
+    join on it.  The generator's ``return`` value becomes the event value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self is self.env._active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+
+        def deliver(evt: Event) -> None:
+            # Detach at fire time (the process may have moved on since the
+            # interrupt was scheduled) and drop the interrupt entirely if
+            # the process terminated in the meantime.
+            if not self.is_alive:
+                evt._defused = True  # type: ignore[attr-defined]
+                return
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            self._resume(evt)
+
+        event.callbacks.append(deliver)
+        self.env._schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self.env._active_proc_target = self._target
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # Mark the failure as handled: the waiting process
+                    # receives the exception and may catch it.
+                    event._defused = True  # type: ignore[attr-defined]
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL)
+                break
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except BaseException as err:
+                    self._ok = False
+                    self._value = err
+                    self.env._schedule(self, NORMAL)
+                break
+            if next_event.callbacks is not None:
+                # Event pending: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+        self.env._active_process = None
+        self.env._active_proc_target = None
+
+
+class Condition(Event):
+    """Base for composite events over several sub-events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from mixed environments")
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+                self._remaining += 1
+        if self._ok is None and self._satisfied():
+            self._finish()
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        results = {
+            i: e._value for i, e in enumerate(self._events) if e.processed and e._ok
+        }
+        self.succeed(results)
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if event._ok is False:
+            event._defused = True  # type: ignore[attr-defined]
+            self.fail(event._value)
+        elif self._satisfied():
+            self._finish()
+
+
+class AllOf(Condition):
+    """Triggers once *all* sub-events have fired successfully."""
+
+    def _satisfied(self) -> bool:
+        return all(e.processed and e._ok for e in self._events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* sub-event has fired successfully."""
+
+    def _satisfied(self) -> bool:
+        return any(e.processed and e._ok for e in self._events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue.
+
+    Example::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(5.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 5.0
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self._active_proc_target: Optional[Event] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator function call."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling & execution ------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`SimulationError` when the queue is empty, and
+        re-raises unhandled process failures.
+        """
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        event._run_callbacks()
+        if event._ok is False and not getattr(event, "_defused", False):
+            # A failure nobody handled: propagate to the caller of run().
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain,
+        * a number — run until the clock reaches that time,
+        * an :class:`Event` — run until that event is processed and
+          return its value (raising if it failed).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before target event fired"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        limit = float("inf") if until is None else float(until)
+        if limit < self._now:
+            raise ValueError(f"until={limit} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= limit:
+            self.step()
+        if limit != float("inf"):
+            self._now = limit
+        return None

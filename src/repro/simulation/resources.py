@@ -1,0 +1,210 @@
+"""Shared resources for the simulation engine.
+
+Provides the capacity-limited :class:`Resource` (FIFO or priority
+ordered), the message-passing :class:`Store`, and utilization accounting
+used by the device models to report busy fractions — the raw material of
+the CPU-utilization traces the paper's processor model consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from .engine import Environment, Event, SimulationError
+
+__all__ = ["Request", "Resource", "Store", "UtilizationMeter"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Succeeds when the resource grants a slot.  Usable as a context
+    manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.submit_time = resource.env.now
+        self.grant_time: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        """Queueing delay experienced before the slot was granted."""
+        if self.grant_time is None:
+            raise SimulationError("request not yet granted")
+        return self.grant_time - self.submit_time
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class UtilizationMeter:
+    """Tracks the time-integral of busy slots for a capacity resource.
+
+    ``utilization(t0, t1)`` returns the mean fraction of capacity in use
+    over the window — exactly the per-interval CPU utilization metric the
+    in-breadth processor models are trained on.
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        self.env = env
+        self.capacity = capacity
+        self._busy = 0
+        self._created_at = env.now
+        self._last_change = env.now
+        self._integral = 0.0
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._integral += self._busy * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self) -> None:
+        self._account()
+        self._busy += 1
+
+    def release(self) -> None:
+        self._account()
+        self._busy -= 1
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    def busy_time(self) -> float:
+        """Total busy slot-time accumulated so far."""
+        self._account()
+        return self._integral
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean utilization over ``[since, now]`` as a capacity fraction.
+
+        The meter keeps one running integral (no history), so only
+        windows starting at the meter's creation time are supported;
+        for sliding windows, diff :meth:`busy_time` checkpoints.
+        """
+        if since != self._created_at:
+            raise ValueError(
+                "utilization() windows must start at the meter's creation "
+                f"time ({self._created_at}); diff busy_time() checkpoints "
+                "for sliding windows"
+            )
+        self._account()
+        span = self.env.now - since
+        if span <= 0:
+            return 0.0
+        return self._integral / (span * self.capacity)
+
+
+class Resource:
+    """A resource with finite ``capacity`` and a request queue.
+
+    Requests are granted FIFO by default; pass distinct ``priority``
+    values to :meth:`request` for priority ordering (lower first, ties
+    FIFO).  Utilization is tracked via an embedded
+    :class:`UtilizationMeter`.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.meter = UtilizationMeter(env, capacity)
+        self._users: set[Request] = set()
+        self._queue: list[tuple[float, int, Request]] = []
+        self._seq = 0
+        self.total_requests = 0
+        self.total_wait = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Queue a claim for one slot; the returned event fires on grant."""
+        req = Request(self, priority)
+        self.total_requests += 1
+        self._seq += 1
+        heapq.heappush(self._queue, (priority, self._seq, req))
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot.  Releasing an ungranted request cancels it."""
+        if request in self._users:
+            self._users.discard(request)
+            self.meter.release()
+            self._grant()
+        else:
+            # Cancel a queued request (e.g. context-manager exit after an
+            # interrupt): mark it so _grant skips it.
+            request._cancelled = True  # type: ignore[attr-defined]
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _, _, req = heapq.heappop(self._queue)
+            if getattr(req, "_cancelled", False) or req.triggered:
+                continue
+            req.grant_time = self.env.now
+            self.total_wait += req.wait_time
+            self._users.add(req)
+            self.meter.acquire()
+            req.succeed(req)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy since ``since``."""
+        return self.meter.utilization(since)
+
+
+class Store:
+    """An unbounded FIFO buffer of items for producer/consumer processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an
+    item is available.  This is the message-queue primitive used for RPC
+    channels between simulated servers.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking one waiting consumer if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,54 @@
+"""Statistics toolkit for workload characterization and modeling.
+
+Implements the analysis machinery the surveyed modeling papers rely
+on: distribution summaries and heavy-tail detection, self-similarity
+(Hurst) estimation, burstiness and stationarity metrics, ACF and
+utilization-pattern classification, PCA, k-means / Gaussian-mixture
+clustering with BIC selection, VU-list histograms, and sampling.
+"""
+
+from .burstiness import (
+    index_of_dispersion,
+    interarrival_cov,
+    peak_to_mean,
+    stationarity_pvalue,
+)
+from .clustering import GaussianMixture, KMeans, select_components_bic
+from .correlation import (
+    acf,
+    classify_utilization_pattern,
+    cross_correlation,
+    dominant_period,
+)
+from .distributions import SampleSummary, hill_estimator, ks_two_sample, summarize
+from .histogram import VUList
+from .pca import PCA
+from .regression import LinearRegression
+from .sampling import reservoir_sample, systematic_sample
+from .selfsim import arrivals_to_counts, hurst_aggregated_variance, hurst_rs
+
+__all__ = [
+    "GaussianMixture",
+    "KMeans",
+    "LinearRegression",
+    "PCA",
+    "SampleSummary",
+    "VUList",
+    "acf",
+    "arrivals_to_counts",
+    "classify_utilization_pattern",
+    "cross_correlation",
+    "dominant_period",
+    "hill_estimator",
+    "hurst_aggregated_variance",
+    "hurst_rs",
+    "index_of_dispersion",
+    "interarrival_cov",
+    "ks_two_sample",
+    "peak_to_mean",
+    "reservoir_sample",
+    "select_components_bic",
+    "stationarity_pvalue",
+    "summarize",
+    "systematic_sample",
+]

@@ -1,0 +1,224 @@
+"""Clustering: k-means and Gaussian-mixture EM with BIC selection.
+
+Li's two-phase grid-workload pipeline starts with *Model-Based
+Clustering* (Gaussian mixtures chosen by BIC) before distribution
+fitting; Abrahao et al. cluster CPU-utilization patterns after PCA.
+Both algorithms are implemented from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GaussianMixture", "KMeans", "select_components_bic"]
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        rng: np.random.Generator,
+        n_init: int = 4,
+        max_iter: int = 200,
+        tol: float = 1e-7,
+    ):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.rng = rng
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.centers_: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+
+    def _init_centers(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[self.rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                ((X[:, None, :] - np.array(centers)[None, :, :]) ** 2).sum(-1),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[self.rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(X[self.rng.choice(n, p=probs)])
+        return np.array(centers)
+
+    def _run_once(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        centers = self._init_centers(X)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(-1)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.size:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tol:
+                break
+        inertia = float(
+            ((X - centers[labels]) ** 2).sum()
+        )
+        return centers, labels, inertia
+
+    def fit(self, X: Sequence[Sequence[float]]) -> "KMeans":
+        """Fit on (n_samples, n_features); keeps the best of n_init runs."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"{X.shape[0]} samples < {self.n_clusters} clusters"
+            )
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._run_once(X)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Nearest-center labels for new data."""
+        if self.centers_ is None:
+            raise RuntimeError("KMeans is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        distances = ((X[:, None, :] - self.centers_[None, :, :]) ** 2).sum(-1)
+        return distances.argmin(axis=1)
+
+
+@dataclass
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture fitted by EM."""
+
+    n_components: int
+    rng: np.random.Generator
+    max_iter: int = 200
+    tol: float = 1e-6
+    reg_covar: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError(
+                f"n_components must be >= 1, got {self.n_components}"
+            )
+        self.weights_: Optional[np.ndarray] = None
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+        self.log_likelihood_: float = float("-inf")
+
+    def _log_prob(self, X: np.ndarray) -> np.ndarray:
+        """(n, k) log of weight_k * N(x | mu_k, var_k)."""
+        n, d = X.shape
+        out = np.empty((n, self.n_components))
+        for k in range(self.n_components):
+            var = self.variances_[k]
+            log_norm = -0.5 * (d * np.log(2 * np.pi) + np.log(var).sum())
+            quad = -0.5 * (((X - self.means_[k]) ** 2) / var).sum(axis=1)
+            out[:, k] = np.log(self.weights_[k] + 1e-300) + log_norm + quad
+        return out
+
+    def fit(self, X: Sequence[Sequence[float]]) -> "GaussianMixture":
+        """Run EM from a k-means++ style initialization."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n, d = X.shape
+        if n < self.n_components:
+            raise ValueError(f"{n} samples < {self.n_components} components")
+        km = KMeans(self.n_components, self.rng, n_init=1)
+        km.fit(X)
+        self.means_ = km.centers_.copy()
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+        global_var = X.var(axis=0) + self.reg_covar
+        self.variances_ = np.tile(global_var, (self.n_components, 1))
+
+        previous = float("-inf")
+        for _ in range(self.max_iter):
+            log_prob = self._log_prob(X)
+            log_total = np.logaddexp.reduce(log_prob, axis=1)
+            log_likelihood = float(log_total.sum())
+            resp = np.exp(log_prob - log_total[:, None])
+            nk = resp.sum(axis=0) + 1e-12
+            self.weights_ = nk / n
+            self.means_ = (resp.T @ X) / nk[:, None]
+            for k in range(self.n_components):
+                diff2 = (X - self.means_[k]) ** 2
+                self.variances_[k] = (
+                    (resp[:, k][:, None] * diff2).sum(axis=0) / nk[k]
+                    + self.reg_covar
+                )
+            if abs(log_likelihood - previous) < self.tol * max(1.0, abs(previous)):
+                previous = log_likelihood
+                break
+            previous = log_likelihood
+        self.log_likelihood_ = previous
+        return self
+
+    @property
+    def n_parameters(self) -> int:
+        """Free parameters: weights + means + diagonal variances."""
+        d = self.means_.shape[1]
+        return (self.n_components - 1) + 2 * self.n_components * d
+
+    def bic(self, X: Sequence[Sequence[float]]) -> float:
+        """Bayesian information criterion (lower is better)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        log_prob = self._log_prob(X)
+        log_likelihood = float(np.logaddexp.reduce(log_prob, axis=1).sum())
+        return -2.0 * log_likelihood + self.n_parameters * np.log(X.shape[0])
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        """Most-responsible component per sample."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return self._log_prob(X).argmax(axis=1)
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` synthetic samples from the fitted mixture."""
+        if self.means_ is None:
+            raise RuntimeError("mixture is not fitted")
+        components = self.rng.choice(
+            self.n_components, size=n, p=self.weights_ / self.weights_.sum()
+        )
+        out = np.empty((n, self.means_.shape[1]))
+        for k in range(self.n_components):
+            mask = components == k
+            count = int(mask.sum())
+            if count:
+                out[mask] = self.rng.normal(
+                    self.means_[k], np.sqrt(self.variances_[k]), (count, self.means_.shape[1])
+                )
+        return out
+
+
+def select_components_bic(
+    X: Sequence[Sequence[float]],
+    rng: np.random.Generator,
+    max_components: int = 8,
+) -> GaussianMixture:
+    """Model-based clustering: fit 1..max mixtures, return the BIC winner.
+
+    This is the first phase of Li's two-phase workload-modeling
+    pipeline.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    best: Optional[tuple[float, GaussianMixture]] = None
+    for k in range(1, max_components + 1):
+        if X.shape[0] < 2 * k:
+            break
+        gm = GaussianMixture(k, rng)
+        gm.fit(X)
+        score = gm.bic(X)
+        if best is None or score < best[0]:
+            best = (score, gm)
+    if best is None:
+        raise ValueError("not enough samples to fit any mixture")
+    return best[1]

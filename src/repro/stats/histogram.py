@@ -1,0 +1,120 @@
+"""Multi-dimensional histograms of workload parameter vectors (VU-lists).
+
+Luthi's histogram-based characterization models job parameters as
+collections of parameter vectors with associated frequencies rather
+than independent marginals — preserving cross-feature correlation.
+:class:`VUList` supports building from samples, querying frequencies,
+marginalizing, and sampling synthetic vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["VUList"]
+
+
+@dataclass(frozen=True)
+class _Cell:
+    indices: tuple[int, ...]
+    count: int
+
+
+class VUList:
+    """A sparse multi-dimensional histogram over feature vectors."""
+
+    def __init__(self, feature_names: Sequence[str], bins_per_feature: int = 16):
+        if not feature_names:
+            raise ValueError("need at least one feature")
+        if bins_per_feature < 1:
+            raise ValueError(f"bins_per_feature must be >= 1, got {bins_per_feature}")
+        self.feature_names = list(feature_names)
+        self.bins_per_feature = bins_per_feature
+        self._edges: Optional[list[np.ndarray]] = None
+        self._cells: dict[tuple[int, ...], int] = {}
+        self._total = 0
+
+    def fit(self, X: Sequence[Sequence[float]]) -> "VUList":
+        """Build the histogram from an (n_samples, n_features) matrix."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected {len(self.feature_names)} features, got {X.shape[1]}"
+            )
+        self._edges = []
+        for j in range(X.shape[1]):
+            low, high = X[:, j].min(), X[:, j].max()
+            if low == high:
+                high = low + 1.0
+            self._edges.append(np.linspace(low, high, self.bins_per_feature + 1))
+        self._cells.clear()
+        self._total = 0
+        for row in X:
+            key = self._key(row)
+            self._cells[key] = self._cells.get(key, 0) + 1
+            self._total += 1
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._edges is None:
+            raise RuntimeError("VUList is not fitted; call fit() first")
+
+    def _key(self, row: np.ndarray) -> tuple[int, ...]:
+        indices = []
+        for j, edges in enumerate(self._edges):
+            idx = int(np.searchsorted(edges, row[j], side="right") - 1)
+            indices.append(int(np.clip(idx, 0, self.bins_per_feature - 1)))
+        return tuple(indices)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of occupied histogram cells."""
+        return len(self._cells)
+
+    @property
+    def total(self) -> int:
+        """Number of vectors the histogram was built from."""
+        return self._total
+
+    def frequency(self, vector: Sequence[float]) -> float:
+        """Empirical probability of the cell containing ``vector``."""
+        self._check_fitted()
+        if self._total == 0:
+            return 0.0
+        key = self._key(np.asarray(vector, dtype=float))
+        return self._cells.get(key, 0) / self._total
+
+    def marginal(self, feature: str) -> tuple[np.ndarray, np.ndarray]:
+        """(bin_centers, probabilities) of one feature's marginal."""
+        self._check_fitted()
+        j = self.feature_names.index(feature)
+        probs = np.zeros(self.bins_per_feature)
+        for key, count in self._cells.items():
+            probs[key[j]] += count
+        if self._total:
+            probs /= self._total
+        edges = self._edges[j]
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, probs
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw synthetic vectors: pick a cell by frequency, then a
+        uniform point inside it (correlation-preserving, unlike
+        sampling each marginal independently)."""
+        self._check_fitted()
+        if self._total == 0:
+            raise RuntimeError("histogram is empty")
+        keys = list(self._cells.keys())
+        probs = np.array([self._cells[k] for k in keys], dtype=float)
+        probs /= probs.sum()
+        chosen = rng.choice(len(keys), size=n, p=probs)
+        out = np.empty((n, len(self.feature_names)))
+        for i, cell_index in enumerate(chosen):
+            key = keys[int(cell_index)]
+            for j, edges in enumerate(self._edges):
+                low, high = edges[key[j]], edges[key[j] + 1]
+                out[i, j] = rng.uniform(low, high)
+        return out

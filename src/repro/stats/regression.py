@@ -1,0 +1,66 @@
+"""Linear regression (ordinary least squares with ridge option).
+
+§4 lists "regression analysis" among the feature-space reduction
+techniques; Patwardhan's throughput model and the KCCA pipeline both
+want a plain linear predictor as a baseline.  Implemented on numpy's
+least-squares solver with an optional ridge penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression:
+    """OLS / ridge linear model: y = X @ coef + intercept."""
+
+    def __init__(self, ridge: float = 0.0):
+        if ridge < 0:
+            raise ValueError(f"ridge penalty must be >= 0, got {ridge}")
+        self.ridge = ridge
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(
+        self, X: Sequence[Sequence[float]], y: Sequence[float]
+    ) -> "LinearRegression":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.size:
+            raise ValueError(f"X/y mismatch: {X.shape[0]} vs {y.size}")
+        if X.shape[0] < 2:
+            raise ValueError("need >= 2 samples")
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        if self.ridge > 0:
+            n_features = X.shape[1]
+            gram = Xc.T @ Xc + self.ridge * np.eye(n_features)
+            self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        else:
+            self.coef_, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: Sequence[Sequence[float]]) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X @ self.coef_ + self.intercept_
+
+    def r_squared(
+        self, X: Sequence[Sequence[float]], y: Sequence[float]
+    ) -> float:
+        """Coefficient of determination on a dataset."""
+        y = np.asarray(y, dtype=float).ravel()
+        residual = y - self.predict(X)
+        total = y - y.mean()
+        denom = float(total @ total)
+        if denom == 0:
+            return 1.0 if float(residual @ residual) == 0 else 0.0
+        return 1.0 - float(residual @ residual) / denom

@@ -1,0 +1,47 @@
+"""Trace sampling strategies.
+
+The paper lists sampling among the dimensionality-reduction techniques
+for model training; Dapper and GWP both rely on it for overhead
+control.  Reservoir sampling (uniform over an unbounded stream) and
+systematic 1-in-k sampling are the two regimes used here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["reservoir_sample", "systematic_sample"]
+
+T = TypeVar("T")
+
+
+def reservoir_sample(
+    stream: Iterable[T], k: int, rng: np.random.Generator
+) -> list[T]:
+    """Uniform sample of ``k`` items from a stream of unknown length.
+
+    Algorithm R: every item of the stream ends up in the sample with
+    equal probability, using O(k) memory.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    reservoir: list[T] = []
+    for i, item in enumerate(stream):
+        if i < k:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < k:
+                reservoir[j] = item
+    return reservoir
+
+
+def systematic_sample(items: Sequence[T], every: int, offset: int = 0) -> list[T]:
+    """Every ``every``-th item starting at ``offset`` (Dapper's 1-in-N)."""
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    if not 0 <= offset < every:
+        raise ValueError(f"offset must be in [0, {every}), got {offset}")
+    return list(items[offset::every])

@@ -1,0 +1,102 @@
+"""Self-similarity estimation: Hurst exponent of arrival streams.
+
+Feitelson's survey lists self-similarity among the defining features of
+DC request arrivals.  Two classical estimators over arrival-count
+series are provided: rescaled range (R/S) and aggregated variance.
+``H ~ 0.5`` means short-range dependence (Poisson-like); ``H -> 1``
+means strong long-range dependence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["arrivals_to_counts", "hurst_aggregated_variance", "hurst_rs"]
+
+
+def arrivals_to_counts(
+    arrival_times: Sequence[float], bin_width: float
+) -> np.ndarray:
+    """Bucket arrival timestamps into equal-width count bins."""
+    times = np.sort(np.asarray(arrival_times, dtype=float))
+    if times.size == 0:
+        raise ValueError("no arrivals")
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be > 0, got {bin_width}")
+    span = times[-1] - times[0]
+    n_bins = max(1, int(np.ceil(span / bin_width)))
+    counts, _ = np.histogram(
+        times, bins=n_bins, range=(times[0], times[0] + n_bins * bin_width)
+    )
+    return counts.astype(float)
+
+
+def _rs_statistic(series: np.ndarray) -> float:
+    deviations = series - series.mean()
+    cumulative = np.cumsum(deviations)
+    r = cumulative.max() - cumulative.min()
+    s = series.std()
+    if s == 0:
+        return 0.0
+    return r / s
+
+
+def hurst_rs(counts: Sequence[float], min_block: int = 8) -> float:
+    """Rescaled-range (R/S) Hurst estimate over a count series."""
+    series = np.asarray(counts, dtype=float)
+    if series.size < 4 * min_block:
+        raise ValueError(f"need >= {4 * min_block} bins, got {series.size}")
+    sizes = []
+    block = min_block
+    while block <= series.size // 4:
+        sizes.append(block)
+        block *= 2
+    log_n, log_rs = [], []
+    for size in sizes:
+        n_blocks = series.size // size
+        values = [
+            _rs_statistic(series[i * size : (i + 1) * size])
+            for i in range(n_blocks)
+        ]
+        values = [v for v in values if v > 0]
+        if not values:
+            continue
+        log_n.append(np.log(size))
+        log_rs.append(np.log(np.mean(values)))
+    if len(log_n) < 2:
+        raise ValueError("series too degenerate for R/S estimation")
+    slope = np.polyfit(log_n, log_rs, 1)[0]
+    return float(np.clip(slope, 0.0, 1.0))
+
+
+def hurst_aggregated_variance(
+    counts: Sequence[float], min_block: int = 2
+) -> float:
+    """Aggregated-variance Hurst estimate over a count series.
+
+    Variance of m-aggregated series decays as m^(2H-2); the slope of
+    log-variance vs log-m gives H.
+    """
+    series = np.asarray(counts, dtype=float)
+    if series.size < 8 * min_block:
+        raise ValueError(f"need >= {8 * min_block} bins, got {series.size}")
+    sizes = []
+    block = min_block
+    while block <= series.size // 8:
+        sizes.append(block)
+        block *= 2
+    log_m, log_var = [], []
+    for size in sizes:
+        n_blocks = series.size // size
+        aggregated = series[: n_blocks * size].reshape(n_blocks, size).mean(axis=1)
+        variance = aggregated.var()
+        if variance <= 0:
+            continue
+        log_m.append(np.log(size))
+        log_var.append(np.log(variance))
+    if len(log_m) < 2:
+        raise ValueError("series too degenerate for aggregated-variance estimation")
+    slope = np.polyfit(log_m, log_var, 1)[0]
+    return float(np.clip(1.0 + slope / 2.0, 0.0, 1.0))

@@ -1,0 +1,50 @@
+"""Tracing substrate: subsystem records, Dapper-style spans, collection.
+
+Provides the typed per-subsystem trace records, the span/trace-tree
+machinery for in-depth request tracing, the :class:`Tracer` that the
+simulated datacenter is instrumented with, and JSONL persistence.
+"""
+
+from .adapters import (
+    read_cluster_jobs,
+    read_spc_trace,
+    write_cluster_jobs,
+    write_spc_trace,
+)
+from .profiler import ClusterProfiler, ProfileSample
+from .records import (
+    READ,
+    WRITE,
+    CpuRecord,
+    MemoryRecord,
+    NetworkRecord,
+    RequestRecord,
+    StorageRecord,
+)
+from .span import Annotation, Span, TraceTree, build_trace_trees
+from .store import load_traces, save_traces
+from .tracer import Tracer, TraceSet
+
+__all__ = [
+    "Annotation",
+    "ClusterProfiler",
+    "CpuRecord",
+    "ProfileSample",
+    "MemoryRecord",
+    "NetworkRecord",
+    "READ",
+    "RequestRecord",
+    "Span",
+    "StorageRecord",
+    "TraceSet",
+    "TraceTree",
+    "Tracer",
+    "WRITE",
+    "build_trace_trees",
+    "load_traces",
+    "read_cluster_jobs",
+    "read_spc_trace",
+    "save_traces",
+    "write_cluster_jobs",
+    "write_spc_trace",
+]

@@ -1,0 +1,150 @@
+"""GWP-style continuous cluster profiling (Ren et al.).
+
+Google-Wide Profiling "operates at a higher level, sampling across
+machines, in order to identify trends in job scheduling and execution":
+it collects whole-machine counters and per-process profiles on a
+sampling schedule.  :class:`ClusterProfiler` is the simulated
+equivalent — a background process that periodically snapshots every
+machine's device utilizations, plus per-request-class CPU attribution
+aggregated from the trace stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .tracer import Tracer
+
+if TYPE_CHECKING:
+    from ..datacenter.machine import Machine
+    from ..simulation import Environment
+
+__all__ = ["ClusterProfiler", "ProfileSample"]
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One whole-machine sample: time + device busy fractions."""
+
+    timestamp: float
+    machine: str
+    cpu: float
+    memory: float
+    disk: float
+    nic: float
+
+
+class ClusterProfiler:
+    """Periodic whole-machine sampling plus per-class CPU attribution."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        machines: Sequence["Machine"],
+        tracer: Tracer,
+        interval: float = 0.5,
+        horizon: float = 3600.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if not machines:
+            raise ValueError("need at least one machine to profile")
+        self.horizon = horizon
+        self.env = env
+        self.machines = list(machines)
+        self.tracer = tracer
+        self.interval = interval
+        self.samples: list[ProfileSample] = []
+        self._last_busy = {m.name: m.busy_report() for m in self.machines}
+        self._last_sample_time = env.now
+        self._process = env.process(self._run())
+
+    def _window_utilization(self, machine, window: float) -> dict[str, float]:
+        """Per-device busy fraction over the last window (busy-time deltas)."""
+        busy = machine.busy_report()
+        previous = self._last_busy[machine.name]
+        self._last_busy[machine.name] = busy
+        return {
+            device: (busy[device] - previous[device])
+            / (window * machine.device_capacity(device))
+            for device in busy
+        }
+
+    def _run(self):
+        from ..simulation import Interrupt
+
+        # Bounded by the horizon so a trace-collection run that drains
+        # its event queue terminates even if stop() is never called.
+        try:
+            while self.env.now + self.interval <= self.horizon:
+                yield self.env.timeout(self.interval)
+                window = self.env.now - self._last_sample_time
+                if window <= 0:
+                    continue
+                for machine in self.machines:
+                    report = self._window_utilization(machine, window)
+                    self.samples.append(
+                        ProfileSample(
+                            timestamp=self.env.now,
+                            machine=machine.name,
+                            cpu=report["cpu"],
+                            memory=report["memory"],
+                            disk=report["disk"],
+                            nic=report["nic"],
+                        )
+                    )
+                self._last_sample_time = self.env.now
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Halt the sampling process."""
+        if self._process.is_alive:
+            self._process.interrupt("profiler stopped")
+
+    # -- analysis ---------------------------------------------------------
+
+    def utilization_series(self, machine: str, device: str) -> np.ndarray:
+        """One machine's sampled busy fractions for one device."""
+        values = [
+            getattr(s, device) for s in self.samples if s.machine == machine
+        ]
+        if not values:
+            raise ValueError(f"no samples for machine {machine!r}")
+        return np.array(values)
+
+    def hottest_machines(self, device: str, top: int = 3) -> list[tuple[str, float]]:
+        """Machines ranked by mean device utilization (GWP's trend view)."""
+        by_machine: dict[str, list[float]] = {}
+        for sample in self.samples:
+            by_machine.setdefault(sample.machine, []).append(
+                getattr(sample, device)
+            )
+        ranked = sorted(
+            ((m, float(np.mean(v))) for m, v in by_machine.items()),
+            key=lambda kv: -kv[1],
+        )
+        return ranked[:top]
+
+    def cpu_share_by_class(self) -> dict[str, float]:
+        """Fraction of total CPU time attributed to each request class.
+
+        The per-process view: GWP links profiles back to the jobs that
+        consumed the cycles, here via request ids and classes.
+        """
+        class_of = {
+            r.request_id: r.request_class for r in self.tracer.traces.requests
+        }
+        totals: dict[str, float] = {}
+        for record in self.tracer.traces.cpu:
+            cls = class_of.get(record.request_id, "unattributed")
+            totals[cls] = totals.get(cls, 0.0) + record.busy_seconds
+        grand_total = sum(totals.values())
+        if grand_total == 0:
+            return {}
+        return {cls: value / grand_total for cls, value in totals.items()}

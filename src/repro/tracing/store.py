@@ -1,0 +1,68 @@
+"""Trace persistence: JSON-lines serialization of a :class:`TraceSet`.
+
+Traces collected from a simulation run can be written to a directory
+(one ``.jsonl`` file per stream) and reloaded later, so model training
+can be decoupled from trace collection — the workflow the paper
+assumes ("each one of the four models is trained using traces from the
+corresponding subsystem").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .records import (
+    CpuRecord,
+    MemoryRecord,
+    NetworkRecord,
+    RequestRecord,
+    StorageRecord,
+)
+from .span import Span
+from .tracer import TraceSet
+
+__all__ = ["load_traces", "save_traces"]
+
+_STREAMS = {
+    "network": NetworkRecord,
+    "cpu": CpuRecord,
+    "memory": MemoryRecord,
+    "storage": StorageRecord,
+    "requests": RequestRecord,
+    "spans": Span,
+}
+
+
+def save_traces(traces: TraceSet, directory: str | Path) -> Path:
+    """Write each stream of ``traces`` to ``directory/<stream>.jsonl``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for stream in _STREAMS:
+        records = getattr(traces, stream)
+        path = directory / f"{stream}.jsonl"
+        with path.open("w") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_dict()) + "\n")
+    return directory
+
+
+def load_traces(directory: str | Path) -> TraceSet:
+    """Read a :class:`TraceSet` previously written by :func:`save_traces`.
+
+    Missing stream files load as empty streams, so partial trace
+    directories (e.g. storage-only characterization runs) are usable.
+    """
+    directory = Path(directory)
+    traces = TraceSet()
+    for stream, record_cls in _STREAMS.items():
+        path = directory / f"{stream}.jsonl"
+        if not path.exists():
+            continue
+        records = getattr(traces, stream)
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(record_cls.from_dict(json.loads(line)))
+    return traces

@@ -1,0 +1,162 @@
+"""The trace collector instrumented into the simulated datacenter.
+
+Combines the two tracing regimes the paper describes:
+
+* **subsystem tracing** (always on): the four per-subsystem record
+  streams that in-breadth models train on — "training the four models
+  requires collecting traces for the corresponding part of the system,
+  a standard procedure for any DC configuration study";
+* **request tracing** (Dapper-style, sampled 1-in-N): span trees that
+  capture the complete round trip of a request, from which the KOOZA
+  time-dependency queue is extracted.
+
+A :class:`TraceSet` bundles everything a model trainer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .records import (
+    CpuRecord,
+    MemoryRecord,
+    NetworkRecord,
+    RequestRecord,
+    StorageRecord,
+)
+from .span import Span, TraceTree, build_trace_trees
+
+__all__ = ["TraceSet", "Tracer"]
+
+
+@dataclass
+class TraceSet:
+    """Everything collected from one simulation run.
+
+    The training input for every modeling technique in the repository.
+    """
+
+    network: list[NetworkRecord] = field(default_factory=list)
+    cpu: list[CpuRecord] = field(default_factory=list)
+    memory: list[MemoryRecord] = field(default_factory=list)
+    storage: list[StorageRecord] = field(default_factory=list)
+    requests: list[RequestRecord] = field(default_factory=list)
+    spans: list[Span] = field(default_factory=list)
+
+    def trace_trees(self) -> list[TraceTree]:
+        """Reassemble the sampled span trees."""
+        return build_trace_trees(self.spans)
+
+    def completed_requests(self) -> list[RequestRecord]:
+        """Requests that finished before the simulation ended."""
+        return [r for r in self.requests if r.completion_time > r.arrival_time]
+
+    def requests_by_class(self) -> dict[str, list[RequestRecord]]:
+        """Completed requests grouped by request class."""
+        grouped: dict[str, list[RequestRecord]] = {}
+        for record in self.completed_requests():
+            grouped.setdefault(record.request_class, []).append(record)
+        return grouped
+
+    def merge(self, other: "TraceSet") -> "TraceSet":
+        """A new TraceSet containing this set's and ``other``'s records."""
+        return TraceSet(
+            network=self.network + other.network,
+            cpu=self.cpu + other.cpu,
+            memory=self.memory + other.memory,
+            storage=self.storage + other.storage,
+            requests=self.requests + other.requests,
+            spans=self.spans + other.spans,
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Record counts per stream (for logging and sanity checks)."""
+        return {
+            "network": len(self.network),
+            "cpu": len(self.cpu),
+            "memory": len(self.memory),
+            "storage": len(self.storage),
+            "requests": len(self.requests),
+            "spans": len(self.spans),
+        }
+
+
+class Tracer:
+    """Collects subsystem records always, span trees for sampled requests.
+
+    ``sample_every`` mirrors Dapper's 1-in-N trace sampling (the paper
+    quotes 1/1000 with <1.5% overhead); ``sample_every=1`` traces every
+    request, which the small simulated clusters can afford.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.traces = TraceSet()
+        self._next_span_id = 0
+        self._sampled: set[int] = set()
+        self._request_counter = 0
+
+    # -- request lifecycle -------------------------------------------------
+
+    def new_request_id(self) -> int:
+        """Allocate a globally unique request id (the Dapper trace id)."""
+        self._request_counter += 1
+        request_id = self._request_counter
+        if (request_id - 1) % self.sample_every == 0:
+            self._sampled.add(request_id)
+        return request_id
+
+    def is_sampled(self, request_id: int) -> bool:
+        """Whether this request's spans are being recorded."""
+        return request_id in self._sampled
+
+    def record_request(self, record: RequestRecord) -> None:
+        """Register an end-to-end request record (always collected)."""
+        self.traces.requests.append(record)
+
+    # -- span API (sampled) --------------------------------------------------
+
+    def start_span(
+        self,
+        request_id: int,
+        name: str,
+        server: str,
+        start: float,
+        parent: Optional[Span] = None,
+    ) -> Optional[Span]:
+        """Open a span for a sampled request; returns None if unsampled."""
+        if request_id not in self._sampled:
+            return None
+        self._next_span_id += 1
+        span = Span(
+            trace_id=request_id,
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            server=server,
+            start=start,
+        )
+        self.traces.spans.append(span)
+        return span
+
+    def end_span(self, span: Optional[Span], end: float) -> None:
+        """Close a span (no-op for unsampled requests)."""
+        if span is not None:
+            span.end = end
+
+    # -- subsystem record API (always on) -----------------------------------
+
+    def record_network(self, record: NetworkRecord) -> None:
+        self.traces.network.append(record)
+
+    def record_cpu(self, record: CpuRecord) -> None:
+        self.traces.cpu.append(record)
+
+    def record_memory(self, record: MemoryRecord) -> None:
+        self.traces.memory.append(record)
+
+    def record_storage(self, record: StorageRecord) -> None:
+        self.traces.storage.append(record)

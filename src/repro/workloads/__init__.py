@@ -1,0 +1,33 @@
+"""Workload generation: request mixes and client drivers.
+
+Request-class mixes (including the paper's Table 2 workload), open- and
+closed-loop clients, and the SURGE user-equivalent model.
+"""
+
+from .clients import ClosedLoopClient, OpenLoopClient
+from .mixes import (
+    FileAccessPattern,
+    RequestClass,
+    WorkloadMix,
+    oltp_mix,
+    table2_mix,
+    web_serving_mix,
+)
+from .mediasyn import MediaSession, MediSynSpec, MediSynWorkload
+from .surge import SurgeSpec, SurgeWorkload
+
+__all__ = [
+    "ClosedLoopClient",
+    "FileAccessPattern",
+    "MediaSession",
+    "MediSynSpec",
+    "MediSynWorkload",
+    "OpenLoopClient",
+    "RequestClass",
+    "SurgeSpec",
+    "SurgeWorkload",
+    "WorkloadMix",
+    "oltp_mix",
+    "table2_mix",
+    "web_serving_mix",
+]

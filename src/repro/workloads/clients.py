@@ -1,0 +1,99 @@
+"""Workload clients: open-loop and closed-loop request drivers.
+
+Clients are application-agnostic: they call a ``submit`` function that
+returns a request-servicing generator (e.g.
+``lambda req: cluster.client_request(req)``) and a ``request_factory``
+that makes request objects (e.g. ``mix.make_request``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from ..queueing import ArrivalProcess
+from ..simulation import Environment, Process
+
+__all__ = ["ClosedLoopClient", "OpenLoopClient"]
+
+SubmitFn = Callable[[Any], Generator]
+RequestFactory = Callable[[], Any]
+
+
+class OpenLoopClient:
+    """Fires requests at arrival-process times regardless of completions.
+
+    Open-loop injection is what the paper's network queueing model
+    represents: the arrival rate is a property of the user population,
+    not of the system's speed.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        submit: SubmitFn,
+        request_factory: RequestFactory,
+        arrivals: ArrivalProcess,
+    ):
+        self.env = env
+        self.submit = submit
+        self.request_factory = request_factory
+        self.arrivals = arrivals
+        self.issued = 0
+
+    def start(self, n_requests: int) -> Process:
+        """Begin injecting ``n_requests``; returns the source process."""
+        if n_requests < 1:
+            raise ValueError(f"need >= 1 request, got {n_requests}")
+        return self.env.process(self._source(n_requests))
+
+    def _source(self, n_requests: int):
+        for _ in range(n_requests):
+            yield self.env.timeout(self.arrivals.next_interarrival())
+            self.env.process(self.submit(self.request_factory()))
+            self.issued += 1
+
+
+class ClosedLoopClient:
+    """``n_users`` users alternating requests and think times.
+
+    Throughput self-adjusts to system speed — the interactive-user
+    regime of the SURGE model family.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        submit: SubmitFn,
+        request_factory: RequestFactory,
+        n_users: int,
+        think_time_sampler: Callable[[np.random.Generator], float],
+        rng: np.random.Generator,
+    ):
+        if n_users < 1:
+            raise ValueError(f"need >= 1 user, got {n_users}")
+        self.env = env
+        self.submit = submit
+        self.request_factory = request_factory
+        self.n_users = n_users
+        self.think_time_sampler = think_time_sampler
+        self.rng = rng
+        self.completed = 0
+
+    def start(self, requests_per_user: int) -> list[Process]:
+        """Launch all users; returns their processes (joinable)."""
+        if requests_per_user < 1:
+            raise ValueError(f"need >= 1 request/user, got {requests_per_user}")
+        return [
+            self.env.process(self._user(requests_per_user))
+            for _ in range(self.n_users)
+        ]
+
+    def _user(self, requests_per_user: int):
+        for _ in range(requests_per_user):
+            yield self.env.process(self.submit(self.request_factory()))
+            self.completed += 1
+            think = float(self.think_time_sampler(self.rng))
+            if think > 0:
+                yield self.env.timeout(think)

@@ -1,0 +1,153 @@
+"""MediSyn-style streaming-media workload generation (Tang et al.).
+
+Models the long-term behaviour of a streaming service: Zipf object
+popularity with new-content introduction over time, a diurnal
+(non-stationary) arrival rate, lognormal session durations with
+partial viewing — the non-stationarity/burstiness/duration triple the
+paper cites Tang et al. for.  Sessions can be materialized as a
+timestamped list or converted into GFS read requests to drive the
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.gfs import GfsRequest
+from ..tracing import READ
+
+__all__ = ["MediaSession", "MediSynSpec", "MediSynWorkload"]
+
+
+@dataclass(frozen=True)
+class MediSynSpec:
+    """Parameters of the synthetic media workload."""
+
+    n_objects: int = 200
+    zipf_alpha: float = 0.8  # popularity skew
+    base_rate: float = 10.0  # sessions/s at the diurnal mean
+    diurnal_period: float = 240.0  # "day" length in simulated seconds
+    diurnal_amplitude: float = 0.6  # peak-to-mean swing, in [0, 1)
+    new_object_rate: float = 0.05  # objects introduced per second
+    mean_duration: float = 20.0  # seconds of content streamed
+    duration_sigma: float = 1.0  # lognormal shape
+    full_view_probability: float = 0.3  # watch to the end
+    bitrate: float = 500e3  # bytes/s of content
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("need >= 1 object")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.base_rate <= 0 or self.mean_duration <= 0:
+            raise ValueError("rates and durations must be positive")
+
+
+@dataclass(slots=True)
+class MediaSession:
+    """One client streaming session."""
+
+    start_time: float
+    object_id: int
+    duration: float
+    bytes_streamed: int
+
+
+class MediSynWorkload:
+    """Generates sessions; optionally converts them to GFS requests."""
+
+    def __init__(self, spec: MediSynSpec, rng: np.random.Generator):
+        self.spec = spec
+        self.rng = rng
+
+    def _rate_at(self, t: float) -> float:
+        """Diurnal arrival rate: sinusoid around the base rate."""
+        spec = self.spec
+        phase = 2.0 * np.pi * t / spec.diurnal_period
+        return spec.base_rate * (1.0 + spec.diurnal_amplitude * np.sin(phase))
+
+    def _catalog_size(self, t: float) -> int:
+        """Objects available at time t (new content keeps arriving)."""
+        spec = self.spec
+        return spec.n_objects + int(spec.new_object_rate * t)
+
+    def _pick_object(self, t: float) -> int:
+        """Zipf-popular object, preferring recently introduced content."""
+        spec = self.spec
+        catalog = self._catalog_size(t)
+        rank = int(self.rng.zipf(1.0 + spec.zipf_alpha))
+        rank = min(rank, catalog)
+        # Rank 1 = the newest object: popularity follows recency.
+        return catalog - rank
+
+    def _duration(self) -> float:
+        spec = self.spec
+        if self.rng.random() < spec.full_view_probability:
+            return spec.mean_duration
+        # Partial viewing: lognormal early-abort behaviour.
+        mu = np.log(spec.mean_duration) - spec.duration_sigma**2 / 2.0
+        return float(
+            min(
+                self.rng.lognormal(mu, spec.duration_sigma),
+                spec.mean_duration,
+            )
+        )
+
+    def sessions(self, n: int) -> list[MediaSession]:
+        """Generate ``n`` sessions via a thinned non-homogeneous Poisson
+        process over the diurnal rate."""
+        if n < 1:
+            raise ValueError(f"need n >= 1, got {n}")
+        spec = self.spec
+        peak = spec.base_rate * (1.0 + spec.diurnal_amplitude)
+        out: list[MediaSession] = []
+        t = 0.0
+        while len(out) < n:
+            t += float(self.rng.exponential(1.0 / peak))
+            if self.rng.random() > self._rate_at(t) / peak:
+                continue  # thinning reject
+            duration = self._duration()
+            out.append(
+                MediaSession(
+                    start_time=t,
+                    object_id=self._pick_object(t),
+                    duration=duration,
+                    bytes_streamed=max(1, int(duration * spec.bitrate)),
+                )
+            )
+        return out
+
+    def to_gfs_requests(
+        self, sessions: list[MediaSession], chunk_bytes: int = 1 << 20
+    ) -> list[tuple[float, GfsRequest]]:
+        """(start_time, request) pairs: each session reads its object.
+
+        Objects map to disjoint file regions, so popularity skew shows
+        up as spatial locality on disk.
+        """
+        out = []
+        for session in sessions:
+            size = min(session.bytes_streamed, 64 << 20)
+            lbn = session.object_id * (chunk_bytes // 4096) * 64
+            out.append(
+                (
+                    session.start_time,
+                    GfsRequest(
+                        request_class="media_stream",
+                        op=READ,
+                        size_bytes=size,
+                        lbn=lbn,
+                        memory_bytes=max(4096, size // 16),
+                    ),
+                )
+            )
+        return out
+
+    def popularity_histogram(
+        self, sessions: list[MediaSession]
+    ) -> np.ndarray:
+        """Access counts per object, sorted descending (Zipf check)."""
+        counts = np.bincount([s.object_id for s in sessions])
+        return np.sort(counts)[::-1]

@@ -1,0 +1,113 @@
+"""SURGE-style user-equivalent workload (Barford & Crovella).
+
+The paper's network-modeling survey (Joo et al.) contrasts an
+infinite-source constant-transfer model with a SURGE model, where
+traffic varies per user: each *user equivalent* alternates between
+fetching a page (several embedded objects with heavy-tailed sizes) and
+thinking.  This module provides that generator for the simulated
+cluster, so the infinite-source-vs-SURGE comparison can be rerun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.gfs import GfsRequest
+from ..simulation import Environment, Process
+from ..tracing import READ
+
+__all__ = ["SurgeSpec", "SurgeWorkload"]
+
+
+@dataclass(frozen=True)
+class SurgeSpec:
+    """Parameters of the SURGE user-equivalent model.
+
+    Object sizes are Pareto (heavy-tailed, the hallmark finding of the
+    SURGE work); objects-per-page is geometric; think times are Pareto
+    as in the original inactive-off-time fits.
+    """
+
+    user_equivalents: int = 16
+    pages_per_session: int = 20
+    mean_objects_per_page: float = 4.0
+    object_size_alpha: float = 1.3  # Pareto shape (infinite variance < 2)
+    object_size_min: int = 4096  # bytes
+    object_size_cap: int = 8 << 20  # truncate the tail at 8 MiB
+    think_time_alpha: float = 1.5
+    think_time_min: float = 0.05  # seconds
+    think_time_cap: float = 30.0
+    memory_fraction: float = 0.25  # buffer footprint vs object size
+
+
+class SurgeWorkload:
+    """Drives a cluster with SURGE user equivalents."""
+
+    def __init__(
+        self,
+        env: Environment,
+        submit,
+        spec: SurgeSpec,
+        rng: np.random.Generator,
+    ):
+        if spec.user_equivalents < 1:
+            raise ValueError("need >= 1 user equivalent")
+        self.env = env
+        self.submit = submit
+        self.spec = spec
+        self.rng = rng
+        self.objects_fetched = 0
+
+    def _pareto(self, alpha: float, minimum: float, cap: float) -> float:
+        value = minimum * (1.0 + self.rng.pareto(alpha))
+        return float(min(value, cap))
+
+    def _object_size(self) -> int:
+        return int(
+            self._pareto(
+                self.spec.object_size_alpha,
+                self.spec.object_size_min,
+                self.spec.object_size_cap,
+            )
+        )
+
+    def _think_time(self) -> float:
+        return self._pareto(
+            self.spec.think_time_alpha,
+            self.spec.think_time_min,
+            self.spec.think_time_cap,
+        )
+
+    def _objects_per_page(self) -> int:
+        p = 1.0 / self.spec.mean_objects_per_page
+        return int(self.rng.geometric(p))
+
+    def start(self) -> list[Process]:
+        """Launch every user equivalent; returns their processes."""
+        return [
+            self.env.process(self._user(i))
+            for i in range(self.spec.user_equivalents)
+        ]
+
+    def _user(self, user_index: int):
+        # Each user reads its own file region, giving per-user locality.
+        base_lbn = user_index * (1 << 24)
+        position = base_lbn
+        for _ in range(self.spec.pages_per_session):
+            for _ in range(self._objects_per_page()):
+                size = self._object_size()
+                request = GfsRequest(
+                    request_class="surge_object",
+                    op=READ,
+                    size_bytes=size,
+                    lbn=position,
+                    memory_bytes=max(
+                        4096, int(size * self.spec.memory_fraction)
+                    ),
+                )
+                position += max(1, -(-size // 4096))
+                yield self.env.process(self.submit(request))
+                self.objects_fetched += 1
+            yield self.env.timeout(self._think_time())

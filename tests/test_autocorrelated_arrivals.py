@@ -1,0 +1,147 @@
+"""Tests for the Gaussian-copula AR(p) arrival model."""
+
+import numpy as np
+import pytest
+
+from repro.core import KoozaConfig, KoozaTrainer, model_from_dict, model_to_dict
+from repro.datacenter import run_gfs_workload
+from repro.queueing import (
+    BModelArrivals,
+    CopulaArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    fit_ar_coefficients,
+)
+from repro.stats import acf, interarrival_cov
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_ar_coefficients_recover_ar1(rng):
+    # Simulate AR(1) with phi = 0.7 and recover it.
+    phi = 0.7
+    z = np.zeros(5000)
+    for t in range(1, z.size):
+        z[t] = phi * z[t - 1] + rng.normal(0, 1)
+    coefficients = fit_ar_coefficients(z, order=1)
+    assert coefficients[0] == pytest.approx(phi, abs=0.05)
+
+
+def test_ar_coefficients_white_noise_near_zero(rng):
+    coefficients = fit_ar_coefficients(rng.normal(0, 1, 4000), order=4)
+    assert np.all(np.abs(coefficients) < 0.1)
+
+
+def test_ar_coefficients_always_stationary(rng):
+    # A near-unit-root series must still yield a stationary fit.
+    z = np.cumsum(rng.normal(0, 1, 2000))
+    coefficients = fit_ar_coefficients(z, order=3)
+    companion = np.zeros((3, 3))
+    companion[0] = coefficients
+    companion[1:, :-1] = np.eye(2)
+    assert np.max(np.abs(np.linalg.eigvals(companion))) < 1.0
+
+
+def test_ar_coefficients_validation(rng):
+    with pytest.raises(ValueError):
+        fit_ar_coefficients([1.0, 2.0], order=1)
+    with pytest.raises(ValueError):
+        fit_ar_coefficients(rng.normal(0, 1, 100), order=0)
+
+
+def test_copula_preserves_marginal_quantiles(rng):
+    gaps = rng.exponential(0.01, 4000)
+    copula = CopulaArrivals(gaps, rng, order=4)
+    synthetic = copula.sample(4000)
+    for q in (25, 50, 75, 95):
+        assert np.percentile(synthetic, q) == pytest.approx(
+            np.percentile(gaps, q), rel=0.15
+        )
+
+
+def test_copula_matches_autocorrelation(rng):
+    truth = BModelArrivals(100.0, rng, bias=0.8).sample(15_000)
+    copula = CopulaArrivals(truth, np.random.default_rng(1), order=8)
+    synthetic = copula.sample(15_000)
+    true_acf1 = acf(truth, 1)[1]
+    syn_acf1 = acf(synthetic, 1)[1]
+    assert syn_acf1 == pytest.approx(true_acf1, abs=0.1)
+    assert syn_acf1 > 0.1  # genuinely correlated
+
+
+def test_copula_on_poisson_is_uncorrelated(rng):
+    gaps = PoissonArrivals(50.0, rng).sample(5000)
+    copula = CopulaArrivals(gaps, np.random.default_rng(2), order=4)
+    synthetic = copula.sample(5000)
+    assert abs(acf(synthetic, 1)[1]) < 0.08
+    assert interarrival_cov(synthetic) == pytest.approx(1.0, abs=0.15)
+
+
+def test_copula_mean_rate(rng):
+    gaps = rng.exponential(0.02, 2000)
+    copula = CopulaArrivals(gaps, rng)
+    assert copula.mean_rate == pytest.approx(1.0 / gaps.mean(), rel=0.01)
+
+
+def test_copula_validation(rng):
+    with pytest.raises(ValueError):
+        CopulaArrivals([0.1] * 5, rng)
+
+
+# -- KOOZA integration ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bursty_run():
+    rng = np.random.default_rng(51)
+    return run_gfs_workload(
+        n_requests=1200,
+        seed=37,
+        arrivals=MMPPArrivals([8.0, 80.0], [1.5, 0.5], rng),
+    )
+
+
+def test_kooza_arrival_model_config_validation():
+    with pytest.raises(ValueError):
+        KoozaConfig(arrival_model="fractal")
+
+
+def test_kooza_autocorrelated_arrivals_keep_burstiness(bursty_run):
+    arrivals = np.sort(
+        [r.arrival_time for r in bursty_run.traces.completed_requests()]
+    )
+    true_gaps = np.diff(arrivals)
+    true_cov = interarrival_cov(true_gaps[true_gaps > 0])
+
+    model = KoozaTrainer(
+        KoozaConfig(arrival_model="autocorrelated")
+    ).fit(bursty_run.traces)
+    synthetic = model.synthesize(1200, np.random.default_rng(3))
+    gaps = np.diff([r.arrival_time for r in synthetic])
+    cov = interarrival_cov(gaps[gaps > 0])
+    assert cov > 1.2  # bursty, like the MMPP input
+    assert cov == pytest.approx(true_cov, rel=0.4)
+
+
+def test_kooza_empirical_arrival_model(bursty_run):
+    model = KoozaTrainer(
+        KoozaConfig(arrival_model="empirical")
+    ).fit(bursty_run.traces)
+    synthetic = model.synthesize(200, np.random.default_rng(4))
+    gaps = np.diff([r.arrival_time for r in synthetic])
+    observed = set(np.round(model.arrival_gaps, 12))
+    assert all(round(g, 12) in observed for g in gaps if g > 0)
+
+
+def test_arrival_model_survives_serialization(bursty_run):
+    model = KoozaTrainer(
+        KoozaConfig(arrival_model="autocorrelated")
+    ).fit(bursty_run.traces)
+    restored = model_from_dict(model_to_dict(model))
+    assert restored.config.arrival_model == "autocorrelated"
+    a = restored.synthesize(50, np.random.default_rng(5))
+    b = model.synthesize(50, np.random.default_rng(5))
+    assert [r.arrival_time for r in a] == [r.arrival_time for r in b]

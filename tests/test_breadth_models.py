@@ -1,0 +1,249 @@
+"""Tests for the in-breadth per-subsystem models."""
+
+import numpy as np
+import pytest
+
+from repro.breadth import (
+    CpuUtilizationModel,
+    EchmmMemoryModel,
+    MemoryAccessModel,
+    NetworkCharacterization,
+    NetworkTrafficModel,
+    StorageModel,
+    StorageProfile,
+    seek_distances,
+    utilization_series,
+)
+from repro.tracing import (
+    READ,
+    WRITE,
+    CpuRecord,
+    MemoryRecord,
+    NetworkRecord,
+    StorageRecord,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _storage_trace(rng, n=400, sequential=True):
+    records = []
+    lbn = 0
+    t = 0.0
+    for i in range(n):
+        if not sequential and rng.random() < 0.5:
+            lbn = int(rng.integers(0, 1 << 22))
+        size = int(rng.choice([4096, 65536]))
+        t += float(rng.exponential(0.01))
+        op = READ if rng.random() < 0.7 else WRITE
+        records.append(StorageRecord(i, "s1", t, lbn, size, op))
+        lbn += max(1, size // 4096)
+    return records
+
+
+# -- storage -----------------------------------------------------------------
+
+
+def test_seek_distances_sequential_zero(rng):
+    records = [
+        StorageRecord(i, "s", i * 0.01, i * 16, 65536, READ) for i in range(10)
+    ]
+    assert np.all(seek_distances(records) == 0)
+
+
+def test_storage_profile_read_fraction(rng):
+    records = _storage_trace(rng)
+    profile = StorageProfile.characterize(records)
+    assert 0.6 < profile.read_fraction < 0.8
+    assert profile.n_ios == 400
+    assert profile.mean_interarrival > 0
+
+
+def test_storage_profile_sequentiality_discriminates(rng):
+    seq = StorageProfile.characterize(_storage_trace(rng, sequential=True))
+    rand = StorageProfile.characterize(
+        _storage_trace(np.random.default_rng(1), sequential=False)
+    )
+    assert seq.sequential_fraction > rand.sequential_fraction
+    assert rand.mean_abs_seek > seq.mean_abs_seek
+
+
+def test_storage_model_generates_similar_profile(rng):
+    records = _storage_trace(rng, n=800, sequential=False)
+    model = StorageModel().fit(records)
+    synthetic = model.generate(800, rng)
+    original = StorageProfile.characterize(records)
+    generated = StorageProfile.characterize(synthetic)
+    assert generated.read_fraction == pytest.approx(
+        original.read_fraction, abs=0.1
+    )
+    assert generated.mean_size == pytest.approx(original.mean_size, rel=0.25)
+
+
+def test_storage_model_validation(rng):
+    with pytest.raises(ValueError):
+        StorageModel().fit([])
+    with pytest.raises(RuntimeError):
+        StorageModel().generate(5, rng)
+
+
+# -- cpu ---------------------------------------------------------------------
+
+
+def test_utilization_series_windows():
+    records = [CpuRecord(i, "s", t, 0.5, "x") for i, t in enumerate([0.1, 1.1, 1.2])]
+    series = utilization_series(records, window=1.0, cores=1, end_time=3.0)
+    assert series.shape == (3,)
+    assert series[0] == pytest.approx(0.5)
+    assert series[1] == pytest.approx(1.0)  # clipped at capacity
+
+
+def test_utilization_series_validation():
+    with pytest.raises(ValueError):
+        utilization_series([], 1.0)
+
+
+def test_cpu_model_stationary_mean_close_to_data(rng):
+    series = np.clip(0.4 + 0.1 * rng.standard_normal(500), 0, 1)
+    model = CpuUtilizationModel().fit(series)
+    assert model.stationary_mean() == pytest.approx(series.mean(), abs=0.05)
+
+
+def test_cpu_model_generates_in_range(rng):
+    series = np.clip(rng.beta(2, 5, 400), 0, 1)
+    model = CpuUtilizationModel().fit(series)
+    synthetic = model.generate(300, rng)
+    assert np.all((synthetic >= 0) & (synthetic <= 1))
+    assert synthetic.mean() == pytest.approx(series.mean(), abs=0.07)
+
+
+def test_cpu_model_pattern_label(rng):
+    periodic = 0.4 + 0.2 * np.sin(np.arange(256) * 2 * np.pi / 16)
+    model = CpuUtilizationModel().fit(np.clip(periodic, 0, 1))
+    assert model.pattern == "periodic"
+
+
+def test_cpu_model_predict_next_tracks_persistence(rng):
+    # A sticky two-level series: prediction should stay near the level.
+    series = np.concatenate([np.full(200, 0.2), np.full(200, 0.8)])
+    series += rng.normal(0, 0.01, 400)
+    model = CpuUtilizationModel(n_levels=4).fit(np.clip(series, 0, 1))
+    assert model.predict_next([0.8]) > 0.5
+    assert model.predict_next([0.2]) < 0.5
+
+
+def test_cpu_model_validation(rng):
+    with pytest.raises(ValueError):
+        CpuUtilizationModel().fit([0.5] * 4)
+    with pytest.raises(ValueError):
+        CpuUtilizationModel().fit([2.0] * 20)
+    with pytest.raises(RuntimeError):
+        CpuUtilizationModel().generate(5, rng)
+
+
+# -- memory -----------------------------------------------------------------
+
+
+def _memory_trace(rng, n=300):
+    records = []
+    for i in range(n):
+        bank = int(i % 4)
+        size = int(rng.choice([4096, 16384]))
+        op = READ if bank < 3 else WRITE
+        records.append(MemoryRecord(i, "s", i * 0.001, bank, size, op))
+    return records
+
+
+def test_memory_model_bank_distribution(rng):
+    model = MemoryAccessModel().fit(_memory_trace(rng))
+    banks = model.bank_distribution()
+    assert set(banks) == {0, 1, 2, 3}
+    assert sum(banks.values()) == pytest.approx(1.0)
+    # Round-robin trace: equal mass per bank.
+    for p in banks.values():
+        assert p == pytest.approx(0.25, abs=0.05)
+
+
+def test_memory_model_generation_shape(rng):
+    model = MemoryAccessModel().fit(_memory_trace(rng))
+    tuples = model.generate(100, rng)
+    assert len(tuples) == 100
+    for op, size, bank in tuples:
+        assert op in (READ, WRITE)
+        assert size > 0
+        assert 0 <= bank < 4
+
+
+def test_echmm_separates_address_regions(rng):
+    addresses = np.concatenate(
+        [rng.integers(0, 1000, 300), rng.integers(1_000_000, 1_001_000, 300)]
+    )
+    model = EchmmMemoryModel(n_states=2, max_iter=20).fit(addresses, rng)
+    synthetic = model.generate(1000)
+    assert synthetic.min() < 10_000
+    assert synthetic.max() > 500_000
+
+
+def test_echmm_score_prefers_similar_traces(rng):
+    addresses = rng.integers(0, 1000, 400)
+    model = EchmmMemoryModel(n_states=2, max_iter=15).fit(addresses, rng)
+    near = model.score(rng.integers(0, 1000, 100))
+    far = model.score(rng.integers(10_000_000, 10_001_000, 100))
+    assert near > far
+
+
+def test_echmm_validation(rng):
+    with pytest.raises(ValueError):
+        EchmmMemoryModel(n_states=4).fit([1, 2, 3], rng)
+    with pytest.raises(RuntimeError):
+        EchmmMemoryModel().generate(5)
+
+
+# -- network ------------------------------------------------------------------
+
+
+def _network_trace(rng, n=500, rate=100.0):
+    t = 0.0
+    records = []
+    for i in range(n):
+        t += float(rng.exponential(1.0 / rate))
+        size = int(rng.choice([4096, 65536], p=[0.8, 0.2]))
+        records.append(NetworkRecord(i, "s", t, size, "rx"))
+        records.append(NetworkRecord(i, "s", t + 0.001, 256, "tx"))
+    return records
+
+
+def test_network_model_characterization(rng):
+    model = NetworkTrafficModel().fit(_network_trace(rng))
+    ch = model.characterization
+    assert isinstance(ch, NetworkCharacterization)
+    assert ch.n_messages == 500  # rx only
+    assert ch.mean_rate == pytest.approx(100.0, rel=0.15)
+    assert ch.poissonness == pytest.approx(1.0, abs=0.5)
+
+
+def test_network_model_generation_rate(rng):
+    model = NetworkTrafficModel().fit(_network_trace(rng, n=2000))
+    pairs = model.generate(2000, rng)
+    times = np.array([t for t, _ in pairs])
+    rate = len(pairs) / times[-1]
+    assert rate == pytest.approx(100.0, rel=0.2)
+    sizes = {s for _, s in pairs}
+    assert sizes <= {4096, 65536}
+
+
+def test_network_model_arrival_process(rng):
+    model = NetworkTrafficModel().fit(_network_trace(rng, n=1000))
+    process = model.arrival_process(rng)
+    gaps = process.sample(2000)
+    assert gaps.mean() == pytest.approx(0.01, rel=0.2)
+
+
+def test_network_model_validation(rng):
+    with pytest.raises(ValueError):
+        NetworkTrafficModel().fit([])
+    with pytest.raises(RuntimeError):
+        NetworkTrafficModel().generate(5, rng)

@@ -1,0 +1,129 @@
+"""Tests for the validation framework and capability matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAPABILITIES,
+    capability_table,
+    compare_workloads,
+    KoozaTrainer,
+    ReplayHarness,
+)
+from repro.core.validation import ProfileComparison, _pct_deviation
+from repro.datacenter import run_gfs_workload
+from repro.tracing import TraceSet
+
+
+def test_pct_deviation_basic():
+    assert _pct_deviation(100.0, 106.0) == pytest.approx(6.0)
+    assert _pct_deviation(100.0, 100.0) == 0.0
+    assert _pct_deviation(0.0, 0.0) == 0.0
+    assert _pct_deviation(0.0, 1.0) == float("inf")
+
+
+def _comparison(**overrides):
+    defaults = dict(
+        profile=("read", 16),
+        n_original=100,
+        n_synthetic=100,
+        network_bytes=(65536.0, 65536.0),
+        cpu_utilization=(0.021, 0.023),
+        memory_bytes=(16384.0, 16384.0),
+        storage_bytes=(65536.0, 65536.0),
+        latency=(0.0114, 0.01185),
+        latency_p95=(0.020, 0.021),
+        memory_op_match=1.0,
+        storage_op_match=1.0,
+    )
+    defaults.update(overrides)
+    return ProfileComparison(**defaults)
+
+
+def test_profile_comparison_matches_paper_conventions():
+    # The paper's Table 2 row 1: util 2.1% -> 2.3% = "0.2%" deviation;
+    # latency 11.4ms -> 11.85ms = 3.9%.
+    p = _comparison()
+    assert p.cpu_utilization_deviation_pp == pytest.approx(0.2)
+    assert p.latency_deviation_pct == pytest.approx(3.947, abs=0.01)
+    assert p.max_feature_deviation_pct == 0.0
+
+
+def test_profile_comparison_worst_feature():
+    p = _comparison(memory_bytes=(16384.0, 17000.0))
+    assert p.max_feature_deviation_pct == pytest.approx(3.76, abs=0.01)
+
+
+def test_profile_comparison_tail_deviation():
+    p = _comparison(latency_p95=(0.020, 0.025))
+    assert p.latency_p95_deviation_pct == pytest.approx(25.0)
+
+
+def test_compare_workloads_same_traces_near_zero():
+    run = run_gfs_workload(n_requests=300, seed=41)
+    report = compare_workloads(run.traces, run.traces)
+    assert report.worst_feature_deviation_pct == 0.0
+    assert report.worst_latency_deviation_pct == 0.0
+    assert report.latency_ks == 0.0
+    assert report.joint_correlation_error == 0.0
+
+
+def test_compare_workloads_requires_data():
+    with pytest.raises(ValueError):
+        compare_workloads(TraceSet(), TraceSet())
+
+
+def test_compare_workloads_min_profile_count():
+    run = run_gfs_workload(n_requests=300, seed=42)
+    with pytest.raises(ValueError):
+        compare_workloads(run.traces, run.traces, min_profile_count=10_000)
+
+
+def test_report_mean_weighted_by_profile_size():
+    run = run_gfs_workload(n_requests=400, seed=43)
+    model = KoozaTrainer().fit(run.traces)
+    replayed = ReplayHarness(seed=3).replay(
+        model.synthesize(400, np.random.default_rng(2))
+    )
+    report = compare_workloads(run.traces, replayed)
+    values = [p.latency_deviation_pct for p in report.profiles]
+    assert min(values) <= report.mean_latency_deviation_pct <= max(values)
+
+
+# -- Table 1 -----------------------------------------------------------------
+
+
+def test_capability_matrix_rows():
+    approaches = [c.approach for c in CAPABILITIES]
+    assert approaches == ["in-breadth", "in-depth", "KOOZA"]
+
+
+def test_capability_matrix_paper_claims():
+    by_name = {c.approach: c for c in CAPABILITIES}
+    assert by_name["in-breadth"].request_features
+    assert not by_name["in-breadth"].time_dependencies
+    assert by_name["in-depth"].time_dependencies
+    assert not by_name["in-depth"].request_features
+    kooza = by_name["KOOZA"]
+    assert kooza.request_features and kooza.time_dependencies
+    assert kooza.completeness
+
+
+def test_only_kooza_is_complete():
+    complete = [c.approach for c in CAPABILITIES if c.completeness]
+    assert complete == ["KOOZA"]
+
+
+def test_capability_table_renders():
+    table = capability_table()
+    assert "KOOZA" in table
+    assert "in-breadth" in table
+    assert "ease-of-use" in table
+
+
+def test_capability_grades_cover_all_criteria():
+    from repro.core.capabilities import CRITERIA
+
+    for cap in CAPABILITIES:
+        grades = cap.grades()
+        assert set(grades) == set(CRITERIA)

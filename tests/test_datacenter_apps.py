@@ -1,0 +1,110 @@
+"""Integration tests for the 3-tier web app and MapReduce simulations."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import (
+    MapReduceJob,
+    MapReduceSpec,
+    WebAppSpec,
+    run_mapreduce_jobs,
+    run_webapp_workload,
+)
+
+
+def test_webapp_requests_complete():
+    traces = run_webapp_workload(n_requests=150, seed=1)
+    assert len(traces.completed_requests()) == 150
+    classes = set(traces.requests_by_class())
+    assert classes == {"browse", "search", "order"}
+
+
+def test_webapp_traverses_three_tiers():
+    traces = run_webapp_workload(n_requests=50, seed=2)
+    servers = {r.server for r in traces.cpu}
+    tiers = {s.split("-")[0] for s in servers}
+    assert tiers == {"web", "app", "db"}
+
+
+def test_webapp_only_db_does_storage():
+    traces = run_webapp_workload(n_requests=50, seed=3)
+    storage_servers = {r.server for r in traces.storage}
+    assert all(s.startswith("db-") for s in storage_servers)
+
+
+def test_webapp_stage_sequence_shows_tiering():
+    traces = run_webapp_workload(n_requests=30, seed=4)
+    sequence = traces.trace_trees()[0].stage_sequence()
+    assert sequence.count("cpu_lookup") == 3  # one per tier
+    assert sequence.count("storage") == 1
+    assert sequence[-1] == "network_tx"
+
+
+def test_webapp_order_class_writes():
+    traces = run_webapp_workload(n_requests=300, seed=5)
+    orders = traces.requests_by_class()["order"]
+    assert all(r.storage_op == "write" for r in orders)
+
+
+def test_webapp_spec_validation():
+    with pytest.raises(ValueError):
+        WebAppSpec(web_servers=0)
+    with pytest.raises(ValueError):
+        WebAppSpec(classes=())
+
+
+def test_mapreduce_jobs_complete_with_results():
+    jobs = [
+        MapReduceJob("j0", input_bytes=64 << 20, n_map=4, n_reduce=2),
+        MapReduceJob("j1", input_bytes=16 << 20, n_map=2, n_reduce=1),
+    ]
+    traces, results = run_mapreduce_jobs(jobs=jobs, seed=1)
+    assert len(results) == 2
+    assert all(r.execution_time > 0 for r in results)
+    # 4+2 tasks for j0 and 2+1 for j1.
+    assert len(traces.requests) == 9
+
+
+def test_mapreduce_bigger_job_takes_longer():
+    jobs = [
+        MapReduceJob("small", input_bytes=16 << 20, n_map=2, n_reduce=1),
+        MapReduceJob("big", input_bytes=256 << 20, n_map=2, n_reduce=1),
+    ]
+    _, results = run_mapreduce_jobs(jobs=jobs, seed=2)
+    by_name = {r.job.name: r.execution_time for r in results}
+    assert by_name["big"] > by_name["small"]
+
+
+def test_mapreduce_parallelism_speeds_up_job():
+    jobs = [
+        MapReduceJob("serial", input_bytes=128 << 20, n_map=1, n_reduce=1),
+        MapReduceJob("parallel", input_bytes=128 << 20, n_map=4, n_reduce=1),
+    ]
+    _, results = run_mapreduce_jobs(
+        jobs=jobs, seed=3, spec=MapReduceSpec(workers=4)
+    )
+    by_name = {r.job.name: r.execution_time for r in results}
+    assert by_name["parallel"] < by_name["serial"]
+
+
+def test_mapreduce_feature_vector():
+    jobs = [MapReduceJob("j", input_bytes=32 << 20, n_map=2, n_reduce=2)]
+    _, results = run_mapreduce_jobs(jobs=jobs, seed=4)
+    vector = results[0].feature_vector()
+    assert vector.shape == (4,)
+    assert vector[0] == 32 << 20
+
+
+def test_mapreduce_job_validation():
+    with pytest.raises(ValueError):
+        MapReduceJob("bad", input_bytes=0, n_map=1, n_reduce=1)
+    with pytest.raises(ValueError):
+        MapReduceSpec(workers=0)
+
+
+def test_mapreduce_task_classes():
+    jobs = [MapReduceJob("j", input_bytes=32 << 20, n_map=3, n_reduce=2)]
+    traces, _ = run_mapreduce_jobs(jobs=jobs, seed=6)
+    grouped = traces.requests_by_class()
+    assert len(grouped["map"]) == 3
+    assert len(grouped["reduce"]) == 2

@@ -1,0 +1,90 @@
+"""Tests for the in-depth queueing-network model."""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_request_features
+from repro.datacenter import run_gfs_workload, run_webapp_workload
+from repro.depth import InDepthModel
+from repro.tracing import TraceSet
+
+
+@pytest.fixture(scope="module")
+def gfs_run():
+    return run_gfs_workload(n_requests=800, seed=31)
+
+
+@pytest.fixture(scope="module")
+def fitted(gfs_run):
+    return InDepthModel().fit(gfs_run.traces)
+
+
+def test_route_recovers_figure1_stations(fitted):
+    assert fitted.route == ["nic", "cpu", "memory", "disk", "cpu", "nic"]
+
+
+def test_service_demands_positive(fitted):
+    demands = fitted.mean_service_demand()
+    assert set(demands) == {"nic", "cpu", "memory", "disk"}
+    assert all(v > 0 for v in demands.values())
+    # Disk dominates service demand for this workload.
+    assert demands["disk"] == max(demands.values())
+
+
+def test_predicted_latency_right_magnitude(gfs_run, fitted):
+    original = np.array(
+        [f.latency for f in extract_request_features(gfs_run.traces)]
+    )
+    predicted = fitted.predict_latencies(2000, np.random.default_rng(0))
+    assert len(predicted) == 2000
+    # In-depth gets the scale of latency right (same order of
+    # magnitude) even though it knows nothing about request features.
+    assert 0.3 < predicted.mean() / original.mean() < 3.0
+
+
+def test_bootstrap_services_closer_than_exponential(gfs_run):
+    original = np.array(
+        [f.latency for f in extract_request_features(gfs_run.traces)]
+    )
+    exponential = InDepthModel(exponential_services=True).fit(gfs_run.traces)
+    bootstrap = InDepthModel(exponential_services=False).fit(gfs_run.traces)
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+    err_exp = abs(
+        exponential.predict_latencies(2000, rng1).mean() - original.mean()
+    )
+    err_boot = abs(
+        bootstrap.predict_latencies(2000, rng2).mean() - original.mean()
+    )
+    assert err_boot <= err_exp * 1.5  # bootstrap at least comparable
+
+
+def test_in_depth_has_no_feature_api(fitted):
+    # The defining limitation (paper Table 1): no synthesize() of
+    # request features, only latency prediction.
+    assert not hasattr(fitted, "synthesize")
+
+
+def test_fit_requires_spans():
+    traces = run_gfs_workload(n_requests=100, seed=1).traces
+    stripped = TraceSet(requests=traces.requests)  # no spans
+    with pytest.raises(ValueError):
+        InDepthModel().fit(stripped)
+
+
+def test_fit_requires_requests():
+    with pytest.raises(ValueError):
+        InDepthModel().fit(TraceSet())
+
+
+def test_predict_validation(fitted):
+    with pytest.raises(ValueError):
+        fitted.predict_latencies(0, np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        InDepthModel().predict_latencies(10, np.random.default_rng(0))
+
+
+def test_webapp_route_has_three_cpu_visits():
+    traces = run_webapp_workload(n_requests=200, seed=12)
+    model = InDepthModel().fit(traces)
+    assert model.route.count("cpu") == 6  # 3 lookup + 3 aggregate
+    assert model.route.count("disk") == 1

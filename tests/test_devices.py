@@ -1,0 +1,240 @@
+"""Unit tests for the device models (disk, CPU, memory, NIC)."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.devices import (
+    Cpu,
+    CpuSpec,
+    Disk,
+    DiskModel,
+    DiskSpec,
+    Memory,
+    MemorySpec,
+    Nic,
+    NicSpec,
+)
+from repro.simulation import Environment
+from repro.tracing import READ, WRITE, Tracer
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# -- DiskModel (analytic) ---------------------------------------------------
+
+
+def test_sequential_reads_faster_than_random(rng):
+    spec = DiskSpec()
+    model = DiskModel(spec, rng)
+    model.service_time(1000, 65536, READ)  # position the head
+    sequential = model.service_time(1016, 65536, READ)
+
+    model2 = DiskModel(spec, np.random.default_rng(1))
+    model2.service_time(1000, 65536, READ)
+    random = model2.service_time(10_000_000, 65536, READ)
+    assert sequential < random
+
+
+def test_larger_io_takes_longer_at_media_rate(rng):
+    spec = DiskSpec(write_cache=False)
+    m1 = DiskModel(spec, np.random.default_rng(2))
+    m2 = DiskModel(spec, np.random.default_rng(2))
+    small = m1.service_time(0, 4096, READ)
+    large = m2.service_time(0, 4 << 20, READ)
+    assert large > small
+
+
+def test_write_cache_absorbs_writes(rng):
+    cached = DiskModel(DiskSpec(cache_flush_probability=0.0), rng)
+    t = cached.service_time(12345678, 1 << 20, WRITE)
+    spec = cached.spec
+    expected = spec.controller_overhead + (1 << 20) / spec.cache_transfer_rate
+    assert t == pytest.approx(expected)
+
+
+def test_uncached_write_pays_positioning(rng):
+    model = DiskModel(DiskSpec(write_cache=False), rng)
+    model.service_time(0, 4096, READ)
+    t = model.service_time(50_000_000, 65536, WRITE)
+    assert t > model.spec.min_seek
+
+
+def test_rotation_period_from_rpm():
+    assert DiskSpec(rpm=7200).rotation_period == pytest.approx(60.0 / 7200)
+
+
+def test_seek_time_monotone_in_distance(rng):
+    model = DiskModel(DiskSpec(), rng)
+    near = model._seek_time(10)
+    far = model._seek_time(10_000_000)
+    assert 0 < near < far <= model.spec.max_seek
+
+
+# -- Disk (simulated) -----------------------------------------------------
+
+
+def test_disk_serializes_ios_and_records(env, tracer, rng):
+    disk = Disk(env, "s1", DiskSpec(), rng, tracer)
+
+    def issue(env, disk):
+        yield env.process(disk.io(1, 0, 65536, READ))
+        yield env.process(disk.io(2, 16, 65536, READ))
+
+    env.process(issue(env, disk))
+    env.run()
+    assert len(tracer.traces.storage) == 2
+    assert tracer.traces.storage[0].duration > 0
+    assert env.now > 0
+
+
+def test_disk_queue_depth_recorded(env, tracer, rng):
+    disk = Disk(env, "s1", DiskSpec(), rng, tracer)
+    for i in range(3):
+        env.process(disk.io(i, i * 1000000, 1 << 20, READ))
+    env.run()
+    depths = sorted(r.queue_depth for r in tracer.traces.storage)
+    assert depths == [0, 1, 2]
+
+
+# -- Cpu -----------------------------------------------------------------
+
+
+def test_cpu_compute_emits_record(env, tracer, rng):
+    cpu = Cpu(env, "s1", CpuSpec(work_jitter=0.0), rng, tracer)
+
+    def work(env, cpu):
+        busy = yield env.process(cpu.compute(1, 0.002, "lookup"))
+        assert busy == pytest.approx(0.002)
+
+    env.process(work(env, cpu))
+    env.run()
+    assert tracer.traces.cpu[0].busy_seconds == pytest.approx(0.002)
+    assert tracer.traces.cpu[0].phase == "lookup"
+
+
+def test_cpu_speed_factor_scales_time(env, tracer, rng):
+    slow = Cpu(env, "s1", CpuSpec(speed_factor=0.5, work_jitter=0.0), rng, tracer)
+
+    def work(env, cpu):
+        busy = yield env.process(cpu.compute(1, 0.001, "x"))
+        return busy
+
+    p = env.process(work(env, slow))
+    assert env.run(p) == pytest.approx(0.002)
+
+
+def test_cpu_cores_limit_parallelism(env, tracer, rng):
+    cpu = Cpu(env, "s1", CpuSpec(cores=2, work_jitter=0.0), rng, tracer)
+    for i in range(4):
+        env.process(cpu.compute(i, 0.01, "x"))
+    env.run()
+    # Two waves of two parallel bursts.
+    assert env.now == pytest.approx(0.02)
+
+
+def test_cpu_rejects_negative_work(env, tracer, rng):
+    cpu = Cpu(env, "s1", CpuSpec(), rng, tracer)
+    env.process(cpu.compute(1, -1.0, "x"))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_cpu_spec_validation(env, tracer, rng):
+    with pytest.raises(ValueError):
+        Cpu(env, "s1", CpuSpec(cores=0), rng, tracer)
+    with pytest.raises(ValueError):
+        Cpu(env, "s1", CpuSpec(speed_factor=0.0), rng, tracer)
+
+
+# -- Memory ------------------------------------------------------------------
+
+
+def test_memory_access_emits_record_with_bank(env, tracer, rng):
+    spec = MemorySpec()
+    memory = Memory(env, "s1", spec, rng, tracer)
+    address = 3 * spec.bank_interleave  # bank 3
+
+    def access(env, memory):
+        yield env.process(memory.access(1, address, 16384, READ))
+
+    env.process(access(env, memory))
+    env.run()
+    record = tracer.traces.memory[0]
+    assert record.bank == 3
+    assert record.duration > 0
+
+
+def test_memory_row_hit_faster_than_miss(env, tracer, rng):
+    memory = Memory(env, "s1", MemorySpec(), rng, tracer)
+
+    def accesses(env, memory):
+        first = yield env.process(memory.access(1, 0, 4096, READ))  # row miss
+        second = yield env.process(memory.access(2, 64, 4096, READ))  # row hit
+        assert second < first
+
+    env.process(accesses(env, memory))
+    env.run()
+
+
+def test_memory_bank_mapping_wraps():
+    spec = MemorySpec(banks=4, bank_interleave=4096)
+    assert spec.bank_of(0) == 0
+    assert spec.bank_of(4096 * 5) == 1
+
+
+def test_memory_rejects_non_positive_size(env, tracer, rng):
+    memory = Memory(env, "s1", MemorySpec(), rng, tracer)
+    env.process(memory.access(1, 0, 0, READ))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# -- Nic -----------------------------------------------------------------
+
+
+def test_nic_transfer_time_includes_bandwidth(env, tracer, rng):
+    spec = NicSpec(bandwidth=1e9, propagation=0.0, per_message_overhead=0.0)
+    nic = Nic(env, "s1", spec, rng, tracer)
+
+    def send(env, nic):
+        duration = yield env.process(nic.transfer(1, 10_000_000, "tx"))
+        assert duration == pytest.approx(0.01)
+
+    env.process(send(env, nic))
+    env.run()
+
+
+def test_nic_records_direction(env, tracer, rng):
+    nic = Nic(env, "s1", NicSpec(), rng, tracer)
+    env.process(nic.transfer(1, 64, "rx"))
+    env.run()
+    assert tracer.traces.network[0].direction == "rx"
+
+
+def test_nic_rejects_bad_direction(env, tracer, rng):
+    nic = Nic(env, "s1", NicSpec(), rng, tracer)
+    env.process(nic.transfer(1, 64, "sideways"))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_nic_serializes_messages(env, tracer, rng):
+    spec = NicSpec(bandwidth=1e6, propagation=0.0, per_message_overhead=0.0)
+    nic = Nic(env, "s1", spec, rng, tracer)
+    env.process(nic.transfer(1, 1_000_000, "tx"))
+    env.process(nic.transfer(2, 1_000_000, "tx"))
+    env.run()
+    assert env.now == pytest.approx(2.0)

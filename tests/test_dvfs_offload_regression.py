@@ -1,0 +1,161 @@
+"""Tests for the DVFS evaluator, protocol-offload model and regression."""
+
+import numpy as np
+import pytest
+
+from repro.breadth import CpuBreakdown, CpuUtilizationModel, OffloadModel
+from repro.datacenter import (
+    DvfsSetting,
+    evaluate_dvfs_policy,
+    model_guided_policy,
+)
+from repro.stats import LinearRegression
+
+HIGH = DvfsSetting("high", frequency=1.0, idle_power=60.0, peak_power=180.0)
+LOW = DvfsSetting("low", frequency=0.5, idle_power=30.0, peak_power=80.0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# -- DVFS ---------------------------------------------------------------
+
+
+def test_dvfs_setting_power_interpolates():
+    assert HIGH.power(0.0) == 60.0
+    assert HIGH.power(1.0) == 180.0
+    assert HIGH.power(0.5) == pytest.approx(120.0)
+
+
+def test_dvfs_setting_validation():
+    with pytest.raises(ValueError):
+        DvfsSetting("bad", frequency=0.0, idle_power=10, peak_power=20)
+    with pytest.raises(ValueError):
+        DvfsSetting("bad", frequency=0.5, idle_power=30, peak_power=20)
+
+
+def test_always_high_never_violates():
+    series = np.linspace(0.0, 0.9, 100)
+    result = evaluate_dvfs_policy(series, [HIGH, LOW], lambda h: 0)
+    assert result.violations == 0
+    assert result.settings_used == {"high": 100, "low": 0}
+
+
+def test_always_low_violates_on_heavy_windows():
+    series = np.array([0.2, 0.8, 0.3, 0.9])
+    result = evaluate_dvfs_policy(series, [HIGH, LOW], lambda h: 1)
+    assert result.violations == 2  # 0.8 and 0.9 exceed f=0.5
+
+
+def test_low_frequency_saves_energy_on_idle_series():
+    series = np.full(200, 0.1)
+    high = evaluate_dvfs_policy(series, [HIGH, LOW], lambda h: 0)
+    low = evaluate_dvfs_policy(series, [HIGH, LOW], lambda h: 1)
+    assert low.energy_joules < high.energy_joules
+    assert low.violations == 0
+
+
+def test_model_guided_policy_tracks_two_level_series(rng):
+    # Sticky low/high utilization phases with equal mass so the
+    # quantile levels split them cleanly: the predictor should pick the
+    # low state in quiet phases and the high state in busy phases.
+    quiet = np.clip(rng.normal(0.15, 0.02, 300), 0, 1)
+    busy = np.clip(rng.normal(0.75, 0.02, 300), 0, 1)
+    series = np.concatenate([quiet, busy])
+    model = CpuUtilizationModel(n_levels=2).fit(series)
+    policy = model_guided_policy(model, [HIGH, LOW], headroom=1.2)
+    result = evaluate_dvfs_policy(series, [HIGH, LOW], policy)
+    always_high = evaluate_dvfs_policy(series, [HIGH, LOW], lambda h: 0)
+    # Saves energy vs always-high, violating only at the phase edge.
+    assert result.energy_joules < always_high.energy_joules
+    assert result.violation_rate < 0.02
+    assert result.settings_used["low"] > 250
+
+
+def test_dvfs_validation():
+    with pytest.raises(ValueError):
+        evaluate_dvfs_policy([], [HIGH], lambda h: 0)
+    with pytest.raises(ValueError):
+        evaluate_dvfs_policy([0.5], [], lambda h: 0)
+    with pytest.raises(ValueError):
+        evaluate_dvfs_policy([0.5], [HIGH], lambda h: 7)
+    with pytest.raises(ValueError):
+        model_guided_policy(CpuUtilizationModel(), [HIGH], headroom=0.5)
+
+
+# -- protocol offload ----------------------------------------------------
+
+
+def test_breakdown_classification():
+    static = CpuBreakdown(protocol_seconds=0.8e-3, data_seconds=0.2e-3)
+    dynamic = CpuBreakdown(protocol_seconds=0.2e-3, data_seconds=0.8e-3)
+    assert static.application_kind == "static"
+    assert dynamic.application_kind == "dynamic"
+    assert static.protocol_fraction == pytest.approx(0.8)
+
+
+def test_offload_speedup_static_vs_dynamic():
+    """Patwardhan's conclusion: offload pays for static serving only."""
+    static = OffloadModel(CpuBreakdown(0.8e-3, 0.2e-3))
+    dynamic = OffloadModel(CpuBreakdown(0.1e-3, 0.9e-3))
+    assert static.speedup(1.0) == pytest.approx(5.0)
+    assert dynamic.speedup(1.0) == pytest.approx(1.111, abs=0.01)
+    assert static.worthwhile()
+    assert not dynamic.worthwhile()
+
+
+def test_offload_throughput_scales_with_cores():
+    model = OffloadModel(CpuBreakdown(0.5e-3, 0.5e-3), cores=4)
+    assert model.throughput(0.0) == pytest.approx(4000.0)
+
+
+def test_offload_partial_fraction_monotone():
+    model = OffloadModel(CpuBreakdown(0.6e-3, 0.4e-3))
+    speedups = [model.speedup(f) for f in (0.0, 0.5, 1.0)]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups == sorted(speedups)
+
+
+def test_offload_validation():
+    with pytest.raises(ValueError):
+        CpuBreakdown(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        CpuBreakdown(0.0, 0.0)
+    model = OffloadModel(CpuBreakdown(1e-3, 1e-3))
+    with pytest.raises(ValueError):
+        model.throughput(1.5)
+    with pytest.raises(ValueError):
+        OffloadModel(CpuBreakdown(1e-3, 1e-3), cores=0)
+
+
+# -- linear regression --------------------------------------------------------
+
+
+def test_regression_recovers_coefficients(rng):
+    X = rng.normal(0, 1, (200, 2))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 5.0
+    model = LinearRegression().fit(X, y)
+    assert model.coef_ == pytest.approx([3.0, -2.0], abs=1e-9)
+    assert model.intercept_ == pytest.approx(5.0, abs=1e-9)
+    assert model.r_squared(X, y) == pytest.approx(1.0)
+
+
+def test_regression_ridge_shrinks(rng):
+    X = rng.normal(0, 1, (50, 2))
+    y = 4.0 * X[:, 0] + rng.normal(0, 0.1, 50)
+    plain = LinearRegression().fit(X, y)
+    ridged = LinearRegression(ridge=100.0).fit(X, y)
+    assert abs(ridged.coef_[0]) < abs(plain.coef_[0])
+
+
+def test_regression_validation(rng):
+    with pytest.raises(ValueError):
+        LinearRegression(ridge=-1.0)
+    with pytest.raises(ValueError):
+        LinearRegression().fit([[1.0]], [1.0])
+    with pytest.raises(ValueError):
+        LinearRegression().fit([[1.0], [2.0]], [1.0, 2.0, 3.0])
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict([[1.0]])

@@ -1,0 +1,137 @@
+"""Tests for shared machines, heterogeneous clusters and colocation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiServerKooza
+from repro.datacenter import (
+    GfsCluster,
+    GfsSpec,
+    Machine,
+    MachineSpec,
+    MapReduceCluster,
+    MapReduceJob,
+    MapReduceSpec,
+)
+from repro.datacenter.devices import DiskSpec
+from repro.queueing import PoissonArrivals
+from repro.simulation import Environment, RandomStreams
+from repro.tracing import Tracer
+from repro.workloads import OpenLoopClient, table2_mix
+
+
+def _heterogeneous_cluster(seed=3):
+    """Two chunkservers: one with a fast disk, one with a slow disk."""
+    env = Environment()
+    tracer = Tracer()
+    streams = RandomStreams(seed)
+    fast = Machine(
+        env,
+        "chunkserver-0",
+        MachineSpec(disk=DiskSpec(rpm=15000, min_seek=0.2e-3, max_seek=4e-3)),
+        streams,
+        tracer,
+    )
+    slow = Machine(
+        env,
+        "chunkserver-1",
+        MachineSpec(disk=DiskSpec(rpm=5400, max_seek=16e-3, write_cache=False)),
+        streams,
+        tracer,
+    )
+    cluster = GfsCluster(
+        env,
+        GfsSpec(chunkservers=2),
+        streams,
+        tracer,
+        machines=[fast, slow],
+    )
+    return env, tracer, cluster
+
+
+def test_machines_param_validation():
+    env = Environment()
+    streams = RandomStreams(1)
+    tracer = Tracer()
+    machine = Machine(env, "m0", MachineSpec(), streams, tracer)
+    with pytest.raises(ValueError):
+        GfsCluster(env, GfsSpec(chunkservers=2), streams, tracer,
+                   machines=[machine])
+    with pytest.raises(ValueError):
+        MapReduceCluster(env, MapReduceSpec(workers=4), streams, tracer,
+                         machines=[machine])
+
+
+def test_heterogeneous_cluster_per_server_latency_differs():
+    env, tracer, cluster = _heterogeneous_cluster()
+    mix = table2_mix(RandomStreams(9).get("mix"))
+    client = OpenLoopClient(
+        env,
+        cluster.client_request,
+        mix.make_request,
+        PoissonArrivals(30.0, RandomStreams(9).get("arrivals")),
+    )
+    client.start(800)
+    env.run()
+    by_server = {}
+    for r in tracer.traces.completed_requests():
+        by_server.setdefault(r.server, []).append(r.latency)
+    assert set(by_server) == {"chunkserver-0", "chunkserver-1"}
+    assert np.mean(by_server["chunkserver-1"]) > 1.3 * np.mean(
+        by_server["chunkserver-0"]
+    )
+
+
+def test_multi_server_kooza_captures_heterogeneity():
+    """Per-server instances learn each server's latency regime."""
+    env, tracer, cluster = _heterogeneous_cluster(seed=5)
+    mix = table2_mix(RandomStreams(11).get("mix"))
+    client = OpenLoopClient(
+        env,
+        cluster.client_request,
+        mix.make_request,
+        PoissonArrivals(30.0, RandomStreams(11).get("arrivals")),
+    )
+    client.start(1200)
+    env.run()
+    msk = MultiServerKooza().fit(tracer.traces)
+    assert msk.n_instances == 2
+    # The slow server's model carries visibly longer interarrival-
+    # independent service evidence: compare mean latency of training
+    # features through the per-server trace split.
+    from repro.core import extract_request_features, split_traces_by_server
+
+    parts = split_traces_by_server(tracer.traces)
+    means = {
+        server: np.mean([f.latency for f in extract_request_features(part)])
+        for server, part in parts.items()
+    }
+    assert means["chunkserver-1"] > means["chunkserver-0"]
+
+
+def test_colocated_batch_shares_devices():
+    env = Environment()
+    tracer = Tracer()
+    streams = RandomStreams(21)
+    gfs = GfsCluster(env, GfsSpec(chunkservers=2), streams, tracer)
+    batch = MapReduceCluster(
+        env,
+        MapReduceSpec(workers=2),
+        streams,
+        tracer,
+        machines=gfs.chunkservers,
+    )
+    assert batch.workers is not None
+    assert batch.workers[0] is gfs.chunkservers[0]
+
+    def driver(env):
+        yield env.process(
+            batch.run_job(MapReduceJob("j", input_bytes=32 << 20, n_map=2,
+                                       n_reduce=1))
+        )
+
+    env.process(driver(env))
+    env.run()
+    # Batch task records carry the serving machines' names.
+    servers = {r.server for r in tracer.traces.storage}
+    assert servers <= {"chunkserver-0", "chunkserver-1"}

@@ -1,0 +1,188 @@
+"""Property-based tests of core invariants (hypothesis).
+
+Engine: virtual time is monotone and every scheduled process completes
+under arbitrary workloads.  Resource: capacity is never exceeded and
+FIFO fairness holds.  Markov: estimated matrices are always stochastic.
+KOOZA: synthetic workloads are always structurally valid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import MarkovChain, QuantileDiscretizer
+from repro.queueing import DeterministicArrivals
+from repro.simulation import Environment, Resource
+
+# -- engine --------------------------------------------------------------
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays)
+def test_all_processes_complete_and_time_is_monotone(delay_list):
+    env = Environment()
+    observed_times = []
+    finished = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed_times.append(env.now)
+        finished.append(delay)
+
+    for d in delay_list:
+        env.process(proc(env, d))
+    env.run()
+    assert len(finished) == len(delay_list)
+    assert observed_times == sorted(observed_times)
+    assert env.now == max(delay_list)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays, delays)
+def test_nested_process_joins_always_return(outer, inner):
+    env = Environment()
+    results = []
+
+    def child(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent(env, own_delay, child_delay):
+        value = yield env.process(child(env, child_delay))
+        yield env.timeout(own_delay)
+        results.append(value)
+
+    for o, i in zip(outer, inner):
+        env.process(parent(env, o, i))
+    env.run()
+    assert sorted(results) == sorted(inner[: len(outer)])
+
+
+# -- resources --------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(
+        st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_resource_never_exceeds_capacity(capacity, hold_times):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def user(env, hold):
+        with resource.request() as req:
+            yield req
+            peak[0] = max(peak[0], resource.count)
+            yield env.timeout(hold)
+
+    for h in hold_times:
+        env.process(user(env, h))
+    env.run()
+    assert peak[0] <= capacity
+    assert resource.count == 0  # everything released
+    assert resource.queue_length == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2,
+                max_size=15))
+def test_resource_fifo_property(hold_times):
+    """Requests submitted in order are granted in order (equal priority)."""
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grant_order = []
+
+    def user(env, index, hold):
+        yield env.timeout(index * 1e-6)  # strictly ordered submission
+        with resource.request() as req:
+            yield req
+            grant_order.append(index)
+            yield env.timeout(hold)
+
+    for i, h in enumerate(hold_times):
+        env.process(user(env, i, h))
+    env.run()
+    assert grant_order == sorted(grant_order)
+
+
+# -- markov -----------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.sampled_from("abcd"), min_size=2, max_size=400),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_estimated_chain_always_stochastic(sequence, smoothing):
+    chain = MarkovChain.from_sequence(sequence, smoothing=smoothing)
+    rows = chain.transition_matrix.sum(axis=1)
+    assert np.allclose(rows, 1.0)
+    assert np.all(chain.transition_matrix >= 0)
+    pi = chain.stationary_distribution()
+    assert pi.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    st.integers(min_value=1, max_value=12),
+)
+def test_discretizer_representative_round_trip(values, n_bins):
+    """transform -> representative always lands back in the same bin."""
+    d = QuantileDiscretizer(n_bins).fit(values)
+    for v in values[:20]:
+        b = d.transform_one(v)
+        rep = d.representative(b)
+        assert d.transform_one(rep) == b
+
+
+# -- KOOZA synthetic structure -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def kooza_model():
+    from repro.core import KoozaTrainer
+    from repro.datacenter import run_gfs_workload
+
+    return KoozaTrainer().fit(run_gfs_workload(n_requests=400, seed=101).traces)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_synthetic_requests_always_valid(kooza_model, seed):
+    rng = np.random.default_rng(seed)
+    requests = kooza_model.synthesize(10, rng)
+    previous_time = -1.0
+    for request in requests:
+        assert request.arrival_time >= previous_time
+        previous_time = request.arrival_time
+        kinds = request.stage_order()
+        assert kinds[0] == "network_rx" and kinds[-1] == "network_tx"
+        storage = request.storage_stage
+        memory = request.memory_stage
+        assert storage.size_bytes > 0 and storage.lbn >= 0
+        assert memory.size_bytes > 0 and memory.address >= 0
+        assert request.cpu_busy_seconds > 0
+
+
+def test_deterministic_arrivals_property():
+    arrivals = DeterministicArrivals(rate=10.0)
+    gaps = [arrivals.next_interarrival() for _ in range(100)]
+    assert all(g == 0.1 for g in gaps)

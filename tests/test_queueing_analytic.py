@@ -1,0 +1,106 @@
+"""Tests for closed-form queueing results, cross-checked by simulation."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    MG1,
+    MM1,
+    MMc,
+    PoissonArrivals,
+    QueueingNetwork,
+    Station,
+    erlang_c,
+)
+from repro.simulation import Environment
+
+
+def test_mm1_textbook_values():
+    m = MM1(arrival_rate=8.0, service_rate=10.0)
+    assert m.utilization == pytest.approx(0.8)
+    assert m.mean_number_in_system == pytest.approx(4.0)
+    assert m.mean_response == pytest.approx(0.5)
+
+
+def test_mm1_unstable_rejected():
+    with pytest.raises(ValueError):
+        MM1(10.0, 10.0)
+    with pytest.raises(ValueError):
+        MM1(12.0, 10.0)
+
+
+def test_mmc_single_server_equals_mm1():
+    a = MM1(5.0, 10.0)
+    b = MMc(5.0, 10.0, servers=1)
+    assert b.mean_wait == pytest.approx(a.mean_wait, rel=1e-9)
+
+
+def test_mmc_more_servers_less_waiting():
+    one = MMc(15.0, 10.0, servers=2)
+    many = MMc(15.0, 10.0, servers=8)
+    assert many.mean_wait < one.mean_wait
+
+
+def test_erlang_c_bounds():
+    p = erlang_c(4, 2.0)
+    assert 0.0 < p < 1.0
+    assert erlang_c(1, 0.5) == pytest.approx(0.5)
+
+
+def test_erlang_c_validation():
+    with pytest.raises(ValueError):
+        erlang_c(0, 1.0)
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)  # a == c is unstable
+
+
+def test_mg1_reduces_to_mm1_at_scv_one():
+    a = MM1(6.0, 10.0)
+    b = MG1(6.0, mean_service=0.1, service_scv=1.0)
+    assert b.mean_wait == pytest.approx(a.mean_wait, rel=1e-9)
+
+
+def test_mg1_deterministic_halves_waiting():
+    exponential = MG1(6.0, 0.1, service_scv=1.0)
+    deterministic = MG1(6.0, 0.1, service_scv=0.0)
+    assert deterministic.mean_wait == pytest.approx(
+        exponential.mean_wait / 2.0, rel=1e-9
+    )
+
+
+def test_mm1_simulation_agrees_with_formula():
+    rng = np.random.default_rng(7)
+    env = Environment()
+    network = QueueingNetwork(
+        env,
+        [Station("s", 1, lambda _cls, r: float(r.exponential(0.01)))],
+        {"job": ["s"]},
+        rng,
+    )
+    results = network.run_open(
+        PoissonArrivals(70.0, np.random.default_rng(8)),
+        lambda _rng: "job",
+        20_000,
+    )
+    simulated = np.mean([r.latency for r in results])
+    analytic = MM1(70.0, 100.0).mean_response
+    assert simulated == pytest.approx(analytic, rel=0.1)
+
+
+def test_mmc_simulation_agrees_with_formula():
+    rng = np.random.default_rng(9)
+    env = Environment()
+    network = QueueingNetwork(
+        env,
+        [Station("s", 3, lambda _cls, r: float(r.exponential(0.03)))],
+        {"job": ["s"]},
+        rng,
+    )
+    results = network.run_open(
+        PoissonArrivals(80.0, np.random.default_rng(10)),
+        lambda _rng: "job",
+        20_000,
+    )
+    simulated = np.mean([r.latency for r in results])
+    analytic = MMc(80.0, 1 / 0.03, servers=3).mean_response
+    assert simulated == pytest.approx(analytic, rel=0.1)

@@ -1,0 +1,117 @@
+"""Tests for the arrival-process zoo."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    BModelArrivals,
+    DeterministicArrivals,
+    DistributionArrivals,
+    EmpiricalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.stats import arrivals_to_counts, hurst_rs, interarrival_cov
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_deterministic_fixed_gap():
+    arrivals = DeterministicArrivals(rate=4.0)
+    assert arrivals.next_interarrival() == pytest.approx(0.25)
+    assert arrivals.mean_rate == 4.0
+
+
+def test_deterministic_validation():
+    with pytest.raises(ValueError):
+        DeterministicArrivals(0.0)
+
+
+def test_poisson_mean_rate(rng):
+    arrivals = PoissonArrivals(rate=50.0, rng=rng)
+    gaps = arrivals.sample(20_000)
+    assert 1.0 / gaps.mean() == pytest.approx(50.0, rel=0.05)
+    assert interarrival_cov(gaps) == pytest.approx(1.0, abs=0.05)
+
+
+def test_poisson_validation(rng):
+    with pytest.raises(ValueError):
+        PoissonArrivals(-1.0, rng)
+
+
+def test_distribution_arrivals_from_scipy(rng):
+    from scipy import stats
+
+    arrivals = DistributionArrivals(stats.gamma(2.0, scale=0.01), rng)
+    gaps = arrivals.sample(5000)
+    assert gaps.mean() == pytest.approx(0.02, rel=0.1)
+    assert arrivals.mean_rate == pytest.approx(50.0, rel=0.01)
+
+
+def test_empirical_bootstrap_resamples_observations(rng):
+    observed = [0.1, 0.2, 0.3]
+    arrivals = EmpiricalArrivals(observed, rng)
+    gaps = arrivals.sample(500)
+    assert set(np.round(gaps, 6)) <= {0.1, 0.2, 0.3}
+    assert arrivals.mean_rate == pytest.approx(5.0)
+
+
+def test_empirical_validation(rng):
+    with pytest.raises(ValueError):
+        EmpiricalArrivals([], rng)
+    with pytest.raises(ValueError):
+        EmpiricalArrivals([-0.5], rng)
+
+
+def test_mmpp_is_burstier_than_poisson(rng):
+    mmpp = MMPPArrivals([5.0, 100.0], [1.0, 0.1], rng)
+    gaps = mmpp.sample(10_000)
+    assert interarrival_cov(gaps) > 1.2
+
+
+def test_mmpp_mean_rate_weighted_by_sojourns():
+    rng = np.random.default_rng(1)
+    mmpp = MMPPArrivals([10.0, 30.0], [1.0, 1.0], rng)
+    assert mmpp.mean_rate == pytest.approx(20.0)
+    gaps = mmpp.sample(40_000)
+    assert 1.0 / gaps.mean() == pytest.approx(20.0, rel=0.1)
+
+
+def test_mmpp_validation(rng):
+    with pytest.raises(ValueError):
+        MMPPArrivals([1.0], [1.0], rng)
+    with pytest.raises(ValueError):
+        MMPPArrivals([1.0, -2.0], [1.0, 1.0], rng)
+
+
+def test_bmodel_self_similar_and_bursty(rng):
+    bm = BModelArrivals(rate=200.0, rng=rng, bias=0.8)
+    gaps = bm.sample(20_000)
+    arrivals = np.cumsum(gaps)
+    counts = arrivals_to_counts(arrivals, 0.05)
+    assert interarrival_cov(gaps) > 1.5
+    assert hurst_rs(counts) > 0.6
+
+
+def test_bmodel_bias_half_nearly_poisson(rng):
+    bm = BModelArrivals(rate=200.0, rng=rng, bias=0.5)
+    gaps = bm.sample(10_000)
+    assert interarrival_cov(gaps) < 1.3
+
+
+def test_bmodel_mean_rate_approximate(rng):
+    bm = BModelArrivals(rate=100.0, rng=rng, bias=0.7)
+    gaps = bm.sample(30_000)
+    assert 1.0 / gaps.mean() == pytest.approx(100.0, rel=0.2)
+
+
+def test_bmodel_validation(rng):
+    with pytest.raises(ValueError):
+        BModelArrivals(0.0, rng)
+    with pytest.raises(ValueError):
+        BModelArrivals(10.0, rng, bias=0.4)
+    with pytest.raises(ValueError):
+        BModelArrivals(10.0, rng, bias=1.0)

@@ -1,0 +1,148 @@
+"""Tests for distribution fitting and the queueing-network simulator."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    CANDIDATE_FAMILIES,
+    PoissonArrivals,
+    QueueingNetwork,
+    Station,
+    fit_distribution,
+)
+from repro.simulation import Environment
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# -- fitting -----------------------------------------------------------------
+
+
+def test_fit_recovers_exponential_family_shape(rng):
+    data = rng.exponential(0.02, 3000)
+    fit = fit_distribution(data)
+    assert fit.family in CANDIDATE_FAMILIES
+    assert fit.mean == pytest.approx(0.02, rel=0.1)
+    assert fit.ks_statistic < 0.05
+
+
+def test_fit_lognormal_identified(rng):
+    data = rng.lognormal(mean=-3.0, sigma=1.0, size=4000)
+    fit = fit_distribution(data, families=("expon", "lognorm"))
+    assert fit.family == "lognorm"
+
+
+def test_fit_sampling_matches_mean(rng):
+    data = rng.gamma(3.0, 0.01, 3000)
+    fit = fit_distribution(data)
+    synthetic = fit.sample(5000, rng)
+    assert synthetic.mean() == pytest.approx(data.mean(), rel=0.1)
+
+
+def test_fit_validation(rng):
+    with pytest.raises(ValueError):
+        fit_distribution([1.0, 2.0])  # too few
+    with pytest.raises(ValueError):
+        fit_distribution([3.0] * 100)  # constant
+    with pytest.raises(ValueError):
+        fit_distribution([-1.0] * 100)  # nothing positive
+
+
+def test_fit_describe_readable(rng):
+    fit = fit_distribution(rng.exponential(1.0, 500))
+    assert "KS=" in fit.describe()
+
+
+# -- queueing network ---------------------------------------------------------
+
+
+def _constant(value):
+    return lambda _cls, _rng: value
+
+
+def test_network_routes_by_class(rng):
+    env = Environment()
+    network = QueueingNetwork(
+        env,
+        [
+            Station("web", 1, _constant(0.001)),
+            Station("db", 1, _constant(0.004)),
+        ],
+        {"static": ["web"], "dynamic": ["web", "db"]},
+        rng,
+    )
+
+    def driver(env):
+        r1 = yield env.process(network.submit("static"))
+        r2 = yield env.process(network.submit("dynamic"))
+        return r1, r2
+
+    r1, r2 = env.run(env.process(driver(env)))
+    assert [v.station for v in r1.visits] == ["web"]
+    assert [v.station for v in r2.visits] == ["web", "db"]
+    assert r2.latency == pytest.approx(0.005)
+
+
+def test_network_queueing_wait_measured(rng):
+    env = Environment()
+    network = QueueingNetwork(
+        env, [Station("s", 1, _constant(0.01))], {"j": ["s"]}, rng
+    )
+    env.process(network.submit("j"))
+    env.process(network.submit("j"))
+    env.run()
+    waits = sorted(v.wait for r in network.results for v in r.visits)
+    assert waits[0] == pytest.approx(0.0)
+    assert waits[1] == pytest.approx(0.01)
+
+
+def test_network_station_utilization(rng):
+    env = Environment()
+    network = QueueingNetwork(
+        env, [Station("s", 1, _constant(0.5))], {"j": ["s"]}, rng
+    )
+    env.process(network.submit("j"))
+    env.run(until=1.0)
+    assert network.station_utilization("s") == pytest.approx(0.5)
+
+
+def test_network_run_open_completes_all(rng):
+    env = Environment()
+    network = QueueingNetwork(
+        env, [Station("s", 2, _constant(0.001))], {"j": ["s"]}, rng
+    )
+    results = network.run_open(
+        PoissonArrivals(100.0, np.random.default_rng(1)),
+        lambda _rng: "j",
+        500,
+    )
+    assert len(results) == 500
+
+
+def test_network_validation(rng):
+    env = Environment()
+    with pytest.raises(ValueError):
+        QueueingNetwork(
+            env, [Station("s", 1, _constant(1.0))], {"j": ["missing"]}, rng
+        )
+    with pytest.raises(ValueError):
+        QueueingNetwork(
+            env,
+            [Station("s", 1, _constant(1.0)), Station("s", 1, _constant(1.0))],
+            {"j": ["s"]},
+            rng,
+        )
+    with pytest.raises(ValueError):
+        Station("bad", 0, _constant(1.0))
+
+
+def test_network_unknown_class_raises(rng):
+    env = Environment()
+    network = QueueingNetwork(
+        env, [Station("s", 1, _constant(1.0))], {"j": ["s"]}, rng
+    )
+    with pytest.raises(KeyError):
+        next(network.submit("nope"))

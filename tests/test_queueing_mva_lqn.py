@@ -1,0 +1,207 @@
+"""Tests for the analytic solvers (Jackson, MVA) and the LQN simulator."""
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    Activity,
+    AnalyticStation,
+    LqnSimulator,
+    LqnTask,
+    MM1,
+    PoissonArrivals,
+    solve_jackson,
+    solve_mva,
+)
+
+
+# -- AnalyticStation -----------------------------------------------------
+
+
+def test_station_demand():
+    s = AnalyticStation("db", visits=2.0, service_time=0.005)
+    assert s.demand == pytest.approx(0.01)
+
+
+def test_station_validation():
+    with pytest.raises(ValueError):
+        AnalyticStation("x", visits=1.0, service_time=0.0)
+    with pytest.raises(ValueError):
+        AnalyticStation("x", visits=-1.0, service_time=0.1)
+
+
+# -- Jackson ------------------------------------------------------------
+
+
+def test_jackson_single_station_equals_mm1():
+    solution = solve_jackson(
+        [AnalyticStation("s", 1.0, 0.01)], arrival_rate=80.0
+    )
+    assert solution.mean_latency == pytest.approx(
+        MM1(80.0, 100.0).mean_response, rel=1e-9
+    )
+
+
+def test_jackson_visits_multiply_load():
+    # 2 visits at rate 40 loads the station like 1 visit at rate 80.
+    two_visits = solve_jackson([AnalyticStation("s", 2.0, 0.01)], 40.0)
+    one_visit = solve_jackson([AnalyticStation("s", 1.0, 0.01)], 80.0)
+    assert two_visits.station_utilization["s"] == pytest.approx(
+        one_visit.station_utilization["s"]
+    )
+
+
+def test_jackson_bottleneck_identification():
+    solution = solve_jackson(
+        [
+            AnalyticStation("cpu", 1.0, 0.002, servers=8),
+            AnalyticStation("disk", 1.0, 0.008),
+        ],
+        arrival_rate=50.0,
+    )
+    assert solution.bottleneck == "disk"
+
+
+def test_jackson_saturation_rejected():
+    with pytest.raises(ValueError):
+        solve_jackson([AnalyticStation("s", 1.0, 0.01)], arrival_rate=150.0)
+
+
+def test_jackson_validation():
+    with pytest.raises(ValueError):
+        solve_jackson([AnalyticStation("s", 1.0, 0.01)], arrival_rate=0.0)
+
+
+# -- MVA ---------------------------------------------------------------
+
+
+def test_mva_single_customer_no_queueing():
+    stations = [
+        AnalyticStation("a", 1.0, 0.01),
+        AnalyticStation("b", 1.0, 0.02),
+    ]
+    solution = solve_mva(stations, n_customers=1, think_time=0.0)
+    assert solution.response_time == pytest.approx(0.03)
+    assert solution.throughput == pytest.approx(1.0 / 0.03)
+
+
+def test_mva_asymptotic_throughput_bound():
+    # Throughput can never exceed 1/max-demand.
+    stations = [AnalyticStation("disk", 1.0, 0.008)]
+    solution = solve_mva(stations, n_customers=50, think_time=0.05)
+    assert solution.throughput <= 1.0 / 0.008 + 1e-9
+    assert solution.throughput == pytest.approx(1.0 / 0.008, rel=0.01)
+
+
+def test_mva_think_time_reduces_congestion():
+    stations = [AnalyticStation("s", 1.0, 0.01)]
+    busy = solve_mva(stations, n_customers=10, think_time=0.0)
+    idle = solve_mva(stations, n_customers=10, think_time=1.0)
+    assert idle.response_time < busy.response_time
+
+
+def test_mva_queue_lengths_sum_to_population():
+    stations = [
+        AnalyticStation("a", 1.0, 0.01),
+        AnalyticStation("b", 1.0, 0.03),
+    ]
+    solution = solve_mva(stations, n_customers=12, think_time=0.0)
+    assert sum(solution.queue_lengths.values()) == pytest.approx(12.0, rel=0.01)
+
+
+def test_mva_matches_mm1_open_limit():
+    # Large N with long think time approximates an open M/M/1.
+    stations = [AnalyticStation("s", 1.0, 0.01)]
+    n, think = 200, 2.5  # offered rate ~ N/(Z+R) ~ 75/s
+    solution = solve_mva(stations, n_customers=n, think_time=think)
+    rate = solution.throughput
+    open_r = MM1(rate, 100.0).mean_response
+    assert solution.response_time == pytest.approx(open_r, rel=0.1)
+
+
+def test_mva_validation():
+    with pytest.raises(ValueError):
+        solve_mva([AnalyticStation("s", 1.0, 0.01)], n_customers=0)
+    with pytest.raises(ValueError):
+        solve_mva([AnalyticStation("s", 1.0, 0.01)], 5, think_time=-1.0)
+
+
+# -- LQN ----------------------------------------------------------------
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+def test_lqn_nested_call_holds_parent():
+    """While web calls db, the web server stays busy: with multiplicity
+    1 at both layers, web utilization >= db utilization."""
+    tasks = [
+        LqnTask("web", 1, (Activity(0.001, "db"),)),
+        LqnTask("db", 1, (Activity(0.004),)),
+    ]
+    result = LqnSimulator(tasks, "web").run(
+        PoissonArrivals(50.0, _rng()), 2000, _rng()
+    )
+    assert result.task_utilization["web"] > result.task_utilization["db"]
+    # Web is held for its own demand plus the whole db call.
+    assert result.task_utilization["web"] == pytest.approx(
+        50.0 * 0.005, rel=0.1
+    )
+
+
+def test_lqn_threads_relieve_blocking():
+    def build(threads):
+        return LqnSimulator(
+            [
+                LqnTask("app", threads, (Activity(0.002, "db"),)),
+                LqnTask("db", 4, (Activity(0.004),)),
+            ],
+            "app",
+        )
+
+    few = build(1).run(PoissonArrivals(120.0, _rng()), 3000, _rng())
+    many = build(8).run(PoissonArrivals(120.0, _rng()), 3000, _rng())
+    assert many.mean_latency < few.mean_latency
+
+
+def test_lqn_latency_includes_all_layers():
+    tasks = [
+        LqnTask("a", 4, (Activity(0.001, "b"), Activity(0.001))),
+        LqnTask("b", 4, (Activity(0.002),)),
+    ]
+    result = LqnSimulator(tasks, "a").run(
+        PoissonArrivals(1.0, _rng()), 100, _rng()
+    )
+    assert result.mean_latency == pytest.approx(0.004, rel=0.05)
+
+
+def test_lqn_node_count():
+    tasks = [
+        LqnTask("a", 1, (Activity(0.001, "b"), Activity(0.001))),
+        LqnTask("b", 1, (Activity(0.002),)),
+    ]
+    assert LqnSimulator(tasks, "a").n_nodes == 5
+
+
+def test_lqn_cycle_rejected():
+    tasks = [
+        LqnTask("a", 1, (Activity(0.001, "b"),)),
+        LqnTask("b", 1, (Activity(0.001, "a"),)),
+    ]
+    with pytest.raises(ValueError):
+        LqnSimulator(tasks, "a")
+
+
+def test_lqn_validation():
+    with pytest.raises(ValueError):
+        LqnTask("x", 0, (Activity(0.001),))
+    with pytest.raises(ValueError):
+        LqnTask("x", 1, ())
+    with pytest.raises(ValueError):
+        Activity(-1.0)
+    tasks = [LqnTask("a", 1, (Activity(0.001, "ghost"),))]
+    with pytest.raises(ValueError):
+        LqnSimulator(tasks, "a")
+    with pytest.raises(ValueError):
+        LqnSimulator([LqnTask("a", 1, (Activity(0.001),))], "missing")

@@ -1,0 +1,132 @@
+"""Tests for model persistence and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    KoozaConfig,
+    KoozaTrainer,
+    ReplayHarness,
+    compare_workloads,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.datacenter import run_gfs_workload
+from repro.tracing import save_traces
+
+
+@pytest.fixture(scope="module")
+def gfs_run():
+    return run_gfs_workload(n_requests=400, seed=61)
+
+
+@pytest.fixture(scope="module")
+def model(gfs_run):
+    return KoozaTrainer().fit(gfs_run.traces)
+
+
+# -- serialization -------------------------------------------------------
+
+
+def test_model_round_trip_is_json_safe(model):
+    data = model_to_dict(model)
+    json.dumps(data)  # must not raise
+    restored = model_from_dict(data)
+    assert restored.n_training_requests == model.n_training_requests
+    assert restored.n_parameters == model.n_parameters
+
+
+def test_round_trip_preserves_chains(model):
+    restored = model_from_dict(model_to_dict(model))
+    assert restored.storage_chain.states == model.storage_chain.states
+    assert np.allclose(
+        restored.storage_chain.transition_matrix,
+        model.storage_chain.transition_matrix,
+    )
+    assert restored.dependency_queue.default == model.dependency_queue.default
+
+
+def test_round_trip_generates_identical_workload(model):
+    restored = model_from_dict(model_to_dict(model))
+    a = model.synthesize(50, np.random.default_rng(5))
+    b = restored.synthesize(50, np.random.default_rng(5))
+    assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+    assert [r.stage_order() for r in a] == [r.stage_order() for r in b]
+
+
+def test_restored_model_validates_like_original(gfs_run, model, tmp_path):
+    path = save_model(model, tmp_path / "model.json")
+    restored = load_model(path)
+    synthetic = restored.synthesize(400, np.random.default_rng(7))
+    replayed = ReplayHarness(seed=9).replay(synthetic)
+    report = compare_workloads(gfs_run.traces, replayed)
+    assert report.worst_feature_deviation_pct < 1.0
+
+
+def test_hierarchical_model_round_trip(gfs_run, tmp_path):
+    model = KoozaTrainer(KoozaConfig(hierarchical_storage=True)).fit(
+        gfs_run.traces
+    )
+    restored = load_model(save_model(model, tmp_path / "h.json"))
+    assert restored.storage_hierarchy is not None
+    assert (
+        restored.storage_hierarchy.n_parameters
+        == model.storage_hierarchy.n_parameters
+    )
+
+
+def test_unfitted_model_rejected():
+    from repro.core import KoozaModel
+
+    with pytest.raises(ValueError):
+        model_to_dict(KoozaModel(KoozaConfig()))
+
+
+def test_unknown_format_version_rejected(model):
+    data = model_to_dict(model)
+    data["format_version"] = 999
+    with pytest.raises(ValueError):
+        model_from_dict(data)
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def test_cli_collect_train_validate(tmp_path, capsys):
+    traces_dir = tmp_path / "traces"
+    model_path = tmp_path / "model.json"
+    assert main(
+        ["collect", "--app", "gfs", "--requests", "300", "--out",
+         str(traces_dir)]
+    ) == 0
+    assert main(["train", str(traces_dir), "--model", str(model_path)]) == 0
+    assert model_path.exists()
+    assert main(["describe", str(model_path)]) == 0
+    out = capsys.readouterr().out
+    assert "DependencyQueue" in out
+    assert main(["validate", str(traces_dir), "--model", str(model_path)]) == 0
+
+
+def test_cli_characterize(gfs_run, tmp_path, capsys):
+    traces_dir = tmp_path / "traces"
+    save_traces(gfs_run.traces, traces_dir)
+    assert main(["characterize", str(traces_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "storage:" in out
+    assert "network:" in out
+
+
+def test_cli_validate_trains_when_no_model(gfs_run, tmp_path):
+    traces_dir = tmp_path / "traces"
+    save_traces(gfs_run.traces, traces_dir)
+    assert main(["validate", str(traces_dir)]) == 0
+
+
+def test_cli_unknown_app_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["collect", "--app", "nope", "--out", str(tmp_path / "x")])

@@ -1,0 +1,316 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return "done"
+
+    p = env.process(proc(env))
+    result = env.run(p)
+    assert result == "done"
+    assert env.now == 5.0
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(0.0)
+        order.append(name)
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert order == ["a", "b"]
+    assert env.now == 0.0
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_process_join_returns_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(3.0)
+        return 42
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    assert env.run(env.process(parent(env))) == 43
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    seen = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        seen.append(delay)
+
+    for d in (5.0, 1.0, 3.0):
+        env.process(proc(env, d))
+    env.run()
+    assert seen == [1.0, 3.0, 5.0]
+
+
+def test_fifo_at_equal_timestamps():
+    env = Environment()
+    seen = []
+
+    def proc(env, name):
+        yield env.timeout(2.0)
+        seen.append(name)
+
+    for name in "abc":
+        env.process(proc(env, name))
+    env.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    got = []
+
+    def waiter(env):
+        value = yield gate
+        got.append(value)
+
+    def opener(env):
+        yield env.timeout(2.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert got == ["open"]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_propagates_to_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        with pytest.raises(RuntimeError, match="boom"):
+            yield gate
+        return "handled"
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    p = env.process(waiter(env))
+    env.process(failer(env))
+    assert env.run(p) == "handled"
+
+
+def test_unhandled_process_exception_escapes_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("kaput")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="kaput"):
+        env.run()
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 7
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        results = yield AllOf(env, [env.timeout(1.0, "a"), env.timeout(4.0, "b")])
+        return sorted(results.values())
+
+    p = env.process(proc(env))
+    assert env.run(p) == ["a", "b"]
+    assert env.now == 4.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        results = yield AnyOf(env, [env.timeout(1.0, "fast"), env.timeout(9.0, "slow")])
+        return list(results.values())
+
+    p = env.process(proc(env))
+    assert env.run(p) == ["fast"]
+    assert env.now == 1.0
+
+
+def test_all_of_with_pretriggered_events():
+    env = Environment()
+
+    def proc(env):
+        t = env.timeout(0.0, "x")
+        yield env.timeout(1.0)  # t fires while we sleep
+        results = yield AllOf(env, [t])
+        return results[0]
+
+    assert env.run(env.process(proc(env))) == "x"
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as err:
+            log.append(err.cause)
+            yield env.timeout(1.0)
+        return "recovered"
+
+    def interrupter(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(victim) == "recovered"
+    assert log == ["wake up"]
+    assert env.now == 6.0
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_peek_and_step():
+    env = Environment()
+
+    def empty(env):
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    env.process(empty(env))
+    env.timeout(3.0)
+    assert env.peek() == 0.0  # process initialization is scheduled now
+
+
+def test_process_rejects_non_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process([1, 2, 3])
+
+
+def test_run_until_event_out_of_events_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(never)
+
+
+def test_nested_processes_chain():
+    env = Environment()
+
+    def level3(env):
+        yield env.timeout(1.0)
+        return 3
+
+    def level2(env):
+        v = yield env.process(level3(env))
+        yield env.timeout(1.0)
+        return v + 2
+
+    def level1(env):
+        v = yield env.process(level2(env))
+        return v + 1
+
+    assert env.run(env.process(level1(env))) == 6
+    assert env.now == 2.0
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_many_processes_complete():
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i % 17 * 0.1)
+        done.append(i)
+
+    for i in range(500):
+        env.process(proc(env, i))
+    env.run()
+    assert len(done) == 500

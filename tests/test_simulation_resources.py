@@ -1,0 +1,189 @@
+"""Unit tests for Resource, Store and utilization accounting."""
+
+import pytest
+
+from repro.simulation import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            active.append((env.now, name))
+            yield env.timeout(10.0)
+
+    for name in "abc":
+        env.process(user(env, res, name))
+    env.run()
+    times = dict((name, t) for t, name in active)
+    assert times["a"] == 0.0
+    assert times["b"] == 0.0
+    assert times["c"] == 10.0  # third user waits for a slot
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name, start):
+        yield env.timeout(start)
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(5.0)
+
+    env.process(user(env, res, "first", 0.0))
+    env.process(user(env, res, "second", 1.0))
+    env.process(user(env, res, "third", 2.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_priority_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def user(env, res, name, prio):
+        yield env.timeout(1.0)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "low", 5.0))
+    env.process(user(env, res, "high", 0.0))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_resource_wait_time_accounting():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res, hold):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    env.process(user(env, res, 4.0))
+    env.process(user(env, res, 1.0))
+    env.run()
+    assert res.total_requests == 2
+    assert res.total_wait == pytest.approx(4.0)
+
+
+def test_resource_utilization_fraction():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(3.0)
+
+    env.process(user(env, res))
+    env.run(until=10.0)
+    assert res.utilization() == pytest.approx(0.3)
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def waiter(env, res):
+        with res.request() as req:
+            yield req
+
+    env.process(holder(env, res))
+    env.process(waiter(env, res))
+    env.process(waiter(env, res))
+    env.run(until=5.0)
+    assert res.count == 1
+    assert res.queue_length == 2
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(7.0)
+        store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(7.0, "late")]
+
+
+def test_store_fifo_items_and_consumers():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store, name):
+        item = yield store.get()
+        got.append((name, item))
+
+    env.process(consumer(env, store, "c1"))
+    env.process(consumer(env, store, "c2"))
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("c1", 1), ("c2", 2)]
+
+
+def test_store_len_counts_buffered_items():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2

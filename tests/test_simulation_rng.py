@@ -1,0 +1,52 @@
+"""Tests for deterministic random streams."""
+
+from repro.simulation import RandomStreams
+
+
+def test_same_name_same_stream_values():
+    a = RandomStreams(seed=7).get("disk").random(5)
+    b = RandomStreams(seed=7).get("disk").random(5)
+    assert (a == b).all()
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=7)
+    a = streams.get("disk").random(5)
+    b = streams.get("nic").random(5)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).get("x").random(5)
+    b = RandomStreams(seed=2).get("x").random(5)
+    assert not (a == b).all()
+
+
+def test_get_is_cached():
+    streams = RandomStreams(seed=0)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(seed=3)
+    s1.get("first")
+    x = s1.get("second").random(3)
+
+    s2 = RandomStreams(seed=3)
+    y = s2.get("second").random(3)  # created without "first"
+    assert (x == y).all()
+
+
+def test_spawn_prefixes_namespace():
+    parent = RandomStreams(seed=5)
+    child = parent.spawn("machine0")
+    a = child.get("disk").random(3)
+    b = parent.get("machine0/disk").random(3)
+    assert (a == b).all()
+
+
+def test_spawned_children_disjoint():
+    parent = RandomStreams(seed=5)
+    a = parent.spawn("m0").get("disk").random(3)
+    b = parent.spawn("m1").get("disk").random(3)
+    assert not (a == b).all()

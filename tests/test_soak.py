@@ -1,0 +1,72 @@
+"""Soak tests: the engine and pipeline at 10x the usual scale.
+
+Keeps the whole stack honest about algorithmic complexity — a heap
+regression or accidental O(n^2) in record handling shows up here as a
+timeout long before it would be diagnosed elsewhere.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import KoozaTrainer, ReplayHarness, compare_workloads
+from repro.datacenter import GfsSpec, run_gfs_workload
+from repro.queueing import PoissonArrivals, QueueingNetwork, Station
+from repro.simulation import Environment
+
+
+def test_engine_handles_hundred_thousand_events_quickly():
+    env = Environment()
+    done = [0]
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        done[0] += 1
+
+    rng = np.random.default_rng(0)
+    start = time.perf_counter()
+    for d in rng.random(20_000):
+        env.process(proc(env, float(d)))
+    env.run()
+    elapsed = time.perf_counter() - start
+    assert done[0] == 20_000
+    assert elapsed < 10.0
+
+
+def test_queueing_network_soak():
+    env = Environment()
+    network = QueueingNetwork(
+        env,
+        [Station("s", 4, lambda _c, r: float(r.exponential(0.002)))],
+        {"j": ["s"]},
+        np.random.default_rng(1),
+    )
+    start = time.perf_counter()
+    results = network.run_open(
+        PoissonArrivals(1000.0, np.random.default_rng(2)),
+        lambda _r: "j",
+        30_000,
+    )
+    elapsed = time.perf_counter() - start
+    assert len(results) == 30_000
+    assert elapsed < 20.0
+
+
+def test_full_pipeline_soak():
+    """10k requests end to end: simulate, train, generate, replay,
+    validate — in well under a minute."""
+    start = time.perf_counter()
+    run = run_gfs_workload(
+        n_requests=10_000,
+        seed=3,
+        arrival_rate=50.0,
+        gfs_spec=GfsSpec(chunkservers=2),
+    )
+    model = KoozaTrainer().fit(run.traces)
+    synthetic = model.synthesize(10_000, np.random.default_rng(4))
+    replayed = ReplayHarness(seed=5, n_servers=2).replay(synthetic)
+    report = compare_workloads(run.traces, replayed)
+    elapsed = time.perf_counter() - start
+    assert len(run.traces.completed_requests()) == 10_000
+    assert report.worst_feature_deviation_pct < 1.0
+    assert elapsed < 60.0

@@ -1,0 +1,150 @@
+"""Tests for self-similarity, burstiness, ACF and pattern classification."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    acf,
+    arrivals_to_counts,
+    classify_utilization_pattern,
+    cross_correlation,
+    dominant_period,
+    hurst_aggregated_variance,
+    hurst_rs,
+    index_of_dispersion,
+    interarrival_cov,
+    peak_to_mean,
+    stationarity_pvalue,
+)
+
+
+def test_arrivals_to_counts_totals():
+    counts = arrivals_to_counts([0.1, 0.2, 1.1, 2.5], bin_width=1.0)
+    assert counts.sum() == 4
+
+
+def test_arrivals_to_counts_validation():
+    with pytest.raises(ValueError):
+        arrivals_to_counts([], 1.0)
+    with pytest.raises(ValueError):
+        arrivals_to_counts([1.0], 0.0)
+
+
+def test_hurst_poisson_near_half():
+    rng = np.random.default_rng(0)
+    arrivals = np.cumsum(rng.exponential(0.01, 50_000))
+    counts = arrivals_to_counts(arrivals, 0.1)
+    assert 0.4 < hurst_rs(counts) < 0.65
+    assert 0.35 < hurst_aggregated_variance(counts) < 0.65
+
+
+def test_hurst_lrd_series_is_high():
+    # A random-walk-modulated rate gives strong long-range dependence.
+    rng = np.random.default_rng(1)
+    rates = np.abs(np.cumsum(rng.normal(0, 1, 4096))) + 1
+    counts = rng.poisson(rates)
+    assert hurst_rs(counts) > 0.75
+
+
+def test_hurst_validation():
+    with pytest.raises(ValueError):
+        hurst_rs([1.0] * 8)
+
+
+def test_interarrival_cov_poisson_one():
+    rng = np.random.default_rng(2)
+    cov = interarrival_cov(rng.exponential(1.0, 20_000))
+    assert cov == pytest.approx(1.0, abs=0.05)
+
+
+def test_interarrival_cov_deterministic_zero():
+    assert interarrival_cov([1.0] * 100) == pytest.approx(0.0)
+
+
+def test_index_of_dispersion_poisson_one():
+    rng = np.random.default_rng(3)
+    arrivals = np.cumsum(rng.exponential(0.01, 50_000))
+    idc = index_of_dispersion(arrivals, 0.1)
+    assert idc == pytest.approx(1.0, abs=0.15)
+
+
+def test_peak_to_mean_uniform_near_one():
+    arrivals = np.arange(0, 100, 0.1)
+    assert peak_to_mean(arrivals, 1.0) == pytest.approx(1.0, abs=0.05)
+
+
+def test_stationarity_detects_level_shift():
+    rng = np.random.default_rng(4)
+    series = np.concatenate([rng.normal(1, 0.1, 200), rng.normal(5, 0.1, 200)])
+    assert stationarity_pvalue(series) < 1e-6
+
+
+def test_stationarity_accepts_stable_series():
+    rng = np.random.default_rng(5)
+    assert stationarity_pvalue(rng.normal(1, 0.1, 400)) > 0.01
+
+
+def test_acf_lag_zero_is_one():
+    rng = np.random.default_rng(6)
+    values = acf(rng.normal(0, 1, 500), max_lag=20)
+    assert values[0] == 1.0
+    assert np.all(np.abs(values[1:]) < 0.2)  # white noise decorrelates
+
+
+def test_acf_periodic_signal_peaks_at_period():
+    series = np.sin(np.arange(400) * 2 * np.pi / 20)
+    values = acf(series, max_lag=40)
+    assert values[20] > 0.9
+
+
+def test_acf_validation():
+    with pytest.raises(ValueError):
+        acf([1.0], max_lag=1)
+    with pytest.raises(ValueError):
+        acf([1.0, 2.0, 3.0], max_lag=5)
+
+
+def test_cross_correlation_perfect_and_none():
+    x = np.arange(100, dtype=float)
+    assert cross_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+    assert cross_correlation(x, np.ones(100)) == 0.0
+
+
+def test_cross_correlation_length_mismatch():
+    with pytest.raises(ValueError):
+        cross_correlation([1, 2, 3], [1, 2])
+
+
+def test_dominant_period_found():
+    series = 5 + np.sin(np.arange(256) * 2 * np.pi / 16)
+    assert dominant_period(series) == 16
+
+
+def test_dominant_period_none_for_noise():
+    rng = np.random.default_rng(7)
+    assert dominant_period(rng.normal(0, 1, 256)) is None
+
+
+def test_classify_periodic():
+    series = 0.3 + 0.2 * np.sin(np.arange(128) * 2 * np.pi / 8)
+    assert classify_utilization_pattern(series) == "periodic"
+
+
+def test_classify_spiky():
+    rng = np.random.default_rng(10)
+    series = np.full(200, 0.1)
+    # Aperiodic spikes: high p99/median but no dominant frequency.
+    series[rng.choice(200, size=5, replace=False)] = 0.9
+    assert classify_utilization_pattern(series) == "spiky"
+
+
+def test_classify_noisy():
+    rng = np.random.default_rng(8)
+    series = np.clip(rng.normal(0.5, 0.2, 256), 0, 1)
+    assert classify_utilization_pattern(series) == "noisy"
+
+
+def test_classify_flat():
+    rng = np.random.default_rng(9)
+    series = np.clip(rng.normal(0.5, 0.01, 256), 0, 1)
+    assert classify_utilization_pattern(series) == "flat"

@@ -1,0 +1,83 @@
+"""Unit tests for trace records and their serialization."""
+
+import pytest
+
+from repro.tracing import (
+    READ,
+    WRITE,
+    CpuRecord,
+    MemoryRecord,
+    NetworkRecord,
+    RequestRecord,
+    StorageRecord,
+)
+
+
+def test_network_record_round_trip():
+    record = NetworkRecord(1, "s1", 0.5, 4096, "rx")
+    assert NetworkRecord.from_dict(record.to_dict()) == record
+
+
+def test_cpu_record_round_trip():
+    record = CpuRecord(2, "s1", 1.5, 0.001, "lookup")
+    assert CpuRecord.from_dict(record.to_dict()) == record
+
+
+def test_memory_record_round_trip():
+    record = MemoryRecord(3, "s1", 2.0, 5, 16384, WRITE, 1e-6)
+    assert MemoryRecord.from_dict(record.to_dict()) == record
+
+
+def test_storage_record_round_trip():
+    record = StorageRecord(4, "s1", 3.0, 1000, 65536, READ, 0.005, 2)
+    assert StorageRecord.from_dict(record.to_dict()) == record
+
+
+def test_request_record_latency():
+    record = RequestRecord(
+        request_id=5,
+        request_class="read_64K",
+        server="s1",
+        arrival_time=1.0,
+        completion_time=1.012,
+    )
+    assert record.latency == pytest.approx(0.012)
+
+
+def test_request_record_cpu_utilization():
+    record = RequestRecord(
+        request_id=6,
+        request_class="x",
+        server="s1",
+        arrival_time=0.0,
+        completion_time=0.010,
+        cpu_busy_seconds=0.001,
+    )
+    assert record.cpu_utilization == pytest.approx(0.1)
+
+
+def test_request_record_zero_latency_utilization():
+    record = RequestRecord(
+        request_id=7, request_class="x", server="s1", arrival_time=1.0
+    )
+    assert record.cpu_utilization == 0.0
+
+
+def test_request_record_round_trip():
+    record = RequestRecord(
+        request_id=8,
+        request_class="write_4M",
+        server="cs-0",
+        arrival_time=0.0,
+        completion_time=0.016,
+        network_bytes=4 << 20,
+        cpu_busy_seconds=8e-4,
+        memory_bytes=256 << 10,
+        memory_op=WRITE,
+        storage_bytes=4 << 20,
+        storage_op=WRITE,
+        extra={"replicas": 2},
+    )
+    restored = RequestRecord.from_dict(record.to_dict())
+    assert restored == record
+    assert restored.extra["replicas"] == 2
