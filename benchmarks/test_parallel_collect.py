@@ -1,0 +1,68 @@
+"""Bench: sharded fleet collection — equivalence and wall-clock scaling.
+
+Two claims back the parallel runner:
+
+* **Equivalence** — the merged TraceSet for ``workers=1`` (inline, no
+  pool) and ``workers=4`` (real process pool) is record-for-record
+  identical, because each replica's randomness is a pure function of
+  ``(seed, replica index)`` through the fixed ``RandomStreams`` segment
+  encoding.  This is asserted unconditionally.
+* **Scaling** — fanning replicas across processes beats the
+  single-process loop.  Wall-clock numbers are recorded on every
+  machine; the speedup assertion only applies where it can physically
+  hold (>= 4 CPU cores — a single-core container can only timeshare
+  the pool and pays pure fork/pickle overhead).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import save_result
+
+from repro.datacenter import FleetSpec, collect_fleet
+
+REPLICAS = 8
+N_REQUESTS = 1500
+SEED = 7
+
+
+def _run(workers: int):
+    spec = FleetSpec(app="gfs", replicas=REPLICAS, seed=SEED, n_requests=N_REQUESTS)
+    start = time.perf_counter()
+    result = collect_fleet(spec, workers=workers)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_collect_equivalence_and_scaling():
+    cores = os.cpu_count() or 1
+    serial, t_serial = _run(workers=1)
+    pooled, t_pooled = _run(workers=4)
+
+    # -- equivalence: identical merged records for any worker count ------
+    for stream in ("network", "cpu", "memory", "storage", "requests", "spans"):
+        a = [r.to_dict() for r in getattr(serial.traces, stream)]
+        b = [r.to_dict() for r in getattr(pooled.traces, stream)]
+        assert a == b, f"{stream} records diverged between worker counts"
+
+    total_requests = len(serial.traces.requests)
+    speedup = t_serial / t_pooled if t_pooled > 0 else float("inf")
+    lines = [
+        f"replicas={REPLICAS} n_requests={N_REQUESTS} seed={SEED} "
+        f"cores={cores}",
+        f"merged records: requests={total_requests} "
+        f"spans={len(serial.traces.spans)}",
+        f"workers=1: {t_serial:.3f}s wall",
+        f"workers=4: {t_pooled:.3f}s wall",
+        f"speedup: {speedup:.2f}x",
+        "merged traces identical across worker counts: yes",
+    ]
+    save_result("parallel_collect", "\n".join(lines))
+
+    # -- scaling: only meaningful with real parallel hardware ------------
+    if cores >= 4:
+        assert speedup > 1.2, (
+            f"expected multi-worker speedup on {cores} cores, got "
+            f"{speedup:.2f}x ({t_serial:.3f}s -> {t_pooled:.3f}s)"
+        )

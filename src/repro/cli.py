@@ -4,6 +4,7 @@ Mirrors the deployment the paper assumes — trace collection on the
 cluster, model training offline, validation and studies anywhere:
 
     repro collect --app gfs --requests 2000 --out traces/
+    repro collect --app gfs --replicas 8 --workers 4 --out traces/
     repro train traces/ --model model.json
     repro describe model.json
     repro validate traces/ --model model.json
@@ -22,22 +23,52 @@ __all__ = ["build_parser", "main"]
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
-    from .datacenter import run_gfs_workload, run_webapp_workload
+    from .datacenter import (
+        collect_fleet,
+        run_gfs_workload,
+        run_mapreduce_jobs,
+        run_webapp_workload,
+    )
     from .tracing import save_traces
 
-    if args.app == "gfs":
+    if args.replicas < 1:
+        raise SystemExit(f"--replicas must be >= 1, got {args.replicas}")
+    if args.replicas > 1:
+        # Sharded fleet: N independent replicas fanned across worker
+        # processes, merged onto one monotonic timeline.  The merged
+        # traces depend only on (app, replicas, seed, ...), never on
+        # the worker count.
+        result = collect_fleet(
+            app=args.app,
+            replicas=args.replicas,
+            seed=args.seed,
+            n_requests=args.requests,
+            arrival_rate=None if args.app == "mapreduce" else args.rate,
+            workers=args.workers,
+        )
+        traces = result.traces
+        extra = (
+            f"; {args.replicas} replicas x {args.workers} workers "
+            f"in {result.elapsed_seconds:.2f}s wall"
+        )
+    elif args.app == "gfs":
         traces = run_gfs_workload(
             n_requests=args.requests, seed=args.seed, arrival_rate=args.rate
         ).traces
+        extra = ""
     elif args.app == "webapp":
         traces = run_webapp_workload(
             n_requests=args.requests, seed=args.seed, arrival_rate=args.rate
         )
+        extra = ""
+    elif args.app == "mapreduce":
+        traces, _ = run_mapreduce_jobs(seed=args.seed)
+        extra = ""
     else:
         raise SystemExit(f"unknown app {args.app!r}")
     save_traces(traces, args.out)
     summary = ", ".join(f"{k}={v}" for k, v in traces.summary().items())
-    print(f"saved traces to {args.out} ({summary})")
+    print(f"saved traces to {args.out} ({summary}{extra})")
     return 0
 
 
@@ -145,10 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     collect = sub.add_parser("collect", help="run a workload, save traces")
-    collect.add_argument("--app", choices=("gfs", "webapp"), default="gfs")
+    collect.add_argument(
+        "--app", choices=("gfs", "webapp", "mapreduce"), default="gfs"
+    )
     collect.add_argument("--requests", type=int, default=2000)
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--rate", type=float, default=25.0)
+    collect.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent workload replicas to run and merge (default 1)",
+    )
+    collect.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the replica fleet; 0 = all cores "
+        "(merged traces are identical for any worker count)",
+    )
     collect.add_argument("--out", type=Path, required=True)
     collect.set_defaults(func=_cmd_collect)
 

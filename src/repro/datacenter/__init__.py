@@ -17,8 +17,16 @@ from .gfs import GfsCluster, GfsRequest, GfsSpec
 from .machine import Machine, MachineSpec
 from .mapreduce import JobResult, MapReduceCluster, MapReduceJob, MapReduceSpec
 from .power import EnergyReport, MachinePowerSpec, PowerModel
+from .fleet import (
+    FleetResult,
+    FleetSpec,
+    ReplicaResult,
+    collect_fleet,
+    run_replica,
+)
 from .run import (
     GfsRun,
+    default_mapreduce_jobs,
     run_gfs_workload,
     run_mapreduce_jobs,
     run_webapp_workload,
@@ -37,6 +45,8 @@ __all__ = [
     "GfsRun",
     "GfsSpec",
     "EnergyReport",
+    "FleetResult",
+    "FleetSpec",
     "JobResult",
     "Machine",
     "MachinePowerSpec",
@@ -49,7 +59,11 @@ __all__ = [
     "WebAppSpec",
     "WebRequest",
     "WebRequestClass",
+    "ReplicaResult",
+    "collect_fleet",
+    "default_mapreduce_jobs",
     "run_gfs_workload",
     "run_mapreduce_jobs",
+    "run_replica",
     "run_webapp_workload",
 ]

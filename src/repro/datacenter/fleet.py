@@ -1,0 +1,235 @@
+"""Fleet driver: N independent workload replicas, sharded across processes.
+
+The paper's KOOZA validation trains on traces from many independent
+workload runs; collecting them one-at-a-time in a single process wastes
+every core but one.  This driver fans ``replicas`` independent copies of
+one of the three standard workloads (:func:`run_gfs_workload`,
+:func:`run_webapp_workload`, :func:`run_mapreduce_jobs`) across worker
+processes and merges their traces into a single :class:`TraceSet`.
+
+Two properties make the merged result well-defined:
+
+* **Deterministic sharding** — replica ``k`` seeds every stochastic
+  component from the stream path ``("replica", str(k))`` under the
+  fleet seed, so its traces are bit-identical no matter which worker
+  process runs it or how many workers exist.  (This is exactly the
+  disjointness contract the fixed :class:`RandomStreams` segment
+  encoding provides; the old per-character keys could alias replica
+  substreams onto workload-internal ones.)
+* **Monotonic merge** — each replica's clock starts at zero, so replica
+  ``k``'s records are shifted by the summed extent of replicas
+  ``0..k-1`` before merging, and its request/span identifiers are
+  shifted past its predecessors'.  Merged timestamps are then globally
+  ordered by replica, and identifiers remain unique, so downstream
+  consumers (model trainers, characterization) see one coherent trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simulation import RandomStreams, run_sharded
+from ..tracing import TraceSet
+from .mapreduce import JobResult
+from .run import run_gfs_workload, run_mapreduce_jobs, run_webapp_workload
+
+__all__ = [
+    "FleetResult",
+    "FleetSpec",
+    "ReplicaResult",
+    "collect_fleet",
+    "replica_streams",
+    "run_replica",
+]
+
+#: Workloads the fleet can drive, with their default arrival rates.
+_APPS = {"gfs": 25.0, "webapp": 120.0, "mapreduce": None}
+
+
+def replica_streams(seed: int, index: int) -> RandomStreams:
+    """The stream factory for replica ``index`` of a fleet seeded ``seed``.
+
+    Pure function of ``(seed, index)`` — workers reconstruct it locally,
+    so no generator state crosses process boundaries.
+    """
+    return RandomStreams(seed).spawn("replica").spawn(str(index))
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """What to run: which app, how many replicas, how big each one is."""
+
+    app: str = "gfs"
+    replicas: int = 1
+    seed: int = 0
+    n_requests: int = 2000
+    arrival_rate: Optional[float] = None  # None = app default
+    sample_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.app not in _APPS:
+            raise ValueError(
+                f"unknown app {self.app!r}; expected one of {sorted(_APPS)}"
+            )
+        if self.replicas < 1:
+            raise ValueError(f"need >= 1 replica, got {self.replicas}")
+        if self.n_requests < 1:
+            raise ValueError(f"need >= 1 request, got {self.n_requests}")
+
+    def replica(self, index: int) -> "ReplicaSpec":
+        rate = self.arrival_rate
+        if rate is None:
+            rate = _APPS[self.app]
+        return ReplicaSpec(
+            app=self.app,
+            index=index,
+            seed=self.seed,
+            n_requests=self.n_requests,
+            arrival_rate=rate,
+            sample_every=self.sample_every,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica's share of a fleet run (picklable; sent to workers)."""
+
+    app: str
+    index: int
+    seed: int
+    n_requests: int
+    arrival_rate: Optional[float]
+    sample_every: int = 1
+
+
+@dataclass
+class ReplicaResult:
+    """What one replica produced (picklable; returned from workers)."""
+
+    index: int
+    traces: TraceSet
+    duration: float
+    job_results: list[JobResult] = field(default_factory=list)
+
+
+@dataclass
+class FleetResult:
+    """The merged outcome of a fleet collection run."""
+
+    traces: TraceSet
+    spec: FleetSpec
+    workers: int
+    replica_durations: list[float]
+    elapsed_seconds: float
+    job_results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def total_simulated_time(self) -> float:
+        return sum(self.replica_durations)
+
+
+def _extent(traces: TraceSet, duration: float) -> float:
+    """The time span a replica occupies on the merged timeline."""
+    stamps = [duration]
+    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
+        stamps.extend(r.timestamp for r in stream)
+    stamps.extend(r.completion_time for r in traces.requests)
+    stamps.extend(s.start for s in traces.spans)  # .end may be NaN
+    return max(stamps)
+
+
+def _max_request_id(traces: TraceSet) -> int:
+    ids = [0]
+    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
+        ids.extend(r.request_id for r in stream)
+    ids.extend(r.request_id for r in traces.requests)
+    ids.extend(s.trace_id for s in traces.spans)
+    return max(ids)
+
+
+def run_replica(spec: ReplicaSpec) -> ReplicaResult:
+    """Execute one replica; the worker-process entry point.
+
+    All randomness comes from :func:`replica_streams`, so the result is
+    a pure function of the spec.
+    """
+    streams = replica_streams(spec.seed, spec.index)
+    if spec.app == "gfs":
+        run = run_gfs_workload(
+            n_requests=spec.n_requests,
+            arrival_rate=spec.arrival_rate,
+            sample_every=spec.sample_every,
+            streams=streams,
+        )
+        return ReplicaResult(spec.index, run.traces, run.env.now)
+    if spec.app == "webapp":
+        traces = run_webapp_workload(
+            n_requests=spec.n_requests,
+            arrival_rate=spec.arrival_rate,
+            sample_every=spec.sample_every,
+            streams=streams,
+        )
+        return ReplicaResult(spec.index, traces, _extent(traces, 0.0))
+    traces, results = run_mapreduce_jobs(
+        sample_every=spec.sample_every, streams=streams
+    )
+    return ReplicaResult(spec.index, traces, _extent(traces, 0.0), list(results))
+
+
+def merge_replicas(results: list[ReplicaResult]) -> TraceSet:
+    """Merge replica traces onto one timeline with unique identifiers.
+
+    Replicas are laid out end-to-end in index order: replica ``k`` is
+    shifted by the total extent of all earlier replicas (monotonic time
+    offsets) and its request/span ids are shifted past the largest ids
+    already merged.
+    """
+    merged = TraceSet()
+    time_offset = 0.0
+    request_id_offset = 0
+    span_id_offset = 0
+    for result in sorted(results, key=lambda r: r.index):
+        shifted = result.traces.shifted(
+            time_offset=time_offset,
+            request_id_offset=request_id_offset,
+            span_id_offset=span_id_offset,
+        )
+        merged = merged.merge(shifted)
+        time_offset += _extent(result.traces, result.duration)
+        request_id_offset += _max_request_id(result.traces)
+        span_id_offset += max([0] + [s.span_id for s in result.traces.spans])
+    return merged
+
+
+def collect_fleet(
+    spec: Optional[FleetSpec] = None,
+    workers: int = 1,
+    **spec_kwargs,
+) -> FleetResult:
+    """Run a fleet of replicas and merge their traces.
+
+    Either pass a prebuilt :class:`FleetSpec` or its fields as keyword
+    arguments (``collect_fleet(app="gfs", replicas=8, workers=4)``).
+    ``workers <= 0`` uses every available core.  The merged traces are
+    bit-identical for any worker count.
+    """
+    if spec is None:
+        spec = FleetSpec(**spec_kwargs)
+    elif spec_kwargs:
+        raise TypeError("pass either a FleetSpec or keyword fields, not both")
+    replica_specs = [spec.replica(k) for k in range(spec.replicas)]
+    start = time.perf_counter()
+    results = run_sharded(run_replica, replica_specs, workers)
+    elapsed = time.perf_counter() - start
+    merged = merge_replicas(results)
+    job_results = [jr for r in results for jr in r.job_results]
+    return FleetResult(
+        traces=merged,
+        spec=spec,
+        workers=workers,
+        replica_durations=[r.duration for r in results],
+        elapsed_seconds=elapsed,
+        job_results=job_results,
+    )

@@ -3,6 +3,14 @@
 These helpers cover the standard trace-collection runs the benches and
 examples repeat: build an environment, instrument a cluster, drive it
 with a workload, return the collected :class:`TraceSet`.
+
+Each helper accepts an optional injected :class:`RandomStreams` so a
+coordinating layer (notably :mod:`repro.datacenter.fleet`) can control
+seeding — e.g. handing replica ``k`` the substream factory
+``RandomStreams(seed).spawn("replica").spawn(str(k))`` so sharded runs
+are bit-reproducible regardless of how they are scheduled onto worker
+processes.  When ``streams`` is omitted, ``RandomStreams(seed)`` is
+used, preserving the historical single-run behavior.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from .webapp import WebAppCluster, WebAppSpec
 
 __all__ = [
     "GfsRun",
+    "default_mapreduce_jobs",
     "run_gfs_workload",
     "run_mapreduce_jobs",
     "run_webapp_workload",
@@ -37,11 +46,24 @@ class GfsRun:
     cluster: GfsCluster
     env: Environment
     duration: float
+    settle_time: float = 0.0
 
     def throughput(self) -> float:
-        """Completed requests per simulated second."""
-        completed = len(self.traces.completed_requests())
-        return completed / self.duration if self.duration > 0 else 0.0
+        """Completed requests per simulated second, after warm-up.
+
+        Only requests completing *after* ``settle_time`` count, so a
+        warm-up window shrinks both the numerator and the denominator.
+        (Historically all completions were divided by the settle-adjusted
+        duration, overstating throughput whenever ``settle_time > 0``.)
+        """
+        if self.duration <= 0:
+            return 0.0
+        completed = sum(
+            1
+            for r in self.traces.completed_requests()
+            if r.completion_time > self.settle_time
+        )
+        return completed / self.duration
 
 
 def run_gfs_workload(
@@ -54,17 +76,20 @@ def run_gfs_workload(
     arrivals: Optional[ArrivalProcess] = None,
     sample_every: int = 1,
     settle_time: float = 0.0,
+    streams: Optional[RandomStreams] = None,
 ) -> GfsRun:
     """Run an open-loop GFS workload and collect traces.
 
     ``arrival_rate`` is ignored when an explicit ``arrivals`` process is
-    passed.  ``settle_time`` discards nothing but is added to the run
-    duration accounting (callers that want warm-up filtering can drop
-    early records from the TraceSet themselves).
+    passed.  ``settle_time`` marks the warm-up window: requests
+    completing inside it are still traced but excluded from
+    :meth:`GfsRun.throughput`, and the run duration is counted from the
+    end of the window.  ``seed`` is ignored when ``streams`` is passed.
     """
     if n_requests < 1:
         raise ValueError(f"need >= 1 request, got {n_requests}")
-    streams = RandomStreams(seed)
+    if streams is None:
+        streams = RandomStreams(seed)
     env = Environment()
     tracer = Tracer(sample_every=sample_every)
     cluster = GfsCluster(
@@ -81,6 +106,7 @@ def run_gfs_workload(
         cluster=cluster,
         env=env,
         duration=env.now - settle_time,
+        settle_time=settle_time,
     )
 
 
@@ -92,11 +118,16 @@ def run_webapp_workload(
     machine_spec: Optional[MachineSpec] = None,
     arrivals: Optional[ArrivalProcess] = None,
     sample_every: int = 1,
+    streams: Optional[RandomStreams] = None,
 ) -> TraceSet:
-    """Run an open-loop 3-tier web workload and collect traces."""
+    """Run an open-loop 3-tier web workload and collect traces.
+
+    ``seed`` is ignored when an explicit ``streams`` factory is passed.
+    """
     if n_requests < 1:
         raise ValueError(f"need >= 1 request, got {n_requests}")
-    streams = RandomStreams(seed)
+    if streams is None:
+        streams = RandomStreams(seed)
     env = Environment()
     tracer = Tracer(sample_every=sample_every)
     cluster = WebAppCluster(
@@ -116,26 +147,41 @@ def run_webapp_workload(
     return tracer.traces
 
 
+def default_mapreduce_jobs(
+    rng: np.random.Generator, n_jobs: int = 8
+) -> list[MapReduceJob]:
+    """Synthesize the standard batch of small MapReduce jobs."""
+    return [
+        MapReduceJob(
+            name=f"job-{i}",
+            input_bytes=int(rng.integers(16, 256)) * 1024 * 1024,
+            n_map=int(rng.integers(2, 9)),
+            n_reduce=int(rng.integers(1, 5)),
+        )
+        for i in range(n_jobs)
+    ]
+
+
 def run_mapreduce_jobs(
     jobs: Optional[list[MapReduceJob]] = None,
     seed: int = 0,
     spec: Optional[MapReduceSpec] = None,
     machine_spec: Optional[MachineSpec] = None,
     sample_every: int = 1,
+    streams: Optional[RandomStreams] = None,
 ) -> tuple[TraceSet, list[JobResult]]:
-    """Run a batch of MapReduce jobs back-to-back; traces + results."""
+    """Run a batch of MapReduce jobs back-to-back; traces + results.
+
+    When ``jobs`` is omitted a default batch is synthesized from the
+    ``workload/jobs`` substream — *not* a raw generator seeded directly
+    from ``seed`` — so job synthesis honors the repository invariant
+    that every stochastic component draws from a named substream.
+    ``seed`` is ignored when an explicit ``streams`` factory is passed.
+    """
+    if streams is None:
+        streams = RandomStreams(seed)
     if jobs is None:
-        rng = np.random.default_rng(seed)
-        jobs = [
-            MapReduceJob(
-                name=f"job-{i}",
-                input_bytes=int(rng.integers(16, 256)) * 1024 * 1024,
-                n_map=int(rng.integers(2, 9)),
-                n_reduce=int(rng.integers(1, 5)),
-            )
-            for i in range(8)
-        ]
-    streams = RandomStreams(seed)
+        jobs = default_mapreduce_jobs(streams.get("workload/jobs"))
     env = Environment()
     tracer = Tracer(sample_every=sample_every)
     cluster = MapReduceCluster(

@@ -61,6 +61,15 @@ class QuantileDiscretizer:
                 reps[b] = members.mean()
             else:
                 reps[b] = 0.5 * (edges[b] + edges[b + 1])
+        # Float summation can nudge a mean (or a midpoint between two
+        # adjacent floats) onto or past the bin's right edge, breaking
+        # the transform(representative(b)) == b round trip.  Clamp each
+        # representative into its half-open bin; the last bin is closed
+        # on the right by _assign's clipping, so its edge is fine.
+        for b in range(edges.size - 2):
+            hi = np.nextafter(edges[b + 1], -np.inf)
+            reps[b] = min(max(reps[b], edges[b]), hi)
+        reps[-1] = max(reps[-1], edges[-2])
         self.representatives_ = reps
         return self
 

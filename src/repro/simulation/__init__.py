@@ -17,6 +17,7 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .parallel import available_workers, resolve_workers, run_sharded
 from .resources import Request, Resource, Store, UtilizationMeter
 from .rng import RandomStreams
 
@@ -34,4 +35,7 @@ __all__ = [
     "Store",
     "Timeout",
     "UtilizationMeter",
+    "available_workers",
+    "resolve_workers",
+    "run_sharded",
 ]

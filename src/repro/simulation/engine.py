@@ -235,16 +235,21 @@ class Condition(Event):
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
-        self._remaining = 0
         for event in self._events:
             if event.env is not env:
                 raise SimulationError("events from mixed environments")
+        if not self._events:
+            # An empty condition is vacuously satisfied.  Triggering it
+            # at creation (as SimPy does) matters most for AnyOf, where
+            # ``any([]) is False`` would otherwise leave the condition
+            # pending forever and deadlock the yielding process.
+            self._finish()
+            return
         for event in self._events:
             if event.callbacks is None:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
-                self._remaining += 1
         if self._ok is None and self._satisfied():
             self._finish()
 
@@ -369,6 +374,13 @@ class Environment:
         * a number — run until the clock reaches that time,
         * an :class:`Event` — run until that event is processed and
           return its value (raising if it failed).
+
+        The numeric bound is *inclusive*: events scheduled exactly at
+        ``until`` are executed before returning, and the clock is left
+        at ``until``.  Callers windowing a simulation with repeated
+        ``run(until=...)`` calls should therefore treat each window as
+        owning its right edge — a follow-up ``run(until=t)`` with the
+        same ``t`` executes nothing further.
         """
         if isinstance(until, Event):
             stop = until

@@ -1,0 +1,71 @@
+"""Sharded parallel execution of independent simulation replicas.
+
+Trace-collection sweeps repeat the same single-process simulation many
+times with different substreams; nothing couples the replicas, so they
+shard perfectly across worker processes.  This module provides the
+process-pool plumbing, deliberately decoupled from any particular
+workload: callers hand it a picklable worker function plus a list of
+picklable per-replica specs and get results back *in spec order*,
+independent of which worker finished first.
+
+Determinism is the caller's contract: a worker must derive all of its
+randomness from its spec (e.g. a :class:`~repro.simulation.rng.RandomStreams`
+path keyed by replica index), never from process-global state — then the
+result for spec ``k`` is bit-identical whether the pool has one worker
+or sixteen.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["available_workers", "resolve_workers", "run_sharded"]
+
+SpecT = TypeVar("SpecT")
+ResultT = TypeVar("ResultT")
+
+
+def available_workers() -> int:
+    """Number of usable worker processes on this machine."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int, n_tasks: int) -> int:
+    """Clamp a requested worker count to something sensible.
+
+    ``workers <= 0`` means "use all available cores".  The result never
+    exceeds the number of tasks (extra processes would only add fork
+    cost) and is always at least one.
+    """
+    if workers <= 0:
+        workers = available_workers()
+    return max(1, min(workers, n_tasks))
+
+
+def run_sharded(
+    worker: Callable[[SpecT], ResultT],
+    specs: Sequence[SpecT],
+    workers: int = 1,
+) -> list[ResultT]:
+    """Run ``worker`` over every spec, fanned across processes.
+
+    ``worker`` and each spec must be picklable (a module-level function
+    and frozen dataclasses work; lambdas and closures do not).  Results
+    are returned in the same order as ``specs``.  With one (effective)
+    worker everything runs inline in this process — no pool, no pickle
+    round-trip — which is also the deterministic reference path the
+    multi-worker result is validated against.
+
+    The first worker exception, if any, propagates to the caller.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    n_workers = resolve_workers(workers, len(specs))
+    if n_workers == 1:
+        return [worker(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        # pool.map preserves input order regardless of completion order.
+        return list(pool.map(worker, specs))

@@ -13,32 +13,61 @@ import numpy as np
 __all__ = ["RandomStreams"]
 
 
+def _encode_path(path: tuple[str, ...]) -> list[int]:
+    """Encode a stream path as an unambiguous flat key sequence.
+
+    Each segment is rendered as its UTF-8 byte length followed by the
+    byte values (a prefix code), so distinct paths can never flatten to
+    the same key — ``("a", "b/c")`` encodes to ``[1, 97, 3, 98, 47, 99]``
+    while ``("a/b", "c")`` encodes to ``[3, 97, 47, 98, 1, 99]``.  The
+    naive per-character encoding this replaces collapsed both to the
+    characters of ``"a/b/c"``, silently aliasing streams that sharded
+    experiment replicas rely on being disjoint.
+    """
+    key: list[int] = []
+    for segment in path:
+        data = segment.encode("utf-8")
+        key.append(len(data))
+        key.extend(data)
+    return key
+
+
 class RandomStreams:
     """A factory of independent, named ``numpy.random.Generator`` streams.
 
-    Streams are derived from ``(root_seed, name)`` so the same name
+    Streams are derived from ``(root_seed, path)`` so the same path
     always yields the same stream regardless of creation order::
 
         streams = RandomStreams(seed=7)
         disk_rng = streams.get("disk.0")
         net_rng = streams.get("network")
+
+    Every ``spawn()`` / ``get()`` name is one opaque path *segment* —
+    segment boundaries are part of the stream identity.  Consequently
+    ``spawn("a").get("b/c")``, ``spawn("a/b").get("c")`` and
+    ``get("a/b/c")`` are three mutually disjoint streams: a ``"/"``
+    inside a name is just a character, not a namespace hop.
     """
 
     def __init__(self, seed: int = 0, prefix: str = ""):
         self.seed = int(seed)
-        self.prefix = prefix
+        self._path: tuple[str, ...] = (prefix,) if prefix else ()
         self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def prefix(self) -> str:
+        """Human-readable namespace path (diagnostic only)."""
+        return "/".join(self._path)
 
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the stream for ``name``."""
-        full = f"{self.prefix}/{name}" if self.prefix else name
-        if full not in self._streams:
-            # Encode the name into deterministic spawn keys.
-            key = [self.seed] + [ord(c) for c in full]
-            self._streams[full] = np.random.default_rng(np.random.SeedSequence(key))
-        return self._streams[full]
+        if name not in self._streams:
+            key = [self.seed] + _encode_path(self._path + (name,))
+            self._streams[name] = np.random.default_rng(np.random.SeedSequence(key))
+        return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
         """A child factory whose streams are disjoint from this one's."""
-        child_prefix = f"{self.prefix}/{name}" if self.prefix else name
-        return RandomStreams(self.seed, prefix=child_prefix)
+        child = RandomStreams(self.seed)
+        child._path = self._path + (name,)
+        return child

@@ -15,7 +15,7 @@ A :class:`TraceSet` bundles everything a model trainer consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .records import (
@@ -25,7 +25,7 @@ from .records import (
     RequestRecord,
     StorageRecord,
 )
-from .span import Span, TraceTree, build_trace_trees
+from .span import Annotation, Span, TraceTree, build_trace_trees
 
 __all__ = ["TraceSet", "Tracer"]
 
@@ -58,6 +58,61 @@ class TraceSet:
         for record in self.completed_requests():
             grouped.setdefault(record.request_class, []).append(record)
         return grouped
+
+    def shifted(
+        self,
+        time_offset: float = 0.0,
+        request_id_offset: int = 0,
+        span_id_offset: int = 0,
+    ) -> "TraceSet":
+        """A copy with all timestamps and identifiers offset.
+
+        Used when merging independent runs (e.g. fleet replicas) into
+        one trace timeline: each run's clock starts at zero and its
+        tracer numbers requests/spans from one, so a later run must be
+        shifted past its predecessors to keep merged timestamps
+        monotone per replica and identifiers globally unique.
+        """
+
+        def req(r: RequestRecord) -> RequestRecord:
+            return replace(
+                r,
+                request_id=r.request_id + request_id_offset,
+                arrival_time=r.arrival_time + time_offset,
+                completion_time=r.completion_time + time_offset,
+            )
+
+        def span(s: Span) -> Span:
+            return replace(
+                s,
+                trace_id=s.trace_id + request_id_offset,
+                span_id=s.span_id + span_id_offset,
+                parent_id=(
+                    None if s.parent_id is None else s.parent_id + span_id_offset
+                ),
+                start=s.start + time_offset,
+                end=s.end + time_offset,
+                annotations=[
+                    Annotation(a.timestamp + time_offset, a.message)
+                    for a in s.annotations
+                ],
+            )
+
+        def rec(r):
+            return replace(
+                r,
+                request_id=r.request_id + request_id_offset,
+                timestamp=r.timestamp + time_offset,
+            )
+
+        return TraceSet(
+            network=[rec(r) for r in self.network],
+            cpu=[rec(r) for r in self.cpu],
+            memory=[rec(r) for r in self.memory],
+            storage=[rec(r) for r in self.storage],
+            requests=[req(r) for r in self.requests],
+            spans=[span(s) for s in self.spans],
+        )
 
     def merge(self, other: "TraceSet") -> "TraceSet":
         """A new TraceSet containing this set's and ``other``'s records."""

@@ -108,3 +108,39 @@ def test_mapreduce_task_classes():
     grouped = traces.requests_by_class()
     assert len(grouped["map"]) == 3
     assert len(grouped["reduce"]) == 2
+
+
+def test_mapreduce_default_jobs_drawn_from_named_substream():
+    # Regression: default jobs used to come from a raw
+    # np.random.default_rng(seed), bypassing the RandomStreams
+    # invariant.  They must be exactly the draws of the
+    # "workload/jobs" substream.
+    from repro.datacenter import default_mapreduce_jobs
+    from repro.simulation import RandomStreams
+
+    _, results = run_mapreduce_jobs(seed=17)
+    expected = default_mapreduce_jobs(RandomStreams(17).get("workload/jobs"))
+    assert [r.job.name for r in results] == [j.name for j in expected]
+    assert [r.job.input_bytes for r in results] == [j.input_bytes for j in expected]
+    assert [r.job.n_map for r in results] == [j.n_map for j in expected]
+    assert [r.job.n_reduce for r in results] == [j.n_reduce for j in expected]
+
+
+def test_mapreduce_default_jobs_reproducible_per_seed():
+    _, a = run_mapreduce_jobs(seed=17)
+    _, b = run_mapreduce_jobs(seed=17)
+    _, c = run_mapreduce_jobs(seed=18)
+    assert [r.job.input_bytes for r in a] == [r.job.input_bytes for r in b]
+    assert [r.job.input_bytes for r in a] != [r.job.input_bytes for r in c]
+
+
+def test_run_helpers_accept_injected_streams():
+    from repro.simulation import RandomStreams
+
+    jobs = [MapReduceJob("j0", input_bytes=16 << 20, n_map=2, n_reduce=1)]
+    t1, _ = run_mapreduce_jobs(jobs=jobs, streams=RandomStreams(5).spawn("x"))
+    t2, _ = run_mapreduce_jobs(jobs=jobs, streams=RandomStreams(5).spawn("x"))
+    t3, _ = run_mapreduce_jobs(jobs=jobs, streams=RandomStreams(5).spawn("y"))
+    ts1 = [r.completion_time for r in t1.requests]
+    assert ts1 == [r.completion_time for r in t2.requests]
+    assert ts1 != [r.completion_time for r in t3.requests]

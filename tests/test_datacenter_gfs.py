@@ -172,3 +172,32 @@ def test_table2_shape_read_faster_but_lower_util_than_write():
     # and higher CPU utilization than the 64 KiB read.
     assert write_lat > read_lat
     assert write_util > read_util
+
+
+def test_throughput_counts_only_post_settle_completions():
+    # Regression: with settle_time > 0, throughput() used to divide ALL
+    # completions by the settle-adjusted duration, overstating it.
+    run = run_gfs_workload(n_requests=300, seed=9)
+    settle = run.env.now / 2.0
+    settled = run_gfs_workload(n_requests=300, seed=9, settle_time=settle)
+    assert settled.env.now == run.env.now  # same simulation, same seed
+
+    post_settle = sum(
+        1
+        for r in settled.traces.completed_requests()
+        if r.completion_time > settle
+    )
+    expected = post_settle / (settled.env.now - settle)
+    assert settled.throughput() == pytest.approx(expected)
+    # The buggy accounting would have divided all 300 completions by the
+    # shortened window, a strictly larger number.
+    overstated = len(settled.traces.completed_requests()) / (
+        settled.env.now - settle
+    )
+    assert settled.throughput() < overstated
+
+
+def test_throughput_unchanged_without_settle_time():
+    run = run_gfs_workload(n_requests=200, seed=11)
+    completed = len(run.traces.completed_requests())
+    assert run.throughput() == pytest.approx(completed / run.env.now)

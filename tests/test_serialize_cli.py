@@ -130,3 +130,32 @@ def test_cli_validate_trains_when_no_model(gfs_run, tmp_path):
 def test_cli_unknown_app_rejected(tmp_path):
     with pytest.raises(SystemExit):
         main(["collect", "--app", "nope", "--out", str(tmp_path / "x")])
+
+
+def test_cli_collect_replicas_identical_across_workers(tmp_path, capsys):
+    # Determinism contract of `repro collect --replicas N`: the saved
+    # merged traces are byte-identical for any --workers value.
+    args = ["collect", "--app", "gfs", "--requests", "60", "--replicas", "3"]
+    d1 = tmp_path / "w1"
+    d2 = tmp_path / "w2"
+    assert main(args + ["--workers", "1", "--out", str(d1)]) == 0
+    assert main(args + ["--workers", "2", "--out", str(d2)]) == 0
+    out = capsys.readouterr().out
+    assert "3 replicas" in out
+    for stream in ("network", "cpu", "memory", "storage", "requests", "spans"):
+        f1 = (d1 / f"{stream}.jsonl").read_bytes()
+        f2 = (d2 / f"{stream}.jsonl").read_bytes()
+        assert f1 == f2, f"{stream}.jsonl differs between worker counts"
+    # 3 replicas x 60 requests on one monotonic timeline.
+    assert len((d1 / "requests.jsonl").read_bytes().splitlines()) == 180
+
+
+def test_cli_collect_mapreduce(tmp_path):
+    out = tmp_path / "mr"
+    assert main(["collect", "--app", "mapreduce", "--out", str(out)]) == 0
+    assert (out / "requests.jsonl").exists()
+
+
+def test_cli_collect_rejects_nonpositive_replicas(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["collect", "--replicas", "0", "--out", str(tmp_path / "x")])

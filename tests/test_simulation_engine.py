@@ -314,3 +314,57 @@ def test_many_processes_complete():
         env.process(proc(env, i))
     env.run()
     assert len(done) == 500
+
+
+def test_empty_any_of_succeeds_immediately():
+    # Regression: ``any([]) is False`` left an empty AnyOf untriggered
+    # forever, silently deadlocking the process that yielded it.
+    env = Environment()
+    cond = env.any_of([])
+    assert cond.triggered
+
+    def proc(env):
+        result = yield env.any_of([])
+        yield env.timeout(1.0)
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert not p.is_alive
+    assert p.value == {}
+    assert env.now == 1.0
+
+
+def test_empty_all_of_succeeds_immediately():
+    env = Environment()
+    cond = env.all_of([])
+    assert cond.triggered
+
+    def proc(env):
+        result = yield env.all_of([])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_run_until_boundary_executes_events_at_limit():
+    # run(until=t) is inclusive of t: events scheduled exactly at t run
+    # before returning, so each window owns its right edge.
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(5.0)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert fired == [5.0]
+    assert env.now == 5.0
+
+    # The next window starts strictly after the shared edge: re-running
+    # to the same bound executes nothing further.
+    env.run(until=5.0)
+    assert fired == [5.0]
