@@ -1,14 +1,23 @@
-"""Command-line interface: collect / train / describe / validate / characterize.
+"""Command-line interface: collect / merge / train / describe / validate / characterize.
 
 Mirrors the deployment the paper assumes — trace collection on the
 cluster, model training offline, validation and studies anywhere:
 
     repro collect --app gfs --requests 2000 --out traces/
     repro collect --app gfs --replicas 8 --workers 4 --out traces/
+    repro collect --app gfs --replicas 2 --sweep-rate 10,25,40 --out sweep/
+    repro merge traces/ --out traces/merged
     repro train traces/ --model model.json
+    repro train traces/ --per-class --workers 4 --model classes.json
     repro describe model.json
     repro validate traces/ --model model.json
     repro characterize traces/
+
+Multi-replica collection persists a *sharded* store (one
+``shard-<idx>/`` per replica, written as each replica completes, with
+manifests instead of in-memory merging — see ``docs/trace_store.md``);
+every trace-consuming command reads flat dumps and shard stores alike
+through one loader.
 """
 
 from __future__ import annotations
@@ -24,33 +33,99 @@ __all__ = ["build_parser", "main"]
 
 def _cmd_collect(args: argparse.Namespace) -> int:
     from .datacenter import (
+        FleetSpec,
         collect_fleet,
+        collect_fleet_to_store,
         run_gfs_workload,
         run_mapreduce_jobs,
         run_webapp_workload,
+        sweep_replica_specs,
     )
     from .tracing import save_traces
 
     if args.replicas < 1:
         raise SystemExit(f"--replicas must be >= 1, got {args.replicas}")
-    if args.replicas > 1:
-        # Sharded fleet: N independent replicas fanned across worker
-        # processes, merged onto one monotonic timeline.  The merged
-        # traces depend only on (app, replicas, seed, ...), never on
-        # the worker count.
-        result = collect_fleet(
+    rate = None if args.app == "mapreduce" else args.rate
+    sweep_rates = None
+    if args.sweep_rate:
+        try:
+            sweep_rates = [float(r) for r in args.sweep_rate.split(",") if r]
+        except ValueError:
+            raise SystemExit(f"bad --sweep-rate list: {args.sweep_rate!r}")
+        if not sweep_rates:
+            raise SystemExit("--sweep-rate needs at least one rate")
+    if (args.replicas > 1 or sweep_rates) and not args.flat:
+        # Sharded fleet streamed straight to an on-disk store: each
+        # replica writes shard-<idx>/ as it completes and only the
+        # manifest crosses the process pool.  The stitched merge
+        # depends only on (app, replicas, seed, ...), never on the
+        # worker count.
+        spec = FleetSpec(
             app=args.app,
             replicas=args.replicas,
             seed=args.seed,
             n_requests=args.requests,
-            arrival_rate=None if args.app == "mapreduce" else args.rate,
+            arrival_rate=rate,
+        )
+        replica_specs = None
+        if sweep_rates:
+            replica_specs = sweep_replica_specs(
+                spec, [{"arrival_rate": r} for r in sweep_rates]
+            )
+            spec = None
+
+        def report(index: int, manifest) -> None:
+            print(
+                f"shard {index} persisted: {manifest.n_records} records "
+                f"({manifest.duration:.2f}s simulated)"
+            )
+
+        result = collect_fleet_to_store(
+            spec,
+            directory=args.out,
             workers=args.workers,
+            compress=args.gzip,
+            replica_specs=replica_specs,
+            on_shard=report,
         )
-        traces = result.traces
-        extra = (
-            f"; {args.replicas} replicas x {args.workers} workers "
-            f"in {result.elapsed_seconds:.2f}s wall"
+        n_shards = len(result.manifests)
+        print(
+            f"saved shard store to {args.out} ({n_shards} shards, "
+            f"{result.n_records} records; {n_shards} replicas x "
+            f"{args.workers} workers in {result.elapsed_seconds:.2f}s wall)"
         )
+        return 0
+    if args.replicas > 1 or sweep_rates:
+        # --flat: legacy path — merge in memory, save one flat dump.
+        if sweep_rates:
+            spec = FleetSpec(
+                app=args.app,
+                replicas=args.replicas,
+                seed=args.seed,
+                n_requests=args.requests,
+                arrival_rate=rate,
+            )
+            from .datacenter import collect_replicas, merge_replicas
+
+            specs = sweep_replica_specs(
+                spec, [{"arrival_rate": r} for r in sweep_rates]
+            )
+            traces = merge_replicas(collect_replicas(specs, args.workers))
+            extra = f"; swept {len(sweep_rates)} rates"
+        else:
+            result = collect_fleet(
+                app=args.app,
+                replicas=args.replicas,
+                seed=args.seed,
+                n_requests=args.requests,
+                arrival_rate=rate,
+                workers=args.workers,
+            )
+            traces = result.traces
+            extra = (
+                f"; {args.replicas} replicas x {args.workers} workers "
+                f"in {result.elapsed_seconds:.2f}s wall"
+            )
     elif args.app == "gfs":
         traces = run_gfs_workload(
             n_requests=args.requests, seed=args.seed, arrival_rate=args.rate
@@ -66,9 +141,25 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         extra = ""
     else:
         raise SystemExit(f"unknown app {args.app!r}")
-    save_traces(traces, args.out)
+    save_traces(traces, args.out, compress=args.gzip)
     summary = ", ".join(f"{k}={v}" for k, v in traces.summary().items())
     print(f"saved traces to {args.out} ({summary}{extra})")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .store import ShardStore
+
+    try:
+        store = ShardStore(args.store)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    out = args.out if args.out is not None else args.store / "merged"
+    store.save_merged(out, compress=args.gzip)
+    summary = ", ".join(f"{k}={v}" for k, v in store.summary().items())
+    print(
+        f"stitched {len(store)} shards from {args.store} into {out} ({summary})"
+    )
     return 0
 
 
@@ -76,7 +167,6 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from .core import KoozaConfig, KoozaTrainer, save_model
     from .tracing import load_traces
 
-    traces = load_traces(args.traces)
     config = KoozaConfig(
         network_size_bins=args.network_bins,
         storage_size_bins=args.storage_bins,
@@ -84,6 +174,31 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cpu_utilization_bins=args.cpu_bins,
         hierarchical_storage=args.hierarchical,
     )
+    if args.per_class:
+        from .store import is_shard_store, save_per_class_models, train_per_class
+
+        if not is_shard_store(args.traces):
+            raise SystemExit(
+                f"{args.traces} is not a shard store; --per-class trains "
+                "from shards (collect with --replicas > 1)"
+            )
+        fit = train_per_class(args.traces, config, workers=args.workers)
+        if not fit.models:
+            raise SystemExit(
+                f"no request class reached the trainable minimum; "
+                f"skipped: {fit.skipped}"
+            )
+        save_per_class_models(fit.models, args.model)
+        skipped = (
+            f", skipped {sorted(fit.skipped)}" if fit.skipped else ""
+        )
+        print(
+            f"trained {fit.n_classes} per-class models across "
+            f"{args.workers} workers in {fit.elapsed_seconds:.2f}s wall"
+            f"{skipped}; written to {args.model}"
+        )
+        return 0
+    traces = load_traces(args.traces)
     model = KoozaTrainer(config).fit(traces)
     save_model(model, args.model)
     print(
@@ -195,8 +310,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the replica fleet; 0 = all cores "
         "(merged traces are identical for any worker count)",
     )
+    collect.add_argument(
+        "--sweep-rate",
+        default=None,
+        metavar="R1,R2,...",
+        help="sweep arrival rate across replicas: each listed rate gets "
+        "--replicas repetitions, recorded in shard manifests",
+    )
+    collect.add_argument(
+        "--flat",
+        action="store_true",
+        help="merge replicas in memory and save one flat dump instead of "
+        "a sharded store",
+    )
+    collect.add_argument(
+        "--gzip", action="store_true", help="gzip trace stream files"
+    )
     collect.add_argument("--out", type=Path, required=True)
     collect.set_defaults(func=_cmd_collect)
+
+    merge = sub.add_parser(
+        "merge", help="stitch a sharded trace store into one flat dump"
+    )
+    merge.add_argument("store", type=Path)
+    merge.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output directory (default: <store>/merged)",
+    )
+    merge.add_argument(
+        "--gzip", action="store_true", help="gzip the merged stream files"
+    )
+    merge.set_defaults(func=_cmd_merge)
 
     train = sub.add_parser("train", help="train KOOZA from saved traces")
     train.add_argument("traces", type=Path)
@@ -206,6 +352,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--memory-bins", type=int, default=6)
     train.add_argument("--cpu-bins", type=int, default=8)
     train.add_argument("--hierarchical", action="store_true")
+    train.add_argument(
+        "--per-class",
+        action="store_true",
+        help="fit one model per request class, fanned over shards",
+    )
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --per-class fits; 0 = all cores",
+    )
     train.set_defaults(func=_cmd_train)
 
     describe = sub.add_parser("describe", help="print a trained model")

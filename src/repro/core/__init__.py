@@ -16,7 +16,11 @@ Public API:
 from .capabilities import CAPABILITIES, Capability, capability_table
 from .dependency import DependencyQueue, mine_dependency_queue
 from .features import RequestFeatures, extract_request_features
-from .instances import MultiServerKooza, split_traces_by_server
+from .instances import (
+    MultiServerKooza,
+    split_traces_by_class,
+    split_traces_by_server,
+)
 from .model import KoozaConfig, KoozaModel, SubsystemCoupler
 from .replay import ReplayHarness
 from .serialize import load_model, model_from_dict, model_to_dict, save_model
@@ -50,6 +54,7 @@ __all__ = [
     "mine_dependency_queue",
     "MultiServerKooza",
     "model_from_dict",
+    "split_traces_by_class",
     "split_traces_by_server",
     "model_to_dict",
     "profile_key",

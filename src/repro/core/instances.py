@@ -20,38 +20,54 @@ from .replay import ReplayHarness
 from .trainer import KoozaTrainer
 from .validation import ValidationReport, compare_workloads
 
-__all__ = ["MultiServerKooza", "split_traces_by_server"]
+__all__ = ["MultiServerKooza", "split_traces_by_class", "split_traces_by_server"]
 
 
-def split_traces_by_server(traces: TraceSet) -> dict[str, TraceSet]:
-    """Partition a TraceSet by the server each request ran on.
+def _split_traces_by(traces: TraceSet, key) -> dict[str, TraceSet]:
+    """Partition a TraceSet by ``key(request_record)``.
 
-    Requests are assigned by their RequestRecord's server; all of a
-    request's records (including remote hops) travel with it, so each
-    per-server TraceSet is self-contained for training.
+    All of a request's records (including remote hops) travel with it,
+    so each partition is a self-contained training input.
     """
-    server_of: dict[int, str] = {
-        r.request_id: r.server for r in traces.requests
+    group_of: dict[int, str] = {
+        r.request_id: key(r) for r in traces.requests
     }
     out: dict[str, TraceSet] = {}
 
-    def bucket(server: str) -> TraceSet:
-        if server not in out:
-            out[server] = TraceSet()
-        return out[server]
+    def bucket(group: str) -> TraceSet:
+        if group not in out:
+            out[group] = TraceSet()
+        return out[group]
 
     for record in traces.requests:
-        bucket(record.server).requests.append(record)
+        bucket(key(record)).requests.append(record)
     for stream in ("network", "cpu", "memory", "storage"):
         for record in getattr(traces, stream):
-            server = server_of.get(record.request_id)
-            if server is not None:
-                getattr(bucket(server), stream).append(record)
+            group = group_of.get(record.request_id)
+            if group is not None:
+                getattr(bucket(group), stream).append(record)
     for span in traces.spans:
-        server = server_of.get(span.trace_id)
-        if server is not None:
-            bucket(server).spans.append(span)
+        group = group_of.get(span.trace_id)
+        if group is not None:
+            bucket(group).spans.append(span)
     return out
+
+
+def split_traces_by_server(traces: TraceSet) -> dict[str, TraceSet]:
+    """Partition a TraceSet by the server each request ran on."""
+    return _split_traces_by(traces, lambda r: r.server)
+
+
+def split_traces_by_class(traces: TraceSet) -> dict[str, TraceSet]:
+    """Partition a TraceSet by request class.
+
+    The in-memory counterpart of
+    :meth:`repro.store.ShardStore.class_traces`: per class, both yield
+    the same records in the same order, so a fit on either input
+    produces the same model — the equivalence the shard-parallel
+    trainer's tests assert.
+    """
+    return _split_traces_by(traces, lambda r: r.request_class)
 
 
 class MultiServerKooza:

@@ -21,8 +21,14 @@ from .fleet import (
     FleetResult,
     FleetSpec,
     ReplicaResult,
+    StoreFleetResult,
     collect_fleet,
+    collect_fleet_to_store,
+    collect_replicas,
+    merge_replicas,
     run_replica,
+    sweep_grid,
+    sweep_replica_specs,
 )
 from .run import (
     GfsRun,
@@ -46,6 +52,12 @@ __all__ = [
     "GfsSpec",
     "EnergyReport",
     "FleetResult",
+    "StoreFleetResult",
+    "collect_fleet_to_store",
+    "collect_replicas",
+    "merge_replicas",
+    "sweep_grid",
+    "sweep_replica_specs",
     "FleetSpec",
     "JobResult",
     "Machine",

@@ -26,12 +26,22 @@ Two properties make the merged result well-defined:
 
 from __future__ import annotations
 
+import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..simulation import RandomStreams, run_sharded
-from ..tracing import TraceSet
+from ..store.manifest import ShardManifest
+from ..store.stitch import (
+    accumulate_offsets,
+    max_request_id,
+    max_span_id,
+    trace_extent,
+)
+from ..store.writer import ShardWriter, shard_dirname
+from ..tracing import Tracer, TraceSet
 from .mapreduce import JobResult
 from .run import run_gfs_workload, run_mapreduce_jobs, run_webapp_workload
 
@@ -39,9 +49,18 @@ __all__ = [
     "FleetResult",
     "FleetSpec",
     "ReplicaResult",
+    "ShardTask",
+    "StoreFleetResult",
     "collect_fleet",
+    "collect_fleet_to_store",
+    "collect_replicas",
+    "merge_replicas",
+    "replica_params",
     "replica_streams",
     "run_replica",
+    "sweep_grid",
+    "sweep_replica_specs",
+    "write_replica_shard",
 ]
 
 #: Workloads the fleet can drive, with their default arrival rates.
@@ -130,25 +149,6 @@ class FleetResult:
         return sum(self.replica_durations)
 
 
-def _extent(traces: TraceSet, duration: float) -> float:
-    """The time span a replica occupies on the merged timeline."""
-    stamps = [duration]
-    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
-        stamps.extend(r.timestamp for r in stream)
-    stamps.extend(r.completion_time for r in traces.requests)
-    stamps.extend(s.start for s in traces.spans)  # .end may be NaN
-    return max(stamps)
-
-
-def _max_request_id(traces: TraceSet) -> int:
-    ids = [0]
-    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
-        ids.extend(r.request_id for r in stream)
-    ids.extend(r.request_id for r in traces.requests)
-    ids.extend(s.trace_id for s in traces.spans)
-    return max(ids)
-
-
 def run_replica(spec: ReplicaSpec) -> ReplicaResult:
     """Execute one replica; the worker-process entry point.
 
@@ -171,11 +171,11 @@ def run_replica(spec: ReplicaSpec) -> ReplicaResult:
             sample_every=spec.sample_every,
             streams=streams,
         )
-        return ReplicaResult(spec.index, traces, _extent(traces, 0.0))
+        return ReplicaResult(spec.index, traces, trace_extent(traces))
     traces, results = run_mapreduce_jobs(
         sample_every=spec.sample_every, streams=streams
     )
-    return ReplicaResult(spec.index, traces, _extent(traces, 0.0), list(results))
+    return ReplicaResult(spec.index, traces, trace_extent(traces), list(results))
 
 
 def merge_replicas(results: list[ReplicaResult]) -> TraceSet:
@@ -184,22 +184,31 @@ def merge_replicas(results: list[ReplicaResult]) -> TraceSet:
     Replicas are laid out end-to-end in index order: replica ``k`` is
     shifted by the total extent of all earlier replicas (monotonic time
     offsets) and its request/span ids are shifted past the largest ids
-    already merged.
+    already merged.  The offset arithmetic lives in
+    :mod:`repro.store.stitch` and is shared with the on-disk
+    :class:`~repro.store.ShardStore`, which must reproduce this merge
+    byte for byte from manifests alone.  An empty replica advances the
+    timeline by its simulated duration but consumes no identifier
+    space.
     """
-    merged = TraceSet()
-    time_offset = 0.0
-    request_id_offset = 0
-    span_id_offset = 0
-    for result in sorted(results, key=lambda r: r.index):
-        shifted = result.traces.shifted(
-            time_offset=time_offset,
-            request_id_offset=request_id_offset,
-            span_id_offset=span_id_offset,
+    ordered = sorted(results, key=lambda r: r.index)
+    parts = [
+        (
+            trace_extent(r.traces, r.duration),
+            max_request_id(r.traces),
+            max_span_id(r.traces),
         )
-        merged = merged.merge(shifted)
-        time_offset += _extent(result.traces, result.duration)
-        request_id_offset += _max_request_id(result.traces)
-        span_id_offset += max([0] + [s.span_id for s in result.traces.spans])
+        for r in ordered
+    ]
+    merged = TraceSet()
+    for result, offsets in zip(ordered, accumulate_offsets(parts)):
+        merged = merged.merge(
+            result.traces.shifted(
+                time_offset=offsets.time,
+                request_id_offset=offsets.request_id,
+                span_id_offset=offsets.span_id,
+            )
+        )
     return merged
 
 
@@ -232,4 +241,222 @@ def collect_fleet(
         replica_durations=[r.duration for r in results],
         elapsed_seconds=elapsed,
         job_results=job_results,
+    )
+
+
+def collect_replicas(
+    replica_specs: Sequence[ReplicaSpec], workers: int = 1
+) -> list[ReplicaResult]:
+    """Run an explicit replica list (e.g. a sweep) and keep traces in memory.
+
+    The in-memory counterpart of :func:`collect_fleet_to_store` for the
+    same spec list; ``merge_replicas`` of the result is the reference
+    the on-disk stitch is validated against.
+    """
+    return run_sharded(run_replica, list(replica_specs), workers)
+
+
+# -- parameter sweeps --------------------------------------------------------
+
+#: Replica fields a sweep grid may vary.
+_SWEEPABLE = ("app", "arrival_rate", "n_requests", "sample_every")
+
+
+def sweep_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cross product of parameter axes, e.g. ``sweep_grid(arrival_rate=[10, 25], n_requests=[500])``.
+
+    Axis order follows keyword order with the rightmost axis varying
+    fastest; each grid point is a dict of overrides for
+    :func:`sweep_replica_specs`.
+    """
+    for key in axes:
+        if key not in _SWEEPABLE:
+            raise ValueError(
+                f"cannot sweep {key!r}; sweepable: {sorted(_SWEEPABLE)}"
+            )
+    keys = list(axes)
+    return [
+        dict(zip(keys, values))
+        for values in itertools.product(*(axes[k] for k in keys))
+    ]
+
+
+def sweep_replica_specs(
+    base: FleetSpec,
+    grid: Sequence[Mapping[str, Any]],
+    repeats: Optional[int] = None,
+) -> list[ReplicaSpec]:
+    """Derive one replica per (grid point × repeat) from a base spec.
+
+    ``repeats`` defaults to ``base.replicas``, so a fleet of R replicas
+    swept over G grid points yields ``G*R`` replicas — R repetitions
+    (distinct random substreams) at each parameter point.  Replica
+    indices enumerate the list, which keeps every replica's stream path
+    globally disjoint; the varied parameters are recorded per shard in
+    its manifest, so downstream analysis groups by them via
+    :meth:`repro.store.ShardStore.group_by`.
+    """
+    if repeats is None:
+        repeats = base.replicas
+    if repeats < 1:
+        raise ValueError(f"need >= 1 repeat per grid point, got {repeats}")
+    if not grid:
+        raise ValueError("empty sweep grid")
+    specs: list[ReplicaSpec] = []
+    for point in grid:
+        unknown = set(point) - set(_SWEEPABLE)
+        if unknown:
+            raise ValueError(
+                f"cannot sweep {sorted(unknown)}; sweepable: {sorted(_SWEEPABLE)}"
+            )
+        app = point.get("app", base.app)
+        if app not in _APPS:
+            raise ValueError(
+                f"unknown app {app!r}; expected one of {sorted(_APPS)}"
+            )
+        rate = point.get("arrival_rate", base.arrival_rate)
+        if rate is None:
+            rate = _APPS[app]
+        for _ in range(repeats):
+            index = len(specs)
+            specs.append(
+                replace(
+                    base.replica(index),
+                    app=app,
+                    arrival_rate=rate,
+                    n_requests=point.get("n_requests", base.n_requests),
+                    sample_every=point.get("sample_every", base.sample_every),
+                )
+            )
+    return specs
+
+
+# -- streaming collection into an on-disk shard store ------------------------
+
+
+def replica_params(spec: ReplicaSpec) -> dict[str, Any]:
+    """The spec parameters a shard manifest records for grouping."""
+    return {
+        "n_requests": spec.n_requests,
+        "arrival_rate": spec.arrival_rate,
+        "sample_every": spec.sample_every,
+    }
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker's assignment: run a replica, stream it to a shard dir."""
+
+    replica: ReplicaSpec
+    directory: str
+    compress: bool = False
+
+
+def write_replica_shard(task: ShardTask) -> ShardManifest:
+    """Worker entry point: simulate one replica straight onto disk.
+
+    The tracer streams every record into a :class:`ShardWriter` the
+    moment it is collected (``keep_records=False`` — only the sampled
+    spans are held until the end), so the worker's memory stays bounded
+    and the only thing pickled back through the pool is the manifest.
+    """
+    spec = task.replica
+    writer = ShardWriter(
+        Path(task.directory) / shard_dirname(spec.index),
+        index=spec.index,
+        app=spec.app,
+        seed=spec.seed,
+        params=replica_params(spec),
+        compress=task.compress,
+    )
+    streams = replica_streams(spec.seed, spec.index)
+    tracer = Tracer(
+        sample_every=spec.sample_every, sink=writer, keep_records=False
+    )
+    if spec.app == "gfs":
+        run = run_gfs_workload(
+            n_requests=spec.n_requests,
+            arrival_rate=spec.arrival_rate,
+            streams=streams,
+            tracer=tracer,
+        )
+        duration = run.env.now
+    elif spec.app == "webapp":
+        run_webapp_workload(
+            n_requests=spec.n_requests,
+            arrival_rate=spec.arrival_rate,
+            streams=streams,
+            tracer=tracer,
+        )
+        duration = writer.extent
+    else:
+        run_mapreduce_jobs(streams=streams, tracer=tracer)
+        duration = writer.extent
+    tracer.close()
+    return writer.finalize(duration)
+
+
+@dataclass
+class StoreFleetResult:
+    """The outcome of a fleet collection that persisted shards to disk."""
+
+    directory: Path
+    manifests: list[ShardManifest]
+    workers: int
+    elapsed_seconds: float
+
+    @property
+    def n_records(self) -> int:
+        return sum(m.n_records for m in self.manifests)
+
+    @property
+    def total_simulated_time(self) -> float:
+        return sum(m.duration for m in self.manifests)
+
+
+def collect_fleet_to_store(
+    spec: Optional[FleetSpec] = None,
+    directory: str | Path = "traces",
+    workers: int = 1,
+    compress: bool = False,
+    replica_specs: Optional[Sequence[ReplicaSpec]] = None,
+    on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
+    **spec_kwargs,
+) -> StoreFleetResult:
+    """Run a fleet (or explicit sweep list) streaming shards to ``directory``.
+
+    Unlike :func:`collect_fleet`, no trace records cross the process
+    pool: each replica writes ``directory/shard-<idx>/`` as it runs and
+    only per-shard manifests come back.  ``on_shard(index, manifest)``
+    fires as each shard lands on disk.  Stitch the store back into one
+    trace timeline with :class:`repro.store.ShardStore` (or
+    ``repro merge``); the result is byte-identical to
+    ``merge_replicas(collect_replicas(...))`` for any worker count.
+    """
+    if replica_specs is None:
+        if spec is None:
+            spec = FleetSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError(
+                "pass either a FleetSpec or keyword fields, not both"
+            )
+        replica_specs = [spec.replica(k) for k in range(spec.replicas)]
+    elif spec is not None or spec_kwargs:
+        raise TypeError("pass either replica_specs or a spec, not both")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    tasks = [
+        ShardTask(replica=r, directory=str(directory), compress=compress)
+        for r in replica_specs
+    ]
+    start = time.perf_counter()
+    manifests = run_sharded(
+        write_replica_shard, tasks, workers, on_result=on_shard
+    )
+    elapsed = time.perf_counter() - start
+    return StoreFleetResult(
+        directory=directory,
+        manifests=manifests,
+        workers=workers,
+        elapsed_seconds=elapsed,
     )

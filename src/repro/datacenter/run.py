@@ -77,6 +77,7 @@ def run_gfs_workload(
     sample_every: int = 1,
     settle_time: float = 0.0,
     streams: Optional[RandomStreams] = None,
+    tracer: Optional[Tracer] = None,
 ) -> GfsRun:
     """Run an open-loop GFS workload and collect traces.
 
@@ -85,13 +86,16 @@ def run_gfs_workload(
     completing inside it are still traced but excluded from
     :meth:`GfsRun.throughput`, and the run duration is counted from the
     end of the window.  ``seed`` is ignored when ``streams`` is passed.
+    An injected ``tracer`` (e.g. one streaming to a shard sink)
+    supersedes ``sample_every``.
     """
     if n_requests < 1:
         raise ValueError(f"need >= 1 request, got {n_requests}")
     if streams is None:
         streams = RandomStreams(seed)
     env = Environment()
-    tracer = Tracer(sample_every=sample_every)
+    if tracer is None:
+        tracer = Tracer(sample_every=sample_every)
     cluster = GfsCluster(
         env, gfs_spec or GfsSpec(), streams, tracer, machine_spec
     )
@@ -119,17 +123,20 @@ def run_webapp_workload(
     arrivals: Optional[ArrivalProcess] = None,
     sample_every: int = 1,
     streams: Optional[RandomStreams] = None,
+    tracer: Optional[Tracer] = None,
 ) -> TraceSet:
     """Run an open-loop 3-tier web workload and collect traces.
 
-    ``seed`` is ignored when an explicit ``streams`` factory is passed.
+    ``seed`` is ignored when an explicit ``streams`` factory is passed;
+    an injected ``tracer`` supersedes ``sample_every``.
     """
     if n_requests < 1:
         raise ValueError(f"need >= 1 request, got {n_requests}")
     if streams is None:
         streams = RandomStreams(seed)
     env = Environment()
-    tracer = Tracer(sample_every=sample_every)
+    if tracer is None:
+        tracer = Tracer(sample_every=sample_every)
     cluster = WebAppCluster(
         env, webapp_spec or WebAppSpec(), streams, tracer, machine_spec
     )
@@ -169,6 +176,7 @@ def run_mapreduce_jobs(
     machine_spec: Optional[MachineSpec] = None,
     sample_every: int = 1,
     streams: Optional[RandomStreams] = None,
+    tracer: Optional[Tracer] = None,
 ) -> tuple[TraceSet, list[JobResult]]:
     """Run a batch of MapReduce jobs back-to-back; traces + results.
 
@@ -176,14 +184,16 @@ def run_mapreduce_jobs(
     ``workload/jobs`` substream — *not* a raw generator seeded directly
     from ``seed`` — so job synthesis honors the repository invariant
     that every stochastic component draws from a named substream.
-    ``seed`` is ignored when an explicit ``streams`` factory is passed.
+    ``seed`` is ignored when an explicit ``streams`` factory is passed;
+    an injected ``tracer`` supersedes ``sample_every``.
     """
     if streams is None:
         streams = RandomStreams(seed)
     if jobs is None:
         jobs = default_mapreduce_jobs(streams.get("workload/jobs"))
     env = Environment()
-    tracer = Tracer(sample_every=sample_every)
+    if tracer is None:
+        tracer = Tracer(sample_every=sample_every)
     cluster = MapReduceCluster(
         env, spec or MapReduceSpec(), streams, tracer, machine_spec
     )

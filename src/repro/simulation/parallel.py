@@ -18,8 +18,8 @@ or sixteen.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Optional, Sequence, TypeVar
 
 __all__ = ["available_workers", "resolve_workers", "run_sharded"]
 
@@ -48,6 +48,7 @@ def run_sharded(
     worker: Callable[[SpecT], ResultT],
     specs: Sequence[SpecT],
     workers: int = 1,
+    on_result: Optional[Callable[[int, ResultT], None]] = None,
 ) -> list[ResultT]:
     """Run ``worker`` over every spec, fanned across processes.
 
@@ -58,14 +59,37 @@ def run_sharded(
     round-trip — which is also the deterministic reference path the
     multi-worker result is validated against.
 
-    The first worker exception, if any, propagates to the caller.
+    ``on_result(index, result)``, when given, fires in this process as
+    each spec's result lands — in *completion* order for a real pool —
+    so callers can report progress (e.g. "shard k persisted") while
+    slower shards are still running.  The final list is spec-ordered
+    either way.
+
+    The first worker exception observed propagates to the caller.
     """
     specs = list(specs)
     if not specs:
         return []
     n_workers = resolve_workers(workers, len(specs))
     if n_workers == 1:
-        return [worker(spec) for spec in specs]
+        results = []
+        for index, spec in enumerate(specs):
+            result = worker(spec)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        # pool.map preserves input order regardless of completion order.
-        return list(pool.map(worker, specs))
+        if on_result is None:
+            # pool.map preserves input order regardless of completion order.
+            return list(pool.map(worker, specs))
+        index_of = {
+            pool.submit(worker, spec): index
+            for index, spec in enumerate(specs)
+        }
+        results: list[Optional[ResultT]] = [None] * len(specs)
+        for future in as_completed(index_of):
+            index = index_of[future]
+            results[index] = future.result()
+            on_result(index, results[index])
+        return results

@@ -1,0 +1,58 @@
+"""On-disk trace shard store: streaming persistence and stitched merge.
+
+The scaling layer between trace collection and model training.  Fleet
+replicas stream records straight to per-shard directories through a
+:class:`ShardWriter` (only a :class:`ShardManifest` crosses the process
+pool), a :class:`ShardStore` lazily re-reads and stitches the shards
+into the same monotonic timeline the in-memory merge produces, and
+:func:`train_per_class` fans KOOZA fits over request classes without
+trace records ever transiting worker IPC.
+
+Import order note: submodules import only :mod:`repro.tracing` and
+:mod:`repro.simulation` at module level; :mod:`repro.core` (which pulls
+in :mod:`repro.datacenter`, which imports this package) is deferred to
+call time inside :mod:`repro.store.training`.
+"""
+
+from .manifest import MANIFEST_FILENAME, SHARD_FORMAT, SHARD_VERSION, ShardManifest
+from .shards import ShardStore, is_shard_store
+from .stitch import (
+    StitchOffsets,
+    accumulate_offsets,
+    max_request_id,
+    max_span_id,
+    offsets_for,
+    trace_extent,
+)
+from .writer import ShardWriter, shard_dirname
+from .training import (
+    ClassFitTask,
+    PerClassFit,
+    fit_request_class,
+    load_per_class_models,
+    save_per_class_models,
+    train_per_class,
+)
+
+__all__ = [
+    "ClassFitTask",
+    "MANIFEST_FILENAME",
+    "PerClassFit",
+    "SHARD_FORMAT",
+    "SHARD_VERSION",
+    "ShardManifest",
+    "ShardStore",
+    "ShardWriter",
+    "StitchOffsets",
+    "accumulate_offsets",
+    "fit_request_class",
+    "is_shard_store",
+    "load_per_class_models",
+    "max_request_id",
+    "max_span_id",
+    "offsets_for",
+    "save_per_class_models",
+    "shard_dirname",
+    "trace_extent",
+    "train_per_class",
+]

@@ -1,0 +1,93 @@
+"""Per-shard manifests: everything a merge needs without reading records.
+
+A manifest is the only thing a fleet worker returns through the process
+pool — a few hundred bytes instead of a pickled million-record
+``TraceSet``.  It carries exactly the quantities the stitch arithmetic
+consumes (``extent``, ``max_request_id``, ``max_span_id``) plus the
+replica's provenance (seed, index, spec parameters) so downstream
+analysis can group shards by sweep parameters without opening a single
+stream file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["MANIFEST_FILENAME", "SHARD_FORMAT", "SHARD_VERSION", "ShardManifest"]
+
+SHARD_FORMAT = "repro-shard"
+SHARD_VERSION = 1
+MANIFEST_FILENAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """What one shard contains and where it sits in a merge."""
+
+    index: int
+    app: str = ""
+    seed: int = 0
+    #: Replica spec parameters (n_requests, arrival_rate, sample_every,
+    #: plus anything a sweep varied) — the group-by key space.
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Simulated duration the replica reported (0.0 when unknown).
+    duration: float = 0.0
+    #: Stitch extent: max(duration, latest timestamp in any stream).
+    extent: float = 0.0
+    counts: dict[str, int] = field(default_factory=dict)
+    max_request_id: int = 0
+    max_span_id: int = 0
+    #: Completed-request counts per request class (requests are only
+    #: recorded on completion, so these are trainable-population sizes).
+    request_classes: dict[str, int] = field(default_factory=dict)
+    compress: bool = False
+    version: int = SHARD_VERSION
+
+    @property
+    def n_records(self) -> int:
+        return sum(self.counts.values())
+
+    def stitch_part(self) -> tuple[float, int, int]:
+        """The ``(extent, max_request_id, max_span_id)`` stitch tuple."""
+        return (self.extent, self.max_request_id, self.max_span_id)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up a grouping key: manifest field first, then params."""
+        if key in ("index", "app", "seed", "duration", "extent"):
+            return getattr(self, key)
+        return self.params.get(key, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["format"] = SHARD_FORMAT
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardManifest":
+        data = dict(data)
+        fmt = data.pop("format", SHARD_FORMAT)
+        if fmt != SHARD_FORMAT:
+            raise ValueError(f"not a shard manifest (format {fmt!r})")
+        version = data.get("version", SHARD_VERSION)
+        if not isinstance(version, int) or version > SHARD_VERSION:
+            raise ValueError(f"unsupported shard manifest version {version!r}")
+        return cls(**data)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``manifest.json`` into a shard directory."""
+        path = Path(directory) / MANIFEST_FILENAME
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardManifest":
+        """Read a manifest from ``manifest.json`` (or its directory)."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / MANIFEST_FILENAME
+        return cls.from_dict(json.loads(path.read_text()))

@@ -1,0 +1,198 @@
+"""Reading a sharded trace store: manifest-stitched, lazily iterated.
+
+A store directory looks like::
+
+    store/
+      shard-00000/
+        manifest.json
+        network.jsonl[.gz]  cpu.jsonl[.gz]  ...  spans.jsonl[.gz]
+      shard-00001/
+        ...
+
+:class:`ShardStore` reads only the manifests up front.  Records are
+iterated stream-by-stream in shard-index order with the same monotonic
+time / identifier shifts :func:`repro.datacenter.fleet.merge_replicas`
+applies — computed purely from manifest fields, so stitching N shards
+costs one pass over the records of interest and never materializes more
+than the caller keeps.  :meth:`merged` is therefore byte-identical to
+the in-memory merge for any worker count that produced the shards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..tracing import TraceSet, shift_request, shift_span, shift_subsystem_record
+from ..tracing.store import (
+    STREAM_TYPES,
+    find_stream_file,
+    iter_stream_records,
+    open_trace_write,
+    stream_header,
+)
+from .manifest import MANIFEST_FILENAME, ShardManifest
+from .stitch import StitchOffsets, offsets_for
+
+__all__ = ["ShardStore", "is_shard_store"]
+
+
+def is_shard_store(directory: str | Path) -> bool:
+    """Whether ``directory`` holds at least one shard manifest."""
+    return any(Path(directory).glob(f"shard-*/{MANIFEST_FILENAME}"))
+
+
+def _shift(stream: str, record, offsets: StitchOffsets):
+    if stream == "requests":
+        return shift_request(record, offsets.time, offsets.request_id)
+    if stream == "spans":
+        return shift_span(
+            record, offsets.time, offsets.request_id, offsets.span_id
+        )
+    return shift_subsystem_record(record, offsets.time, offsets.request_id)
+
+
+class ShardStore:
+    """Lazy, stitch-aware view over an on-disk shard directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        manifest_paths = sorted(
+            self.directory.glob(f"shard-*/{MANIFEST_FILENAME}")
+        )
+        if not manifest_paths:
+            raise FileNotFoundError(
+                f"no shard manifests under {self.directory} "
+                f"(expected shard-*/{MANIFEST_FILENAME})"
+            )
+        manifests: list[ShardManifest] = []
+        shard_dirs: dict[int, Path] = {}
+        for path in manifest_paths:
+            manifest = ShardManifest.load(path)
+            if manifest.index in shard_dirs:
+                raise ValueError(
+                    f"duplicate shard index {manifest.index} in {self.directory}"
+                )
+            manifests.append(manifest)
+            shard_dirs[manifest.index] = path.parent
+        manifests.sort(key=lambda m: m.index)
+        self.manifests = manifests
+        self._shard_dirs = shard_dirs
+
+    # -- metadata ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.manifests)
+
+    def shard_dir(self, manifest: ShardManifest) -> Path:
+        return self._shard_dirs[manifest.index]
+
+    def offsets(self) -> list[StitchOffsets]:
+        """Per-shard stitch offsets, computed from manifests alone."""
+        return offsets_for([m.stitch_part() for m in self.manifests])
+
+    def counts(self) -> dict[str, int]:
+        """Total record counts per stream across all shards."""
+        totals = {stream: 0 for stream in STREAM_TYPES}
+        for manifest in self.manifests:
+            for stream, n in manifest.counts.items():
+                totals[stream] = totals.get(stream, 0) + n
+        return totals
+
+    def request_class_counts(self) -> dict[str, int]:
+        """Completed requests per request class across all shards."""
+        totals: dict[str, int] = {}
+        for manifest in self.manifests:
+            for cls, n in manifest.request_classes.items():
+                totals[cls] = totals.get(cls, 0) + n
+        return dict(sorted(totals.items()))
+
+    def group_by(self, key: str) -> dict[Any, list[ShardManifest]]:
+        """Group shard manifests by a spec parameter (sweep analysis).
+
+        ``key`` may be a manifest field (``app``, ``seed``, ...) or any
+        parameter recorded in ``params`` (``arrival_rate``,
+        ``n_requests``, ...).
+        """
+        groups: dict[Any, list[ShardManifest]] = {}
+        for manifest in self.manifests:
+            groups.setdefault(manifest.param(key), []).append(manifest)
+        return groups
+
+    # -- records -------------------------------------------------------------
+
+    def iter_shard_stream(self, manifest: ShardManifest, stream: str) -> Iterator:
+        """Yield one shard's records for ``stream``, unshifted."""
+        record_cls = STREAM_TYPES[stream]
+        path = find_stream_file(self.shard_dir(manifest), stream)
+        if path is None:
+            return
+        yield from iter_stream_records(path, record_cls)
+
+    def iter_stream(self, stream: str) -> Iterator:
+        """Yield all shards' records for ``stream``, stitched.
+
+        Shards are visited in index order and every record is shifted by
+        the manifest-derived offsets, so the concatenation across shards
+        is exactly the stream of the in-memory merged ``TraceSet``.
+        """
+        if stream not in STREAM_TYPES:
+            raise ValueError(f"unknown stream {stream!r}")
+        for manifest, offsets in zip(self.manifests, self.offsets()):
+            for record in self.iter_shard_stream(manifest, stream):
+                yield _shift(stream, record, offsets)
+
+    def merged(self) -> TraceSet:
+        """Materialize the stitched merge of all shards."""
+        traces = TraceSet()
+        for stream in STREAM_TYPES:
+            getattr(traces, stream).extend(self.iter_stream(stream))
+        return traces
+
+    def class_traces(self, request_class: str) -> TraceSet:
+        """The stitched records belonging to one request class.
+
+        Materializes only that class's records: the requests stream is
+        scanned to learn the class's (globally unique, post-stitch)
+        request ids, then the other streams are filtered against them.
+        """
+        traces = TraceSet()
+        ids: set[int] = set()
+        for record in self.iter_stream("requests"):
+            if record.request_class == request_class:
+                ids.add(record.request_id)
+                traces.requests.append(record)
+        for stream in ("network", "cpu", "memory", "storage"):
+            records = getattr(traces, stream)
+            for record in self.iter_stream(stream):
+                if record.request_id in ids:
+                    records.append(record)
+        for span in self.iter_stream("spans"):
+            if span.trace_id in ids:
+                traces.spans.append(span)
+        return traces
+
+    # -- export --------------------------------------------------------------
+
+    def save_merged(
+        self, directory: str | Path, compress: bool = False
+    ) -> Path:
+        """Stream the stitched merge into a flat v2 trace dump.
+
+        Equivalent to ``save_traces(self.merged(), directory)`` but never
+        holds more than one record in memory per stream.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        suffix = ".jsonl.gz" if compress else ".jsonl"
+        for stream in STREAM_TYPES:
+            with open_trace_write(directory / f"{stream}{suffix}") as fh:
+                fh.write(json.dumps(stream_header(stream)) + "\n")
+                for record in self.iter_stream(stream):
+                    fh.write(json.dumps(record.to_dict()) + "\n")
+        return directory
+
+    def summary(self) -> dict[str, int]:
+        """Record counts per stream (same shape as ``TraceSet.summary``)."""
+        return self.counts()

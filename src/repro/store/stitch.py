@@ -1,0 +1,112 @@
+"""Shared stitch arithmetic for merging independent trace timelines.
+
+Both merge paths — the in-memory :func:`repro.datacenter.fleet.merge_replicas`
+and the on-disk :class:`repro.store.ShardStore` — must lay replicas out
+end-to-end with *identical* offsets, or the acceptance contract (merged
+traces byte-identical regardless of where they were stitched) breaks.
+This module is the single source of truth for that arithmetic: how far
+a replica extends in time, how far its identifiers reach, and how the
+per-replica offsets accumulate.
+
+Extent semantics (tightened from the original fleet-internal helper):
+
+* all subsystem record timestamps count;
+* request *arrival* times count as well as completion times — a replica
+  whose requests never completed (``completion_time == 0.0``) used to
+  collapse to a zero extent and let the next replica's records
+  interleave before its arrivals;
+* span starts and *finite* span ends count (an unfinished span's NaN
+  end is ignored rather than poisoning the max), as do annotation
+  timestamps;
+* the replica's reported simulated ``duration`` is a floor, so an empty
+  replica with a known positive duration still occupies its slot on the
+  merged timeline instead of collapsing the monotonic time offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..tracing import TraceSet
+
+__all__ = [
+    "StitchOffsets",
+    "accumulate_offsets",
+    "max_request_id",
+    "max_span_id",
+    "offsets_for",
+    "trace_extent",
+]
+
+
+def trace_extent(traces: TraceSet, duration: float = 0.0) -> float:
+    """The time span a replica occupies on a merged timeline."""
+    extent = max(duration, 0.0)
+    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
+        for record in stream:
+            extent = max(extent, record.timestamp)
+    for record in traces.requests:
+        extent = max(extent, record.arrival_time, record.completion_time)
+    for span in traces.spans:
+        extent = max(extent, span.start)
+        if not math.isnan(span.end):
+            extent = max(extent, span.end)
+        for annotation in span.annotations:
+            extent = max(extent, annotation.timestamp)
+    return extent
+
+
+def max_request_id(traces: TraceSet) -> int:
+    """The largest request id any record in ``traces`` refers to."""
+    largest = 0
+    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
+        for record in stream:
+            largest = max(largest, record.request_id)
+    for record in traces.requests:
+        largest = max(largest, record.request_id)
+    for span in traces.spans:
+        largest = max(largest, span.trace_id)
+    return largest
+
+
+def max_span_id(traces: TraceSet) -> int:
+    """The largest span id in ``traces`` (0 when nothing was sampled)."""
+    return max([0] + [s.span_id for s in traces.spans])
+
+
+@dataclass(frozen=True)
+class StitchOffsets:
+    """The shifts applied to one replica's records during a merge."""
+
+    time: float = 0.0
+    request_id: int = 0
+    span_id: int = 0
+
+
+def accumulate_offsets(
+    parts: Iterable[tuple[float, int, int]],
+) -> Iterator[StitchOffsets]:
+    """Yield the offsets for each part of a merge, in part order.
+
+    ``parts`` supplies ``(extent, max_request_id, max_span_id)`` per
+    replica/shard — from live traces in the in-memory path, from
+    manifests in the on-disk path.  Part ``k``'s offsets are the sums
+    over parts ``0..k-1``; an empty part contributes its extent (its
+    simulated duration) but zero id headroom, so it neither collapses
+    the timeline nor burns identifier space.
+    """
+    time = 0.0
+    request_id = 0
+    span_id = 0
+    for extent, part_max_request_id, part_max_span_id in parts:
+        yield StitchOffsets(time=time, request_id=request_id, span_id=span_id)
+        time += extent
+        request_id += part_max_request_id
+        span_id += part_max_span_id
+
+
+def offsets_for(parts: Sequence[tuple[float, int, int]]) -> list[StitchOffsets]:
+    """Materialized :func:`accumulate_offsets` (convenience for indexing)."""
+    return list(accumulate_offsets(parts))

@@ -1,0 +1,164 @@
+"""Shard-parallel KOOZA training: per-request-class fits over a store.
+
+KOOZA fits are embarrassingly parallel over request classes — each
+class's four subsystem models, couplers and dependency queue depend
+only on that class's records.  The map phase hands each worker process
+a ``(store directory, request class)`` task: the worker opens the
+:class:`~repro.store.shards.ShardStore` itself (no trace records cross
+the pool), materializes just its class's stitched records across all
+shards, and fits a :class:`~repro.core.KoozaModel`.  The reduce phase
+collects the serialized models into one per-class table.
+
+Because every worker sees exactly the per-class ``TraceSet`` a
+single-process fit would build (same records, same order), the parallel
+result is identical to the serial one — the validation contract the
+tests pin down with serialized-model equality.
+
+The classes worth fitting are known *before* any stream file is opened:
+manifests carry per-class completed-request counts, so undertrained
+classes are skipped up front and reported, not discovered by exception.
+
+``repro.core`` is imported lazily inside functions: the core package
+pulls in :mod:`repro.datacenter`, whose fleet module imports this
+package — a module-level import here would close that cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..simulation import run_sharded
+from .shards import ShardStore
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core import KoozaConfig, KoozaModel
+
+__all__ = [
+    "ClassFitTask",
+    "PER_CLASS_FORMAT",
+    "PerClassFit",
+    "fit_request_class",
+    "load_per_class_models",
+    "save_per_class_models",
+    "train_per_class",
+]
+
+PER_CLASS_FORMAT = "kooza-per-class"
+PER_CLASS_VERSION = 1
+
+#: KoozaTrainer refuses fewer feature vectors than this.
+MIN_TRAINABLE_REQUESTS = 16
+
+
+@dataclass(frozen=True)
+class ClassFitTask:
+    """One worker's share: fit one request class from an on-disk store."""
+
+    directory: str
+    request_class: str
+    config: Optional["KoozaConfig"] = None
+
+
+def fit_request_class(task: ClassFitTask) -> tuple[str, dict]:
+    """Worker entry point: fit one class, return its serialized model.
+
+    Returns ``(request_class, model_dict)`` — the JSON-able serialized
+    form, a few KB, instead of a live model object, keeping the pool's
+    IPC as thin as the collection side's manifests.
+    """
+    from ..core import KoozaTrainer, model_to_dict
+
+    store = ShardStore(task.directory)
+    traces = store.class_traces(task.request_class)
+    model = KoozaTrainer(task.config).fit(traces)
+    return task.request_class, model_to_dict(model)
+
+
+@dataclass
+class PerClassFit:
+    """The reduced result of a shard-parallel training run."""
+
+    models: dict[str, "KoozaModel"]
+    #: Classes below the trainable threshold, with their request counts.
+    skipped: dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.models)
+
+
+def train_per_class(
+    directory: str | Path,
+    config: Optional["KoozaConfig"] = None,
+    workers: int = 1,
+    min_requests: int = MIN_TRAINABLE_REQUESTS,
+) -> PerClassFit:
+    """Fit one KOOZA model per request class, fanned across processes.
+
+    ``workers=1`` runs inline and is the deterministic reference the
+    pooled result matches exactly.  Classes with fewer than
+    ``min_requests`` completed requests (summed over shard manifests)
+    are skipped and reported in :attr:`PerClassFit.skipped`.
+    """
+    from ..core import model_from_dict
+
+    store = ShardStore(directory)
+    counts = store.request_class_counts()
+    trainable = sorted(c for c, n in counts.items() if n >= min_requests)
+    skipped = {c: n for c, n in counts.items() if n < min_requests}
+    tasks = [
+        ClassFitTask(str(directory), cls, config) for cls in trainable
+    ]
+    start = time.perf_counter()
+    results = run_sharded(fit_request_class, tasks, workers)
+    elapsed = time.perf_counter() - start
+    models = {cls: model_from_dict(data) for cls, data in results}
+    return PerClassFit(
+        models=models,
+        skipped=skipped,
+        workers=workers,
+        elapsed_seconds=elapsed,
+    )
+
+
+def save_per_class_models(
+    models: dict[str, "KoozaModel"], path: str | Path
+) -> Path:
+    """Serialize a per-class model table to one JSON file."""
+    import json
+
+    from ..core import model_to_dict
+
+    path = Path(path)
+    payload: dict[str, Any] = {
+        "format": PER_CLASS_FORMAT,
+        "version": PER_CLASS_VERSION,
+        "classes": {
+            cls: model_to_dict(model) for cls, model in sorted(models.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_per_class_models(path: str | Path) -> dict[str, "KoozaModel"]:
+    """Load a per-class model table written by :func:`save_per_class_models`."""
+    import json
+
+    from ..core import model_from_dict
+
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != PER_CLASS_FORMAT:
+        raise ValueError(f"{path} is not a {PER_CLASS_FORMAT} file")
+    if data.get("version", 1) > PER_CLASS_VERSION:
+        raise ValueError(f"unsupported per-class model version in {path}")
+    return {
+        cls: model_from_dict(payload)
+        for cls, payload in data["classes"].items()
+    }

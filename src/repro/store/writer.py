@@ -1,0 +1,157 @@
+"""Incremental shard writer: the streaming end of the trace store.
+
+A :class:`ShardWriter` is the sink a fleet replica's
+:class:`~repro.tracing.Tracer` streams into: every record is appended
+to ``<shard-dir>/<stream>.jsonl[.gz]`` the moment it is collected, and
+the stitch bookkeeping (extent, max ids, per-class request counts) is
+tracked incrementally with exactly the semantics of
+:mod:`repro.store.stitch` — so the manifest written by
+:meth:`finalize` describes the shard without ever re-reading it, and a
+merge driven purely by manifests reproduces the in-memory merge
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping, Optional, TextIO
+
+from ..tracing.store import STREAM_TYPES, open_trace_write, stream_header
+from .manifest import ShardManifest
+
+__all__ = ["ShardWriter", "shard_dirname"]
+
+
+def shard_dirname(index: int) -> str:
+    """Canonical shard directory name (zero-padded so glob order = index order)."""
+    return f"shard-{index:05d}"
+
+
+class ShardWriter:
+    """Streams one replica's records to disk and distills its manifest.
+
+    Satisfies the ``Tracer`` sink protocol (``write(stream, record)``).
+    Stream files are opened lazily, so an empty stream leaves no file —
+    the reader treats a missing file as an empty stream, same as the
+    flat-dump loader.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        index: int,
+        app: str = "",
+        seed: int = 0,
+        params: Optional[Mapping[str, Any]] = None,
+        compress: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.index = index
+        self.app = app
+        self.seed = seed
+        self.params = dict(params or {})
+        self.compress = compress
+        self._suffix = ".jsonl.gz" if compress else ".jsonl"
+        self._files: dict[str, TextIO] = {}
+        self._finalized = False
+        # Stitch bookkeeping, incremental mirror of repro.store.stitch.
+        self._extent = 0.0
+        self._max_request_id = 0
+        self._max_span_id = 0
+        self._counts = {stream: 0 for stream in STREAM_TYPES}
+        self._request_classes: dict[str, int] = {}
+
+    # -- sink protocol -------------------------------------------------------
+
+    def write(self, stream: str, record) -> None:
+        """Append one record to its stream file and update bookkeeping."""
+        if self._finalized:
+            raise RuntimeError("shard already finalized")
+        if stream not in STREAM_TYPES:
+            raise ValueError(f"unknown stream {stream!r}")
+        fh = self._files.get(stream)
+        if fh is None:
+            fh = open_trace_write(self.directory / f"{stream}{self._suffix}")
+            fh.write(json.dumps(stream_header(stream)) + "\n")
+            self._files[stream] = fh
+        fh.write(json.dumps(record.to_dict()) + "\n")
+        self._track(stream, record)
+
+    def _track(self, stream: str, record) -> None:
+        self._counts[stream] += 1
+        if stream == "spans":
+            self._max_request_id = max(self._max_request_id, record.trace_id)
+            self._max_span_id = max(self._max_span_id, record.span_id)
+            self._extent = max(self._extent, record.start)
+            if not math.isnan(record.end):
+                self._extent = max(self._extent, record.end)
+            for annotation in record.annotations:
+                self._extent = max(self._extent, annotation.timestamp)
+            return
+        self._max_request_id = max(self._max_request_id, record.request_id)
+        if stream == "requests":
+            self._extent = max(
+                self._extent, record.arrival_time, record.completion_time
+            )
+            cls = record.request_class
+            self._request_classes[cls] = self._request_classes.get(cls, 0) + 1
+        else:
+            self._extent = max(self._extent, record.timestamp)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def extent(self) -> float:
+        """Latest timestamp streamed so far (stitch-extent semantics)."""
+        return self._extent
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize(self, duration: float = 0.0) -> ShardManifest:
+        """Close stream files, write ``manifest.json``, return the manifest.
+
+        ``duration`` is the replica's simulated duration when the caller
+        knows it (e.g. ``env.now``); the manifest extent is its max with
+        the streamed-record extent, so even a shard with zero records
+        keeps its slot on the merged timeline.
+        """
+        if self._finalized:
+            raise RuntimeError("shard already finalized")
+        self._finalized = True
+        for fh in self._files.values():
+            fh.close()
+        self._files.clear()
+        manifest = ShardManifest(
+            index=self.index,
+            app=self.app,
+            seed=self.seed,
+            params=dict(self.params),
+            duration=duration,
+            extent=max(duration, self._extent),
+            counts=dict(self._counts),
+            max_request_id=self._max_request_id,
+            max_span_id=self._max_span_id,
+            request_classes=dict(sorted(self._request_classes.items())),
+            compress=self.compress,
+        )
+        manifest.save(self.directory)
+        return manifest
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._finalized:
+            if exc_type is None:
+                self.finalize()
+            else:  # leave no half-valid shard behind a failed replica
+                for fh in self._files.values():
+                    fh.close()
+                self._files.clear()

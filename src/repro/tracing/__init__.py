@@ -22,8 +22,14 @@ from .records import (
     StorageRecord,
 )
 from .span import Annotation, Span, TraceTree, build_trace_trees
-from .store import load_traces, save_traces
-from .tracer import Tracer, TraceSet
+from .store import STREAM_TYPES, load_traces, save_traces
+from .tracer import (
+    Tracer,
+    TraceSet,
+    shift_request,
+    shift_span,
+    shift_subsystem_record,
+)
 
 __all__ = [
     "Annotation",
@@ -34,6 +40,7 @@ __all__ = [
     "NetworkRecord",
     "READ",
     "RequestRecord",
+    "STREAM_TYPES",
     "Span",
     "StorageRecord",
     "TraceSet",
@@ -45,6 +52,9 @@ __all__ = [
     "read_cluster_jobs",
     "read_spc_trace",
     "save_traces",
+    "shift_request",
+    "shift_span",
+    "shift_subsystem_record",
     "write_cluster_jobs",
     "write_spc_trace",
 ]

@@ -1,16 +1,32 @@
 """Trace persistence: JSON-lines serialization of a :class:`TraceSet`.
 
 Traces collected from a simulation run can be written to a directory
-(one ``.jsonl`` file per stream) and reloaded later, so model training
-can be decoupled from trace collection — the workflow the paper
-assumes ("each one of the four models is trained using traces from the
-corresponding subsystem").
+(one ``.jsonl`` file per stream, optionally gzipped) and reloaded
+later, so model training can be decoupled from trace collection — the
+workflow the paper assumes ("each one of the four models is trained
+using traces from the corresponding subsystem").
+
+Format versions:
+
+* **v1** (legacy): bare record lines, no header, never compressed.
+* **v2**: the first line of each stream file is a header object
+  ``{"format": "repro-traces", "version": 2, "stream": <name>}`` and
+  files may carry a ``.jsonl.gz`` suffix.  Readers accept both — the
+  header is recognized by its ``format`` key, so v1 dumps keep loading.
+
+The same line-level helpers back the sharded store in
+:mod:`repro.store`, so flat dumps and shard stream files share one
+reader path; :func:`load_traces` additionally recognizes a shard-store
+directory (``shard-*/manifest.json``) and returns its stitched merge.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
+from typing import Iterator, TextIO
 
 from .records import (
     CpuRecord,
@@ -22,9 +38,21 @@ from .records import (
 from .span import Span
 from .tracer import TraceSet
 
-__all__ = ["load_traces", "save_traces"]
+__all__ = [
+    "STREAM_TYPES",
+    "TRACES_FORMAT",
+    "TRACES_VERSION",
+    "find_stream_file",
+    "iter_stream_records",
+    "load_traces",
+    "open_trace_read",
+    "open_trace_write",
+    "save_traces",
+    "stream_header",
+]
 
-_STREAMS = {
+#: Record class for each stream, in canonical stream order.
+STREAM_TYPES = {
     "network": NetworkRecord,
     "cpu": CpuRecord,
     "memory": MemoryRecord,
@@ -33,36 +61,114 @@ _STREAMS = {
     "spans": Span,
 }
 
+TRACES_FORMAT = "repro-traces"
+TRACES_VERSION = 2
 
-def save_traces(traces: TraceSet, directory: str | Path) -> Path:
-    """Write each stream of ``traces`` to ``directory/<stream>.jsonl``."""
+
+def stream_header(stream: str) -> dict:
+    """The v2 header object written as the first line of a stream file."""
+    return {"format": TRACES_FORMAT, "version": TRACES_VERSION, "stream": stream}
+
+
+def open_trace_write(path: str | Path) -> TextIO:
+    """Open a trace stream file for writing; ``.gz`` suffix gzips.
+
+    Gzip members are written with ``mtime=0`` so identical records
+    produce byte-identical files — the reproducibility contract the
+    sharded fleet tests assert at the file level.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(
+            gzip.GzipFile(filename=str(path), mode="wb", mtime=0),
+            encoding="utf-8",
+        )
+    return path.open("w", encoding="utf-8")
+
+
+def open_trace_read(path: str | Path) -> TextIO:
+    """Open a (possibly gzipped) trace stream file for reading."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.GzipFile(str(path), "rb"), encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def find_stream_file(directory: str | Path, stream: str) -> Path | None:
+    """Locate ``<stream>.jsonl`` or ``<stream>.jsonl.gz`` in a directory."""
+    directory = Path(directory)
+    for suffix in (".jsonl", ".jsonl.gz"):
+        path = directory / f"{stream}{suffix}"
+        if path.exists():
+            return path
+    return None
+
+
+def _is_header(data: dict) -> bool:
+    return isinstance(data, dict) and data.get("format") == TRACES_FORMAT
+
+
+def iter_stream_records(path: str | Path, record_cls) -> Iterator:
+    """Yield records from one stream file, v1 (headerless) or v2.
+
+    A header newer than :data:`TRACES_VERSION` is rejected rather than
+    misread; anything else on the first line must be a record.
+    """
+    with open_trace_read(path) as fh:
+        first = True
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if first:
+                first = False
+                if _is_header(data):
+                    version = data.get("version")
+                    if not isinstance(version, int) or version > TRACES_VERSION:
+                        raise ValueError(
+                            f"{path}: unsupported trace format version {version!r}"
+                        )
+                    continue
+            yield record_cls.from_dict(data)
+
+
+def save_traces(
+    traces: TraceSet, directory: str | Path, compress: bool = False
+) -> Path:
+    """Write each stream of ``traces`` to ``directory/<stream>.jsonl[.gz]``."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    for stream in _STREAMS:
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    for stream in STREAM_TYPES:
         records = getattr(traces, stream)
-        path = directory / f"{stream}.jsonl"
-        with path.open("w") as fh:
+        with open_trace_write(directory / f"{stream}{suffix}") as fh:
+            fh.write(json.dumps(stream_header(stream)) + "\n")
             for record in records:
                 fh.write(json.dumps(record.to_dict()) + "\n")
     return directory
 
 
 def load_traces(directory: str | Path) -> TraceSet:
-    """Read a :class:`TraceSet` previously written by :func:`save_traces`.
+    """Read a :class:`TraceSet` from any on-disk trace layout.
 
-    Missing stream files load as empty streams, so partial trace
-    directories (e.g. storage-only characterization runs) are usable.
+    Accepts legacy v1 flat dumps, v2 flat dumps (with header, plain or
+    gzipped), and sharded stores written by
+    :class:`repro.store.ShardWriter` — a shard store is recognized by
+    its ``shard-*/manifest.json`` files and loaded as the stitched
+    merge of all shards.  Missing stream files load as empty streams,
+    so partial trace directories (e.g. storage-only characterization
+    runs) are usable.
     """
     directory = Path(directory)
+    if any(directory.glob("shard-*/manifest.json")):
+        from ..store.shards import ShardStore
+
+        return ShardStore(directory).merged()
     traces = TraceSet()
-    for stream, record_cls in _STREAMS.items():
-        path = directory / f"{stream}.jsonl"
-        if not path.exists():
+    for stream, record_cls in STREAM_TYPES.items():
+        path = find_stream_file(directory, stream)
+        if path is None:
             continue
-        records = getattr(traces, stream)
-        with path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    records.append(record_cls.from_dict(json.loads(line)))
+        getattr(traces, stream).extend(iter_stream_records(path, record_cls))
     return traces

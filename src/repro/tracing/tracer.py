@@ -27,7 +27,57 @@ from .records import (
 )
 from .span import Annotation, Span, TraceTree, build_trace_trees
 
-__all__ = ["TraceSet", "Tracer"]
+__all__ = [
+    "TraceSet",
+    "Tracer",
+    "shift_request",
+    "shift_span",
+    "shift_subsystem_record",
+]
+
+
+def shift_subsystem_record(record, time_offset: float = 0.0, request_id_offset: int = 0):
+    """A copy of a network/cpu/memory/storage record with offsets applied."""
+    return replace(
+        record,
+        request_id=record.request_id + request_id_offset,
+        timestamp=record.timestamp + time_offset,
+    )
+
+
+def shift_request(
+    record: RequestRecord, time_offset: float = 0.0, request_id_offset: int = 0
+) -> RequestRecord:
+    """A copy of a request record with its id and both times offset."""
+    return replace(
+        record,
+        request_id=record.request_id + request_id_offset,
+        arrival_time=record.arrival_time + time_offset,
+        completion_time=record.completion_time + time_offset,
+    )
+
+
+def shift_span(
+    span: Span,
+    time_offset: float = 0.0,
+    request_id_offset: int = 0,
+    span_id_offset: int = 0,
+) -> Span:
+    """A copy of a span with trace/span ids and all timestamps offset."""
+    return replace(
+        span,
+        trace_id=span.trace_id + request_id_offset,
+        span_id=span.span_id + span_id_offset,
+        parent_id=(
+            None if span.parent_id is None else span.parent_id + span_id_offset
+        ),
+        start=span.start + time_offset,
+        end=span.end + time_offset,
+        annotations=[
+            Annotation(a.timestamp + time_offset, a.message)
+            for a in span.annotations
+        ],
+    )
 
 
 @dataclass
@@ -72,38 +122,22 @@ class TraceSet:
         tracer numbers requests/spans from one, so a later run must be
         shifted past its predecessors to keep merged timestamps
         monotone per replica and identifiers globally unique.
+
+        The per-record transforms live at module level
+        (:func:`shift_subsystem_record`, :func:`shift_request`,
+        :func:`shift_span`) so the on-disk shard store can apply the
+        exact same arithmetic one record at a time without
+        materializing whole trace sets.
         """
 
         def req(r: RequestRecord) -> RequestRecord:
-            return replace(
-                r,
-                request_id=r.request_id + request_id_offset,
-                arrival_time=r.arrival_time + time_offset,
-                completion_time=r.completion_time + time_offset,
-            )
+            return shift_request(r, time_offset, request_id_offset)
 
         def span(s: Span) -> Span:
-            return replace(
-                s,
-                trace_id=s.trace_id + request_id_offset,
-                span_id=s.span_id + span_id_offset,
-                parent_id=(
-                    None if s.parent_id is None else s.parent_id + span_id_offset
-                ),
-                start=s.start + time_offset,
-                end=s.end + time_offset,
-                annotations=[
-                    Annotation(a.timestamp + time_offset, a.message)
-                    for a in s.annotations
-                ],
-            )
+            return shift_span(s, time_offset, request_id_offset, span_id_offset)
 
         def rec(r):
-            return replace(
-                r,
-                request_id=r.request_id + request_id_offset,
-                timestamp=r.timestamp + time_offset,
-            )
+            return shift_subsystem_record(r, time_offset, request_id_offset)
 
         return TraceSet(
             network=[rec(r) for r in self.network],
@@ -143,13 +177,29 @@ class Tracer:
     ``sample_every`` mirrors Dapper's 1-in-N trace sampling (the paper
     quotes 1/1000 with <1.5% overhead); ``sample_every=1`` traces every
     request, which the small simulated clusters can afford.
+
+    A ``sink`` (any object with ``write(stream, record)``, e.g. a
+    :class:`repro.store.ShardWriter`) receives every record as it is
+    collected, so a fleet replica can stream its traces straight to
+    disk.  Network/cpu/memory/storage/request records are final when
+    recorded and are forwarded immediately; spans are mutated until
+    :meth:`end_span` (their ``end`` is backfilled), so they are held in
+    memory and flushed to the sink, in collection order, by
+    :meth:`close`.  With ``keep_records=False`` the forwarded streams
+    are *not* also accumulated in :attr:`traces`, bounding memory to
+    the (sampled) span set no matter how long the run is.
     """
 
-    def __init__(self, sample_every: int = 1):
+    def __init__(self, sample_every: int = 1, sink=None, keep_records: bool = True):
         if sample_every < 1:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if sink is None and not keep_records:
+            raise ValueError("keep_records=False requires a sink")
         self.sample_every = sample_every
         self.traces = TraceSet()
+        self.sink = sink
+        self.keep_records = keep_records
+        self._closed = False
         self._next_span_id = 0
         self._sampled: set[int] = set()
         self._request_counter = 0
@@ -170,7 +220,7 @@ class Tracer:
 
     def record_request(self, record: RequestRecord) -> None:
         """Register an end-to-end request record (always collected)."""
-        self.traces.requests.append(record)
+        self._emit("requests", record)
 
     # -- span API (sampled) --------------------------------------------------
 
@@ -205,13 +255,39 @@ class Tracer:
     # -- subsystem record API (always on) -----------------------------------
 
     def record_network(self, record: NetworkRecord) -> None:
-        self.traces.network.append(record)
+        self._emit("network", record)
 
     def record_cpu(self, record: CpuRecord) -> None:
-        self.traces.cpu.append(record)
+        self._emit("cpu", record)
 
     def record_memory(self, record: MemoryRecord) -> None:
-        self.traces.memory.append(record)
+        self._emit("memory", record)
 
     def record_storage(self, record: StorageRecord) -> None:
-        self.traces.storage.append(record)
+        self._emit("storage", record)
+
+    # -- streaming ----------------------------------------------------------
+
+    def _emit(self, stream: str, record) -> None:
+        if self.keep_records:
+            getattr(self.traces, stream).append(record)
+        if self.sink is not None:
+            self.sink.write(stream, record)
+
+    def close(self) -> None:
+        """Flush spans to the sink (idempotent).
+
+        Spans cannot be streamed eagerly because ``end`` is backfilled;
+        once the run is over they are final, so they are forwarded in
+        collection order — the same order :attr:`traces` holds them in,
+        keeping on-disk shards record-for-record identical to the
+        in-memory stream.
+        """
+        if self._closed or self.sink is None:
+            self._closed = True
+            return
+        self._closed = True
+        for span in self.traces.spans:
+            self.sink.write("spans", span)
+        if not self.keep_records:
+            self.traces.spans.clear()

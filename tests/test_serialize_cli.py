@@ -133,8 +133,9 @@ def test_cli_unknown_app_rejected(tmp_path):
 
 
 def test_cli_collect_replicas_identical_across_workers(tmp_path, capsys):
-    # Determinism contract of `repro collect --replicas N`: the saved
-    # merged traces are byte-identical for any --workers value.
+    # Determinism contract of `repro collect --replicas N`: the sharded
+    # store and its stitched merge are byte-identical for any --workers
+    # value.
     args = ["collect", "--app", "gfs", "--requests", "60", "--replicas", "3"]
     d1 = tmp_path / "w1"
     d2 = tmp_path / "w2"
@@ -142,12 +143,33 @@ def test_cli_collect_replicas_identical_across_workers(tmp_path, capsys):
     assert main(args + ["--workers", "2", "--out", str(d2)]) == 0
     out = capsys.readouterr().out
     assert "3 replicas" in out
+    for shard in ("shard-00000", "shard-00001", "shard-00002"):
+        names1 = sorted(p.name for p in (d1 / shard).iterdir())
+        assert names1 == sorted(p.name for p in (d2 / shard).iterdir())
+        for name in names1:
+            f1 = (d1 / shard / name).read_bytes()
+            f2 = (d2 / shard / name).read_bytes()
+            assert f1 == f2, f"{shard}/{name} differs between worker counts"
+    assert main(["merge", str(d1)]) == 0
+    assert main(["merge", str(d2), "--out", str(d2 / "merged")]) == 0
     for stream in ("network", "cpu", "memory", "storage", "requests", "spans"):
-        f1 = (d1 / f"{stream}.jsonl").read_bytes()
-        f2 = (d2 / f"{stream}.jsonl").read_bytes()
-        assert f1 == f2, f"{stream}.jsonl differs between worker counts"
-    # 3 replicas x 60 requests on one monotonic timeline.
-    assert len((d1 / "requests.jsonl").read_bytes().splitlines()) == 180
+        f1 = (d1 / "merged" / f"{stream}.jsonl").read_bytes()
+        f2 = (d2 / "merged" / f"{stream}.jsonl").read_bytes()
+        assert f1 == f2, f"merged {stream}.jsonl differs between worker counts"
+    # 3 replicas x 60 requests on one monotonic timeline (+ header line).
+    lines = (d1 / "merged" / "requests.jsonl").read_bytes().splitlines()
+    assert len(lines) == 181
+
+
+def test_cli_collect_flat_replicas(tmp_path, capsys):
+    # --flat keeps the legacy single-dump layout for multi-replica runs.
+    out = tmp_path / "flat"
+    assert main(
+        ["collect", "--app", "gfs", "--requests", "40", "--replicas", "2",
+         "--flat", "--out", str(out)]
+    ) == 0
+    assert (out / "requests.jsonl").exists()
+    assert not list(out.glob("shard-*"))
 
 
 def test_cli_collect_mapreduce(tmp_path):
