@@ -29,7 +29,11 @@ from .core import (
     ReplayHarness,
     SyntheticRequest,
     ValidationReport,
+    WorkloadFeatureStats,
+    WorkloadProfile,
+    WorkloadProfileBuilder,
     capability_table,
+    compare_feature_stats,
     compare_workloads,
     extract_request_features,
     mine_dependency_queue,
@@ -46,12 +50,21 @@ from .datacenter import (
     run_webapp_workload,
 )
 from .depth import InDepthModel
-from .tracing import TraceSet, Tracer, load_traces, save_traces
+from .tracing import (
+    FlatTraceDump,
+    TraceSet,
+    TraceSource,
+    Tracer,
+    as_trace_set,
+    load_traces,
+    save_traces,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CAPABILITIES",
+    "FlatTraceDump",
     "GfsCluster",
     "GfsRequest",
     "GfsSpec",
@@ -65,9 +78,15 @@ __all__ = [
     "ReplayHarness",
     "SyntheticRequest",
     "TraceSet",
+    "TraceSource",
     "Tracer",
     "ValidationReport",
+    "WorkloadFeatureStats",
+    "WorkloadProfile",
+    "WorkloadProfileBuilder",
+    "as_trace_set",
     "capability_table",
+    "compare_feature_stats",
     "compare_workloads",
     "extract_request_features",
     "load_traces",

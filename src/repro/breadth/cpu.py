@@ -26,11 +26,17 @@ def utilization_series(
     window: float,
     cores: int = 1,
     end_time: Optional[float] = None,
+    origin: Optional[float] = None,
 ) -> np.ndarray:
     """Per-window CPU utilization (fraction of capacity) from bursts.
 
     Bursts are attributed to the window containing their start — an
     approximation that matches how coarse utilization counters sample.
+    ``origin`` anchors window 0 explicitly (e.g. ``0.0`` for the
+    simulated clock); the default anchors at the earliest burst, the
+    historical behavior.  An explicit origin uses the same truncation
+    arithmetic as :class:`repro.stats.streaming.WindowedCounter`, which
+    is what lets the streaming characterization reproduce this series.
     """
     if not records:
         raise ValueError("no CPU records")
@@ -38,7 +44,7 @@ def utilization_series(
         raise ValueError(f"window must be > 0, got {window}")
     if cores < 1:
         raise ValueError(f"cores must be >= 1, got {cores}")
-    start = min(r.timestamp for r in records)
+    start = origin if origin is not None else min(r.timestamp for r in records)
     end = end_time if end_time is not None else max(
         r.timestamp + r.busy_seconds for r in records
     )

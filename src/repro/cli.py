@@ -6,18 +6,20 @@ cluster, model training offline, validation and studies anywhere:
     repro collect --app gfs --requests 2000 --out traces/
     repro collect --app gfs --replicas 8 --workers 4 --out traces/
     repro collect --app gfs --replicas 2 --sweep-rate 10,25,40 --out sweep/
-    repro merge traces/ --out traces/merged
-    repro train traces/ --model model.json
-    repro train traces/ --per-class --workers 4 --model classes.json
+    repro merge --in traces/ --out traces/merged
+    repro train --in traces/ --model model.json
+    repro train --in traces/ --per-class --workers 4 --model classes.json
     repro describe model.json
-    repro validate traces/ --model model.json
-    repro characterize traces/
+    repro validate --in traces/ --model model.json
+    repro validate --in traces/ --per-class --workers 4
+    repro characterize --in traces/
 
-Multi-replica collection persists a *sharded* store (one
-``shard-<idx>/`` per replica, written as each replica completes, with
-manifests instead of in-memory merging — see ``docs/trace_store.md``);
-every trace-consuming command reads flat dumps and shard stores alike
-through one loader.
+Every trace-consuming command takes a uniform ``--in PATH`` that
+auto-detects shard stores vs flat dumps (the pre-0.3 positional path
+still works as a hidden alias).  Shard stores are analyzed by the
+streaming engine — one accumulator set per shard, merged — so
+``characterize`` and ``validate`` never materialize the merged trace
+timeline (see ``docs/streaming_analysis.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +31,39 @@ from pathlib import Path
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+
+def _input_path(args: argparse.Namespace, attr: str) -> Path:
+    """Resolve the uniform ``--in PATH`` with its hidden positional alias."""
+    positional = getattr(args, attr, None)
+    if args.in_path is not None and positional is not None:
+        raise SystemExit("pass the input either via --in or positionally, not both")
+    path = args.in_path if args.in_path is not None else positional
+    if path is None:
+        raise SystemExit("no input given: pass --in PATH")
+    return path
+
+
+def _open_source(path: Path):
+    """Auto-detect and open a trace source, with clear failure messages."""
+    from .store import ShardStore, is_shard_store
+    from .tracing import load_traces
+
+    try:
+        source = load_traces(path)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    if isinstance(source, ShardStore):
+        n_records = sum(source.counts().values())
+    else:
+        n_records = sum(source.summary().values())
+    if n_records == 0:
+        kind = "shard store" if is_shard_store(path) else "trace dump"
+        raise SystemExit(
+            f"{kind} at {path} is empty (0 records); "
+            "collect traces into it first (repro collect --out)"
+        )
+    return source
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
@@ -150,23 +185,24 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 def _cmd_merge(args: argparse.Namespace) -> int:
     from .store import ShardStore
 
+    path = _input_path(args, "store")
     try:
-        store = ShardStore(args.store)
+        store = ShardStore(path)
     except FileNotFoundError as error:
         raise SystemExit(str(error))
-    out = args.out if args.out is not None else args.store / "merged"
+    out = args.out if args.out is not None else path / "merged"
     store.save_merged(out, compress=args.gzip)
     summary = ", ".join(f"{k}={v}" for k, v in store.summary().items())
     print(
-        f"stitched {len(store)} shards from {args.store} into {out} ({summary})"
+        f"stitched {len(store)} shards from {path} into {out} ({summary})"
     )
     return 0
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     from .core import KoozaConfig, KoozaTrainer, save_model
-    from .tracing import load_traces
 
+    path = _input_path(args, "traces")
     config = KoozaConfig(
         network_size_bins=args.network_bins,
         storage_size_bins=args.storage_bins,
@@ -174,15 +210,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cpu_utilization_bins=args.cpu_bins,
         hierarchical_storage=args.hierarchical,
     )
+    source = _open_source(path)
     if args.per_class:
-        from .store import is_shard_store, save_per_class_models, train_per_class
+        from .store import save_per_class_models, train_per_class
 
-        if not is_shard_store(args.traces):
-            raise SystemExit(
-                f"{args.traces} is not a shard store; --per-class trains "
-                "from shards (collect with --replicas > 1)"
-            )
-        fit = train_per_class(args.traces, config, workers=args.workers)
+        fit = train_per_class(source, config, workers=args.workers)
         if not fit.models:
             raise SystemExit(
                 f"no request class reached the trainable minimum; "
@@ -198,8 +230,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             f"{skipped}; written to {args.model}"
         )
         return 0
-    traces = load_traces(args.traces)
-    model = KoozaTrainer(config).fit(traces)
+    model = KoozaTrainer(config).fit(source)
     save_model(model, args.model)
     print(
         f"trained on {model.n_training_requests} requests "
@@ -211,7 +242,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def _cmd_describe(args: argparse.Namespace) -> int:
     from .core import load_model
 
-    print(load_model(args.model).describe())
+    path = _input_path(args, "model")
+    if Path(path).is_dir():
+        # Pointed at traces rather than a model file: auto-detect the
+        # source and describe its streaming workload profile instead of
+        # failing on a JSON parse of a directory.
+        from .store import characterize_source
+
+        source = _open_source(path)
+        print(characterize_source(source, workers=args.workers).describe())
+        return 0
+    print(load_model(path).describe())
     return 0
 
 
@@ -219,21 +260,47 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from .core import (
         KoozaTrainer,
         ReplayHarness,
-        compare_workloads,
+        WorkloadFeatureStats,
+        compare_feature_stats,
         load_model,
     )
-    from .tracing import load_traces
+    from .store import ShardStore, analyze_source
 
-    traces = load_traces(args.traces)
+    path = _input_path(args, "traces")
+    source = _open_source(path)
+    if args.per_class:
+        from .store import load_per_class_models, validate_per_class
+
+        models = load_per_class_models(args.model) if args.model else None
+        result = validate_per_class(
+            source, models=models, seed=args.seed, workers=args.workers
+        )
+        print(result.to_table())
+        if result.n_validated == 0:
+            print("validation failed: no request class could be compared")
+            return 1
+        worst = result.worst_feature_deviation_pct
+        print(
+            f"classes validated: {result.n_validated}/{len(result.classes)}  "
+            f"worst feature deviation: {worst:.2f}%"
+        )
+        return 0 if worst < args.feature_limit else 1
+    if isinstance(source, ShardStore):
+        # Streaming accumulation, one worker per shard — the merged
+        # TraceSet is never built.
+        original = analyze_source(source, workers=args.workers).features
+    else:
+        original = WorkloadFeatureStats.from_source(source)
     if args.model:
         model = load_model(args.model)
     else:
-        model = KoozaTrainer().fit(traces)
-    n = len(traces.completed_requests())
-    synthetic = model.synthesize(n, np.random.default_rng(args.seed))
+        model = KoozaTrainer().fit(source)
+    synthetic = model.synthesize(original.n, np.random.default_rng(args.seed))
     replayed = ReplayHarness(seed=args.seed + 1).replay(synthetic)
     try:
-        report = compare_workloads(traces, replayed)
+        report = compare_feature_stats(
+            original, WorkloadFeatureStats.from_source(replayed)
+        )
     except ValueError as error:
         # E.g. a model trained on a different workload: no common
         # request profiles at all — the strongest possible mismatch.
@@ -248,38 +315,14 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from .breadth import (
-        NetworkTrafficModel,
-        StorageProfile,
-        utilization_series,
-    )
-    from .stats import classify_utilization_pattern
-    from .tracing import load_traces
+    from .store import characterize_source
 
-    traces = load_traces(args.traces)
-    if traces.storage:
-        profile = StorageProfile.characterize(traces.storage)
-        print(
-            f"storage: {profile.n_ios} I/Os, read fraction "
-            f"{profile.read_fraction:.2f}, mean size "
-            f"{profile.mean_size / 1024:.1f} KiB, sequential "
-            f"{profile.sequential_fraction:.2f}"
-        )
-    if traces.cpu:
-        series = utilization_series(traces.cpu, window=args.window, cores=8)
-        print(
-            f"cpu: {series.size} windows, mean utilization "
-            f"{series.mean() * 100:.1f}%, pattern "
-            f"{classify_utilization_pattern(series)}"
-        )
-    if traces.network:
-        model = NetworkTrafficModel().fit(traces.network)
-        ch = model.characterization
-        print(
-            f"network: {ch.n_messages} arrivals at {ch.mean_rate:.1f}/s, "
-            f"CoV {ch.interarrival_cov:.2f}, best fit "
-            f"{ch.best_fit_family} (KS {ch.ks_statistic:.3f})"
-        )
+    path = _input_path(args, "traces")
+    source = _open_source(path)
+    profile = characterize_source(
+        source, window=args.window, workers=args.workers
+    )
+    print(profile.describe())
     return 0
 
 
@@ -329,10 +372,23 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--out", type=Path, required=True)
     collect.set_defaults(func=_cmd_collect)
 
+    def add_input(cmd: argparse.ArgumentParser, attr: str) -> None:
+        # Uniform input: `--in PATH` auto-detects shard stores vs flat
+        # dumps; the pre-0.3 positional form stays as a hidden alias.
+        cmd.add_argument(attr, type=Path, nargs="?", help=argparse.SUPPRESS)
+        cmd.add_argument(
+            "--in",
+            dest="in_path",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="input traces: a shard store or flat dump (auto-detected)",
+        )
+
     merge = sub.add_parser(
         "merge", help="stitch a sharded trace store into one flat dump"
     )
-    merge.add_argument("store", type=Path)
+    add_input(merge, "store")
     merge.add_argument(
         "--out",
         type=Path,
@@ -345,7 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     merge.set_defaults(func=_cmd_merge)
 
     train = sub.add_parser("train", help="train KOOZA from saved traces")
-    train.add_argument("traces", type=Path)
+    add_input(train, "traces")
     train.add_argument("--model", type=Path, required=True)
     train.add_argument("--network-bins", type=int, default=8)
     train.add_argument("--storage-bins", type=int, default=6)
@@ -365,24 +421,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.set_defaults(func=_cmd_train)
 
-    describe = sub.add_parser("describe", help="print a trained model")
-    describe.add_argument("model", type=Path)
+    describe = sub.add_parser(
+        "describe",
+        help="print a trained model (or the profile of a trace directory)",
+    )
+    add_input(describe, "model")
+    describe.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes when describing a shard store; 0 = all cores",
+    )
     describe.set_defaults(func=_cmd_describe)
 
     validate = sub.add_parser(
         "validate", help="synthesize, replay and compare against traces"
     )
-    validate.add_argument("traces", type=Path)
-    validate.add_argument("--model", type=Path, default=None)
+    add_input(validate, "traces")
+    validate.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="trained model JSON (per-class table with --per-class); "
+        "trained from the input traces when omitted",
+    )
     validate.add_argument("--seed", type=int, default=42)
     validate.add_argument("--feature-limit", type=float, default=1.0)
+    validate.add_argument(
+        "--per-class",
+        action="store_true",
+        help="replay each request class's model and report Table-2 "
+        "deviations per class plus the cross-class mix",
+    )
+    validate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for streaming analysis over a shard "
+        "store; 0 = all cores",
+    )
     validate.set_defaults(func=_cmd_validate)
 
     characterize = sub.add_parser(
         "characterize", help="in-breadth summary of saved traces"
     )
-    characterize.add_argument("traces", type=Path)
+    add_input(characterize, "traces")
     characterize.add_argument("--window", type=float, default=0.25)
+    characterize.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for streaming analysis over a shard "
+        "store; 0 = all cores",
+    )
     characterize.set_defaults(func=_cmd_characterize)
 
     return parser

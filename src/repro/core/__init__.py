@@ -22,13 +22,25 @@ from .instances import (
     split_traces_by_server,
 )
 from .model import KoozaConfig, KoozaModel, SubsystemCoupler
+from .profile import (
+    CpuSummary,
+    MemorySummary,
+    NetworkSummary,
+    RequestSummary,
+    StorageSummary,
+    WorkloadProfile,
+    WorkloadProfileBuilder,
+)
 from .replay import ReplayHarness
 from .serialize import load_model, model_from_dict, model_to_dict, save_model
 from .synthetic import Stage, SyntheticRequest
 from .trainer import KoozaTrainer
 from .validation import (
     ProfileComparison,
+    ProfileFeatureStats,
     ValidationReport,
+    WorkloadFeatureStats,
+    compare_feature_stats,
     compare_workloads,
     profile_key,
 )
@@ -36,18 +48,28 @@ from .validation import (
 __all__ = [
     "CAPABILITIES",
     "Capability",
+    "CpuSummary",
     "DependencyQueue",
     "KoozaConfig",
     "KoozaModel",
     "KoozaTrainer",
+    "MemorySummary",
+    "NetworkSummary",
     "ProfileComparison",
+    "ProfileFeatureStats",
     "ReplayHarness",
     "RequestFeatures",
+    "RequestSummary",
     "Stage",
+    "StorageSummary",
     "SubsystemCoupler",
     "SyntheticRequest",
     "ValidationReport",
+    "WorkloadFeatureStats",
+    "WorkloadProfile",
+    "WorkloadProfileBuilder",
     "capability_table",
+    "compare_feature_stats",
     "compare_workloads",
     "extract_request_features",
     "load_model",

@@ -10,10 +10,11 @@ correlations between individual subsystem models the paper highlights
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
-from ..tracing import TraceSet
+from ..tracing import TraceSource, build_trace_trees
 
 __all__ = ["RequestFeatures", "extract_request_features"]
 
@@ -52,33 +53,62 @@ class RequestFeatures:
         return self.cpu_busy / self.latency if self.latency > 0 else 0.0
 
 
-def extract_request_features(traces: TraceSet) -> list[RequestFeatures]:
+def extract_request_features(
+    source: Optional[TraceSource] = None,
+    *,
+    traces: Optional[TraceSource] = None,
+) -> list[RequestFeatures]:
     """Assemble per-request feature vectors, sorted by arrival time.
 
-    Control-plane records (master lookups) are excluded from the
-    data-path features.  Requests missing any subsystem record (e.g.
-    cut off at simulation end) are dropped.
+    Accepts any :class:`~repro.tracing.TraceSource` — an in-memory
+    :class:`~repro.tracing.TraceSet`, a lazy
+    :class:`repro.store.ShardStore`, or a
+    :class:`~repro.tracing.FlatTraceDump` — and folds over its streams
+    without requiring list attributes.  Control-plane records (master
+    lookups) are excluded from the data-path features.  Requests
+    missing any subsystem record (e.g. cut off at simulation end) are
+    dropped.
+
+    The ``traces=`` keyword is a deprecated alias for the first
+    positional argument and will be removed one release after 0.3.
     """
+    if traces is not None:
+        if source is not None:
+            raise TypeError("pass either 'source' or 'traces', not both")
+        warnings.warn(
+            "extract_request_features(traces=...) is deprecated; pass the "
+            "trace source positionally or as source=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        source = traces
+    if source is None:
+        raise TypeError("extract_request_features() missing a trace source")
     storage_by_request: dict[int, list] = {}
-    for r in traces.storage:
+    for r in source.iter_records("storage"):
         storage_by_request.setdefault(r.request_id, []).append(r)
     memory_by_request: dict[int, list] = {}
-    for r in traces.memory:
+    for r in source.iter_records("memory"):
         memory_by_request.setdefault(r.request_id, []).append(r)
     cpu_by_request: dict[int, list] = {}
-    for r in traces.cpu:
+    for r in source.iter_records("cpu"):
         if r.server not in _CONTROL_SERVERS:
             cpu_by_request.setdefault(r.request_id, []).append(r)
     network_by_request: dict[int, list] = {}
-    for r in traces.network:
+    for r in source.iter_records("network"):
         if r.server not in _CONTROL_SERVERS:
             network_by_request.setdefault(r.request_id, []).append(r)
     stage_by_request: dict[int, list[str]] = {}
-    for tree in traces.trace_trees():
+    for tree in build_trace_trees(list(source.iter_records("spans"))):
         stage_by_request[tree.trace_id] = tree.stage_sequence()
 
+    completed = (
+        r
+        for r in source.iter_records("requests")
+        if r.completion_time > r.arrival_time
+    )
     features = []
-    for record in traces.completed_requests():
+    for record in completed:
         rid = record.request_id
         storage = sorted(
             storage_by_request.get(rid, []), key=lambda r: r.timestamp

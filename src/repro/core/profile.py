@@ -1,0 +1,481 @@
+"""Workload characterization profiles: batch and streaming builders.
+
+:class:`WorkloadProfile` is the structured result of ``repro
+characterize`` — per-subsystem summaries in the style of the surveyed
+in-breadth papers (Gulati storage fingerprint, Abrahao utilization
+patterns, Feitelson arrival features) plus request-level aggregates.
+
+Two builders produce it:
+
+* :meth:`WorkloadProfile.from_traces` — the batch reference: fold the
+  materialized records through the existing numpy helpers.
+* :class:`WorkloadProfileBuilder` — a mergeable accumulator set that
+  folds record-by-record over any
+  :class:`~repro.tracing.TraceSource` stream.  One builder per shard,
+  merged in shard order, reproduces the batch profile without ever
+  materializing the stitched trace set.
+
+Equality contract (see ``docs/streaming_analysis.md``): count,
+fraction, quantile, window-series and KS fields match the batch
+profile exactly; accumulated means/variances (interarrival moments,
+CoV) match within a relative tolerance of 1e-9.  All windowed series
+are anchored at ``origin=0.0`` — the simulated clock — on both paths,
+which is what makes window bins identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..stats import (
+    CategoricalCounter,
+    ExactQuantiles,
+    SeekStats,
+    WindowedCounter,
+    classify_utilization_pattern,
+)
+from ..tracing import READ, TraceSource, as_trace_set
+
+__all__ = [
+    "CpuSummary",
+    "MemorySummary",
+    "NetworkSummary",
+    "RequestSummary",
+    "StorageSummary",
+    "WorkloadProfile",
+    "WorkloadProfileBuilder",
+]
+
+#: Minimum windows before a utilization pattern is classified.
+_MIN_PATTERN_WINDOWS = 8
+
+
+@dataclass(frozen=True)
+class StorageSummary:
+    """Gulati-style I/O fingerprint (mirrors ``StorageProfile``)."""
+
+    n_ios: int
+    read_fraction: float
+    mean_size: float
+    p95_size: float
+    sequential_fraction: float
+    mean_abs_seek: float
+    mean_queue_depth: float
+    mean_interarrival: float
+
+
+@dataclass(frozen=True)
+class CpuSummary:
+    """Windowed utilization summary (Abrahao-style)."""
+
+    n_bursts: int
+    n_windows: int
+    mean_utilization: float
+    peak_utilization: float
+    pattern: Optional[str]
+
+
+@dataclass(frozen=True)
+class NetworkSummary:
+    """Arrival-stream fingerprint over the rx direction."""
+
+    n_arrivals: int
+    mean_rate: float
+    interarrival_cov: Optional[float]
+    index_of_dispersion: Optional[float]
+    peak_to_mean: Optional[float]
+    mean_size: float
+
+
+@dataclass(frozen=True)
+class MemorySummary:
+    """Memory access-burst aggregates."""
+
+    n_accesses: int
+    read_fraction: float
+    mean_size: float
+
+
+@dataclass(frozen=True)
+class RequestSummary:
+    """End-to-end request aggregates over completed requests."""
+
+    n_requests: int
+    mean_latency: float
+    p95_latency: float
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Characterization of one workload, subsystem by subsystem.
+
+    Sections are ``None`` when the source lacks enough records to
+    compute them (e.g. fewer than two storage I/Os).
+    """
+
+    window: float
+    cores: int
+    extent: float
+    classes: dict[str, int]
+    storage: Optional[StorageSummary] = None
+    cpu: Optional[CpuSummary] = None
+    network: Optional[NetworkSummary] = None
+    memory: Optional[MemorySummary] = None
+    requests: Optional[RequestSummary] = None
+
+    @classmethod
+    def from_traces(
+        cls,
+        source: TraceSource,
+        window: float = 0.25,
+        cores: int = 8,
+    ) -> "WorkloadProfile":
+        """Batch reference: characterize a materialized trace set.
+
+        Any :class:`~repro.tracing.TraceSource` is accepted; non-set
+        sources are materialized first (use
+        :func:`repro.store.characterize_source` to avoid that).
+        """
+        # Late imports: repro.breadth imports repro.core.model, so a
+        # module-level import here would close a cycle.
+        from ..breadth import NetworkTrafficModel, StorageProfile, utilization_series
+        from ..stats import index_of_dispersion, interarrival_cov, peak_to_mean
+
+        traces = as_trace_set(source)
+        storage = None
+        if len(traces.storage) >= 2:
+            sp = StorageProfile.characterize(traces.storage)
+            storage = StorageSummary(
+                n_ios=sp.n_ios,
+                read_fraction=sp.read_fraction,
+                mean_size=sp.mean_size,
+                p95_size=sp.p95_size,
+                sequential_fraction=sp.sequential_fraction,
+                mean_abs_seek=sp.mean_abs_seek,
+                mean_queue_depth=sp.mean_queue_depth,
+                mean_interarrival=sp.mean_interarrival,
+            )
+        cpu = None
+        if traces.cpu:
+            series = utilization_series(
+                traces.cpu, window=window, cores=cores, origin=0.0
+            )
+            cpu = CpuSummary(
+                n_bursts=len(traces.cpu),
+                n_windows=int(series.size),
+                mean_utilization=float(series.mean()),
+                peak_utilization=float(series.max()),
+                pattern=(
+                    classify_utilization_pattern(series)
+                    if series.size >= _MIN_PATTERN_WINDOWS
+                    else None
+                ),
+            )
+        network = None
+        arrivals = NetworkTrafficModel._arrival_records(traces.network)
+        if len(arrivals) >= 2:
+            times = np.array([r.timestamp for r in arrivals])
+            span = float(times[-1] - times[0])
+            gaps = np.diff(times)
+            positive = gaps[gaps > 0]
+            cov = (
+                float(interarrival_cov(positive)) if positive.size >= 2 else None
+            )
+            try:
+                idc = float(index_of_dispersion(times, window, origin=0.0))
+                ptm = float(peak_to_mean(times, window, origin=0.0))
+            except ValueError:
+                idc = ptm = None
+            network = NetworkSummary(
+                n_arrivals=len(arrivals),
+                mean_rate=len(arrivals) / span if span > 0 else 0.0,
+                interarrival_cov=cov,
+                index_of_dispersion=idc,
+                peak_to_mean=ptm,
+                mean_size=float(np.mean([r.size_bytes for r in arrivals])),
+            )
+        memory = None
+        if traces.memory:
+            memory = MemorySummary(
+                n_accesses=len(traces.memory),
+                read_fraction=float(
+                    np.mean([1.0 if r.op == READ else 0.0 for r in traces.memory])
+                ),
+                mean_size=float(np.mean([r.size_bytes for r in traces.memory])),
+            )
+        requests = None
+        completed = traces.completed_requests()
+        if completed:
+            latencies = [r.latency for r in completed]
+            requests = RequestSummary(
+                n_requests=len(completed),
+                mean_latency=float(np.mean(latencies)),
+                p95_latency=float(np.percentile(latencies, 95)),
+            )
+        return cls(
+            window=window,
+            cores=cores,
+            extent=traces.extent(),
+            classes=traces.classes(),
+            storage=storage,
+            cpu=cpu,
+            network=network,
+            memory=memory,
+            requests=requests,
+        )
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering (the CLI output)."""
+        lines = []
+        if self.storage is not None:
+            s = self.storage
+            lines.append(
+                f"storage: {s.n_ios} I/Os, read fraction "
+                f"{s.read_fraction:.2f}, mean size "
+                f"{s.mean_size / 1024:.1f} KiB, sequential "
+                f"{s.sequential_fraction:.2f}"
+            )
+        if self.cpu is not None:
+            c = self.cpu
+            lines.append(
+                f"cpu: {c.n_windows} windows, mean utilization "
+                f"{c.mean_utilization * 100:.1f}%, pattern {c.pattern}"
+            )
+        if self.network is not None:
+            n = self.network
+            cov = f"{n.interarrival_cov:.2f}" if n.interarrival_cov is not None else "n/a"
+            lines.append(
+                f"network: {n.n_arrivals} arrivals at {n.mean_rate:.1f}/s, "
+                f"CoV {cov}, mean size {n.mean_size / 1024:.1f} KiB"
+            )
+        if self.memory is not None:
+            m = self.memory
+            lines.append(
+                f"memory: {m.n_accesses} accesses, read fraction "
+                f"{m.read_fraction:.2f}, mean size {m.mean_size / 1024:.1f} KiB"
+            )
+        if self.requests is not None:
+            r = self.requests
+            lines.append(
+                f"requests: {r.n_requests} completed, mean latency "
+                f"{r.mean_latency * 1000:.1f} ms, p95 "
+                f"{r.p95_latency * 1000:.1f} ms"
+            )
+        classes = ", ".join(f"{k}={v}" for k, v in self.classes.items())
+        lines.append(f"classes: {classes if classes else 'none'}")
+        return "\n".join(lines)
+
+
+@dataclass
+class WorkloadProfileBuilder:
+    """Streaming, mergeable builder for :class:`WorkloadProfile`.
+
+    Feed each stream's records in stitched order via :meth:`add`, or
+    fold one builder per shard and :meth:`merge` them in shard-index
+    order (the order-dependent storage seek/interarrival statistics
+    are seam-merged, so shard folds compose exactly).
+    """
+
+    window: float = 0.25
+    cores: int = 8
+    # storage
+    storage_n: int = 0
+    storage_reads: int = 0
+    storage_sizes: ExactQuantiles = field(default_factory=ExactQuantiles)
+    storage_seeks: SeekStats = field(default_factory=SeekStats)
+    storage_queue_sum: int = 0
+    #: Timestamp buffers (O(n) floats, like ExactQuantiles): interarrival
+    #: statistics are defined over *sorted* timestamps, and trace streams
+    #: are not guaranteed perfectly time-ordered, so the sort happens at
+    #: finish time — reproducing the batch arithmetic exactly.
+    storage_times: ExactQuantiles = field(default_factory=ExactQuantiles)
+    # cpu
+    cpu_busy: WindowedCounter = None  # type: ignore[assignment]
+    cpu_n: int = 0
+    # network (rx)
+    network_n: int = 0
+    network_size_sum: int = 0
+    network_times: ExactQuantiles = field(default_factory=ExactQuantiles)
+    network_counts: WindowedCounter = None  # type: ignore[assignment]
+    # memory
+    memory_n: int = 0
+    memory_reads: int = 0
+    memory_size_sum: int = 0
+    # requests
+    latencies: ExactQuantiles = field(default_factory=ExactQuantiles)
+    class_counts: CategoricalCounter = field(default_factory=CategoricalCounter)
+    # timeline
+    max_extent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_busy is None:
+            self.cpu_busy = WindowedCounter(self.window)
+        if self.network_counts is None:
+            self.network_counts = WindowedCounter(self.window)
+
+    # -- folding -------------------------------------------------------------
+
+    def add(self, stream: str, record) -> None:
+        """Fold one record from the named stream."""
+        if stream == "storage":
+            self.storage_n += 1
+            if record.op == READ:
+                self.storage_reads += 1
+            self.storage_sizes.add(record.size_bytes)
+            self.storage_seeks.add(record.lbn, record.size_bytes)
+            self.storage_queue_sum += record.queue_depth
+            self.storage_times.add(record.timestamp)
+            self.max_extent = max(self.max_extent, record.timestamp)
+        elif stream == "cpu":
+            self.cpu_n += 1
+            self.cpu_busy.add(
+                record.timestamp,
+                weight=record.busy_seconds,
+                advance=record.busy_seconds,
+            )
+            self.max_extent = max(self.max_extent, record.timestamp)
+        elif stream == "network":
+            if record.direction == "rx":
+                self.network_n += 1
+                self.network_size_sum += record.size_bytes
+                self.network_times.add(record.timestamp)
+                self.network_counts.add(record.timestamp)
+            self.max_extent = max(self.max_extent, record.timestamp)
+        elif stream == "memory":
+            self.memory_n += 1
+            if record.op == READ:
+                self.memory_reads += 1
+            self.memory_size_sum += record.size_bytes
+            self.max_extent = max(self.max_extent, record.timestamp)
+        elif stream == "requests":
+            self.max_extent = max(
+                self.max_extent, record.arrival_time, record.completion_time
+            )
+            if record.completion_time > record.arrival_time:
+                self.latencies.add(record.latency)
+                self.class_counts.add(record.request_class)
+        elif stream == "spans":
+            self.max_extent = max(self.max_extent, record.start)
+            if record.end == record.end:  # not NaN
+                self.max_extent = max(self.max_extent, record.end)
+        else:
+            raise ValueError(f"unknown stream {stream!r}")
+
+    def add_source(self, source: TraceSource) -> "WorkloadProfileBuilder":
+        """Fold every stream of a source, in stream order."""
+        for stream in source.streams():
+            for record in source.iter_records(stream):
+                self.add(stream, record)
+        return self
+
+    def merge(self, other: "WorkloadProfileBuilder") -> "WorkloadProfileBuilder":
+        """Fold in a builder covering the records that follow this one's."""
+        if self.window != other.window or self.cores != other.cores:
+            raise ValueError("cannot merge builders with different settings")
+        self.storage_n += other.storage_n
+        self.storage_reads += other.storage_reads
+        self.storage_sizes.merge(other.storage_sizes)
+        self.storage_seeks.merge(other.storage_seeks)
+        self.storage_queue_sum += other.storage_queue_sum
+        self.storage_times.merge(other.storage_times)
+        self.cpu_busy.merge(other.cpu_busy)
+        self.cpu_n += other.cpu_n
+        self.network_n += other.network_n
+        self.network_size_sum += other.network_size_sum
+        self.network_times.merge(other.network_times)
+        self.network_counts.merge(other.network_counts)
+        self.memory_n += other.memory_n
+        self.memory_reads += other.memory_reads
+        self.memory_size_sum += other.memory_size_sum
+        self.latencies.merge(other.latencies)
+        self.class_counts.merge(other.class_counts)
+        self.max_extent = max(self.max_extent, other.max_extent)
+        return self
+
+    # -- finishing -----------------------------------------------------------
+
+    def profile(self) -> WorkloadProfile:
+        """Finish the accumulators into a :class:`WorkloadProfile`."""
+        storage = None
+        if self.storage_n >= 2:
+            storage = StorageSummary(
+                n_ios=self.storage_n,
+                read_fraction=self.storage_reads / self.storage_n,
+                mean_size=self.storage_sizes.mean,
+                p95_size=self.storage_sizes.quantile(0.95),
+                sequential_fraction=self.storage_seeks.sequential_fraction,
+                mean_abs_seek=self.storage_seeks.mean_abs_seek,
+                mean_queue_depth=self.storage_queue_sum / self.storage_n,
+                mean_interarrival=(
+                    float(np.diff(np.sort(self.storage_times.array())).mean())
+                    if self.storage_n >= 2
+                    else 0.0
+                ),
+            )
+        cpu = None
+        if self.cpu_n:
+            series = np.clip(
+                self.cpu_busy.series() / (self.window * self.cores), 0.0, 1.0
+            )
+            cpu = CpuSummary(
+                n_bursts=self.cpu_n,
+                n_windows=int(series.size),
+                mean_utilization=float(series.mean()),
+                peak_utilization=float(series.max()),
+                pattern=(
+                    classify_utilization_pattern(series)
+                    if series.size >= _MIN_PATTERN_WINDOWS
+                    else None
+                ),
+            )
+        network = None
+        if self.network_n >= 2:
+            from ..stats import interarrival_cov
+
+            times = np.sort(self.network_times.array())
+            span = float(times[-1] - times[0])
+            gaps = np.diff(times)
+            positive = gaps[gaps > 0]
+            cov = (
+                float(interarrival_cov(positive)) if positive.size >= 2 else None
+            )
+            counts = self.network_counts.series(end=float(times[-1]))
+            mean_count = counts.mean()
+            idc = float(counts.var() / mean_count) if mean_count > 0 else None
+            ptm = float(counts.max() / mean_count) if mean_count > 0 else None
+            network = NetworkSummary(
+                n_arrivals=self.network_n,
+                mean_rate=self.network_n / span if span > 0 else 0.0,
+                interarrival_cov=cov,
+                index_of_dispersion=idc,
+                peak_to_mean=ptm,
+                mean_size=self.network_size_sum / self.network_n,
+            )
+        memory = None
+        if self.memory_n:
+            memory = MemorySummary(
+                n_accesses=self.memory_n,
+                read_fraction=self.memory_reads / self.memory_n,
+                mean_size=self.memory_size_sum / self.memory_n,
+            )
+        requests = None
+        if self.latencies.n:
+            requests = RequestSummary(
+                n_requests=self.latencies.n,
+                mean_latency=self.latencies.mean,
+                p95_latency=self.latencies.quantile(0.95),
+            )
+        return WorkloadProfile(
+            window=self.window,
+            cores=self.cores,
+            extent=self.max_extent,
+            classes=dict(sorted(self.class_counts.counts.items())),
+            storage=storage,
+            cpu=cpu,
+            network=network,
+            memory=memory,
+            requests=requests,
+        )

@@ -3,19 +3,20 @@
 "Each one of the four models is trained using traces from the
 corresponding subsystem" and "creating the time-dependencies-queue
 requires tracing the complete round trip of a request through the
-system from issue to response" (§4).  The trainer consumes a
-:class:`TraceSet` containing both.
+system from issue to response" (§4).  The trainer consumes any
+:class:`~repro.tracing.TraceSource` containing both.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from ..markov import HierarchicalMarkovChain, MarkovChain
 from ..queueing import fit_distribution
-from ..tracing import TraceSet
+from ..tracing import TraceSource, build_trace_trees
 from .dependency import mine_dependency_queue
 from .features import RequestFeatures, extract_request_features
 from .model import CpuBinStats, KoozaConfig, KoozaModel
@@ -29,9 +30,33 @@ class KoozaTrainer:
     def __init__(self, config: Optional[KoozaConfig] = None):
         self.config = config or KoozaConfig()
 
-    def fit(self, traces: TraceSet) -> KoozaModel:
-        """Train a :class:`KoozaModel` on a trace set."""
-        features = extract_request_features(traces)
+    def fit(
+        self,
+        source: Optional[TraceSource] = None,
+        *,
+        traces: Optional[TraceSource] = None,
+    ) -> KoozaModel:
+        """Train a :class:`KoozaModel` on any trace source.
+
+        ``source`` may be an in-memory :class:`~repro.tracing.TraceSet`,
+        a lazy :class:`repro.store.ShardStore`, or a
+        :class:`~repro.tracing.FlatTraceDump`.  The ``traces=`` keyword
+        is a deprecated alias and will be removed one release after
+        0.3.
+        """
+        if traces is not None:
+            if source is not None:
+                raise TypeError("pass either 'source' or 'traces', not both")
+            warnings.warn(
+                "KoozaTrainer.fit(traces=...) is deprecated; pass the trace "
+                "source positionally or as source=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            source = traces
+        if source is None:
+            raise TypeError("KoozaTrainer.fit() missing a trace source")
+        features = extract_request_features(source)
         if len(features) < 16:
             raise ValueError(
                 f"need >= 16 complete requests to train, got {len(features)}"
@@ -43,7 +68,7 @@ class KoozaTrainer:
         self._fit_memory(model, features)
         self._fit_cpu(model, features)
         self._fit_couplers(model, features)
-        self._fit_dependency_queue(model, traces, features)
+        self._fit_dependency_queue(model, source, features)
         return model
 
     # -- subsystem fits ------------------------------------------------------
@@ -149,10 +174,10 @@ class KoozaTrainer:
     def _fit_dependency_queue(
         self,
         model: KoozaModel,
-        traces: TraceSet,
+        source: TraceSource,
         features: list[RequestFeatures],
     ):
-        trees = traces.trace_trees()
+        trees = build_trace_trees(list(source.iter_records("spans")))
         profile_of = {
             f.request_id: int(model.network_sizes.transform_one(f.network_bytes))
             for f in features

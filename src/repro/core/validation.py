@@ -11,16 +11,26 @@ percentage of the original mean.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 import numpy as np
 
-from ..stats import cross_correlation, ks_two_sample
-from ..tracing import TraceSet
+from ..stats import (
+    CategoricalCounter,
+    CoMomentsAccumulator,
+    ExactQuantiles,
+    MomentsAccumulator,
+    cross_correlation,
+    ks_two_sample,
+)
+from ..tracing import TraceSource
 from .features import RequestFeatures, extract_request_features
 
 __all__ = [
     "ProfileComparison",
+    "ProfileFeatureStats",
     "ValidationReport",
+    "WorkloadFeatureStats",
+    "compare_feature_stats",
     "compare_workloads",
     "profile_key",
 ]
@@ -165,13 +175,164 @@ def _modal_op(ops: list[str]) -> str:
     return str(values[np.argmax(counts)])
 
 
-def compare_workloads(
-    original: TraceSet,
-    synthetic: TraceSet,
+@dataclass
+class ProfileFeatureStats:
+    """Mergeable per-profile feature statistics (one side of Table 2).
+
+    The streaming counterpart of one profile's feature lists in
+    :func:`compare_workloads`: moments for the mean columns, exact
+    quantiles for the latency tail, categorical counts for the op-match
+    columns.  ``merge`` composes accumulator merges, so folding shard
+    by shard and merging gives the same statistics as folding the
+    stitched whole (see ``docs/streaming_analysis.md`` for the FP
+    tolerance contract).
+    """
+
+    network_bytes: MomentsAccumulator = field(default_factory=MomentsAccumulator)
+    cpu_utilization: MomentsAccumulator = field(
+        default_factory=MomentsAccumulator
+    )
+    memory_bytes: MomentsAccumulator = field(default_factory=MomentsAccumulator)
+    storage_bytes: MomentsAccumulator = field(default_factory=MomentsAccumulator)
+    latency: ExactQuantiles = field(default_factory=ExactQuantiles)
+    memory_ops: CategoricalCounter = field(default_factory=CategoricalCounter)
+    storage_ops: CategoricalCounter = field(default_factory=CategoricalCounter)
+
+    @property
+    def n(self) -> int:
+        return self.network_bytes.n
+
+    def add(self, f: RequestFeatures) -> None:
+        self.network_bytes.add(f.network_bytes)
+        self.cpu_utilization.add(f.cpu_utilization)
+        self.memory_bytes.add(f.memory_bytes)
+        self.storage_bytes.add(f.storage_bytes)
+        self.latency.add(f.latency)
+        self.memory_ops.add(f.memory_op)
+        self.storage_ops.add(f.storage_op)
+
+    def merge(self, other: "ProfileFeatureStats") -> "ProfileFeatureStats":
+        self.network_bytes.merge(other.network_bytes)
+        self.cpu_utilization.merge(other.cpu_utilization)
+        self.memory_bytes.merge(other.memory_bytes)
+        self.storage_bytes.merge(other.storage_bytes)
+        self.latency.merge(other.latency)
+        self.memory_ops.merge(other.memory_ops)
+        self.storage_ops.merge(other.storage_ops)
+        return self
+
+
+@dataclass
+class WorkloadFeatureStats:
+    """Mergeable validation statistics for one whole workload side.
+
+    Holds per-profile stats plus the workload-level aggregates the
+    report needs: every latency (for the KS test) and the joint
+    network/storage size co-moments (for the joint-correlation check).
+    """
+
+    profiles: dict = field(default_factory=dict)
+    latencies: ExactQuantiles = field(default_factory=ExactQuantiles)
+    joint: CoMomentsAccumulator = field(default_factory=CoMomentsAccumulator)
+    n: int = 0
+
+    def add(self, f: RequestFeatures) -> None:
+        key = profile_key(f)
+        if key not in self.profiles:
+            self.profiles[key] = ProfileFeatureStats()
+        self.profiles[key].add(f)
+        self.latencies.add(f.latency)
+        self.joint.add(f.network_bytes, f.storage_bytes)
+        self.n += 1
+
+    def add_features(self, features) -> "WorkloadFeatureStats":
+        for f in features:
+            self.add(f)
+        return self
+
+    @classmethod
+    def from_features(cls, features) -> "WorkloadFeatureStats":
+        return cls().add_features(features)
+
+    @classmethod
+    def from_source(cls, source: TraceSource) -> "WorkloadFeatureStats":
+        """Fold one source's request features into fresh statistics."""
+        return cls.from_features(extract_request_features(source))
+
+    def merge(self, other: "WorkloadFeatureStats") -> "WorkloadFeatureStats":
+        for key, stats in other.profiles.items():
+            if key in self.profiles:
+                self.profiles[key].merge(stats)
+            else:
+                self.profiles[key] = stats
+        self.latencies.merge(other.latencies)
+        self.joint.merge(other.joint)
+        self.n += other.n
+        return self
+
+
+def compare_feature_stats(
+    original: WorkloadFeatureStats,
+    synthetic: WorkloadFeatureStats,
     min_profile_count: int = 5,
 ) -> ValidationReport:
-    """Compare an original trace set against a replayed synthetic one.
+    """Build a :class:`ValidationReport` from two accumulated sides.
 
+    The streaming counterpart of :func:`compare_workloads`: given
+    feature statistics folded (and possibly merged across shards or
+    workers) for the original and synthetic workloads, produces a
+    report that matches the batch one within the documented FP
+    tolerance — exactly, for the quantile/KS/modal-op fields.
+    """
+    if original.n == 0 or synthetic.n == 0:
+        raise ValueError("both trace sets must contain complete requests")
+    profiles = []
+    for key in sorted(set(original.profiles) & set(synthetic.profiles)):
+        o, s = original.profiles[key], synthetic.profiles[key]
+        if o.n < min_profile_count or s.n < min_profile_count:
+            continue
+        modal_mem_op = o.memory_ops.modal()
+        modal_sto_op = o.storage_ops.modal()
+        profiles.append(
+            ProfileComparison(
+                profile=key,
+                n_original=o.n,
+                n_synthetic=s.n,
+                network_bytes=(o.network_bytes.mean, s.network_bytes.mean),
+                cpu_utilization=(
+                    o.cpu_utilization.mean,
+                    s.cpu_utilization.mean,
+                ),
+                memory_bytes=(o.memory_bytes.mean, s.memory_bytes.mean),
+                storage_bytes=(o.storage_bytes.mean, s.storage_bytes.mean),
+                latency=(o.latency.mean, s.latency.mean),
+                latency_p95=(o.latency.quantile(0.95), s.latency.quantile(0.95)),
+                memory_op_match=s.memory_ops.fraction(modal_mem_op),
+                storage_op_match=s.storage_ops.fraction(modal_sto_op),
+            )
+        )
+    if not profiles:
+        raise ValueError("no common profiles with enough requests to compare")
+    ks, pvalue = ks_two_sample(original.latencies.array(), synthetic.latencies.array())
+    return ValidationReport(
+        profiles=profiles,
+        latency_ks=ks,
+        latency_ks_pvalue=pvalue,
+        joint_correlation_original=original.joint.correlation,
+        joint_correlation_synthetic=synthetic.joint.correlation,
+        n_original=original.n,
+        n_synthetic=synthetic.n,
+    )
+
+
+def compare_workloads(
+    original: TraceSource,
+    synthetic: TraceSource,
+    min_profile_count: int = 5,
+) -> ValidationReport:
+    """Compare an original trace source against a replayed synthetic one.
+
+    Accepts any :class:`~repro.tracing.TraceSource` on either side.
     Profiles observed fewer than ``min_profile_count`` times on either
     side are skipped (their means are too noisy to grade a model on).
     """

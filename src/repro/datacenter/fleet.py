@@ -413,6 +413,17 @@ class StoreFleetResult:
     def total_simulated_time(self) -> float:
         return sum(m.duration for m in self.manifests)
 
+    def store(self):
+        """Open the collected shards as a :class:`~repro.store.ShardStore`.
+
+        The returned store is a lazy :class:`~repro.tracing.TraceSource`
+        — hand it straight to ``characterize_source`` /
+        ``train_per_class`` / ``compare_workloads`` without merging.
+        """
+        from ..store import ShardStore
+
+        return ShardStore(self.directory)
+
 
 def collect_fleet_to_store(
     spec: Optional[FleetSpec] = None,

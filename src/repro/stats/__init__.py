@@ -26,14 +26,36 @@ from .pca import PCA
 from .regression import LinearRegression
 from .sampling import reservoir_sample, systematic_sample
 from .selfsim import arrivals_to_counts, hurst_aggregated_variance, hurst_rs
+from .streaming import (
+    CategoricalCounter,
+    CoMomentsAccumulator,
+    ExactQuantiles,
+    FixedHistogram,
+    InterarrivalStats,
+    MomentsAccumulator,
+    P2Quantile,
+    ReservoirQuantile,
+    SeekStats,
+    WindowedCounter,
+)
 
 __all__ = [
+    "CategoricalCounter",
+    "CoMomentsAccumulator",
+    "ExactQuantiles",
+    "FixedHistogram",
     "GaussianMixture",
+    "InterarrivalStats",
     "KMeans",
     "LinearRegression",
+    "MomentsAccumulator",
+    "P2Quantile",
     "PCA",
+    "ReservoirQuantile",
     "SampleSummary",
+    "SeekStats",
     "VUList",
+    "WindowedCounter",
     "acf",
     "arrivals_to_counts",
     "classify_utilization_pattern",

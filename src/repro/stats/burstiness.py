@@ -38,23 +38,30 @@ def interarrival_cov(interarrivals: Sequence[float]) -> float:
 
 
 def index_of_dispersion(
-    arrival_times: Sequence[float], bin_width: float
+    arrival_times: Sequence[float],
+    bin_width: float,
+    origin: float | None = None,
 ) -> float:
     """IDC: variance over mean of per-bin arrival counts.
 
     1.0 for Poisson at any timescale; grows with timescale for
-    self-similar traffic.
+    self-similar traffic.  ``origin`` anchors the count bins (see
+    :func:`repro.stats.arrivals_to_counts`).
     """
-    counts = arrivals_to_counts(arrival_times, bin_width)
+    counts = arrivals_to_counts(arrival_times, bin_width, origin=origin)
     mean = counts.mean()
     if mean <= 0:
         raise ValueError("no arrivals in the binned window")
     return float(counts.var() / mean)
 
 
-def peak_to_mean(arrival_times: Sequence[float], bin_width: float) -> float:
+def peak_to_mean(
+    arrival_times: Sequence[float],
+    bin_width: float,
+    origin: float | None = None,
+) -> float:
     """Peak-bin rate over mean rate — the provisioning headroom metric."""
-    counts = arrivals_to_counts(arrival_times, bin_width)
+    counts = arrivals_to_counts(arrival_times, bin_width, origin=origin)
     mean = counts.mean()
     if mean <= 0:
         raise ValueError("no arrivals in the binned window")

@@ -17,19 +17,36 @@ __all__ = ["arrivals_to_counts", "hurst_aggregated_variance", "hurst_rs"]
 
 
 def arrivals_to_counts(
-    arrival_times: Sequence[float], bin_width: float
+    arrival_times: Sequence[float],
+    bin_width: float,
+    origin: float | None = None,
 ) -> np.ndarray:
-    """Bucket arrival timestamps into equal-width count bins."""
+    """Bucket arrival timestamps into equal-width count bins.
+
+    ``origin`` anchors the first bin edge; the default (None) keeps the
+    historical behavior of anchoring at the first arrival.  With an
+    explicit origin the binning uses plain truncation arithmetic
+    (``floor((t - origin) / width)``, last-bin clamped), which is the
+    exact arithmetic :class:`repro.stats.streaming.WindowedCounter`
+    applies — so batch and streaming counts agree bin for bin.
+    """
     times = np.sort(np.asarray(arrival_times, dtype=float))
     if times.size == 0:
         raise ValueError("no arrivals")
     if bin_width <= 0:
         raise ValueError(f"bin_width must be > 0, got {bin_width}")
-    span = times[-1] - times[0]
-    n_bins = max(1, int(np.ceil(span / bin_width)))
-    counts, _ = np.histogram(
-        times, bins=n_bins, range=(times[0], times[0] + n_bins * bin_width)
-    )
+    if origin is None:
+        span = times[-1] - times[0]
+        n_bins = max(1, int(np.ceil(span / bin_width)))
+        counts, _ = np.histogram(
+            times, bins=n_bins, range=(times[0], times[0] + n_bins * bin_width)
+        )
+        return counts.astype(float)
+    if times[0] < origin:
+        raise ValueError(f"arrival {times[0]} precedes origin {origin}")
+    n_bins = max(1, int(np.ceil((times[-1] - origin) / bin_width)))
+    indices = ((times - origin) / bin_width).astype(int)
+    counts = np.bincount(np.minimum(indices, n_bins - 1), minlength=n_bins)
     return counts.astype(float)
 
 

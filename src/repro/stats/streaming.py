@@ -1,0 +1,681 @@
+"""Mergeable one-pass accumulators for streaming workload analysis.
+
+The scaling counterpart of the batch statistics in this package: every
+class here folds records one at a time in O(1) (or bounded) state and
+supports ``merge`` with an accumulator built over a *later* slice of
+the same stream, so N shards can be folded in parallel and reduced to
+one result without materializing the data.
+
+Merge semantics fall into three groups:
+
+* **order-free** — :class:`MomentsAccumulator` (Chan et al.'s parallel
+  mean/variance update), :class:`CoMomentsAccumulator`,
+  :class:`FixedHistogram`, :class:`CategoricalCounter`,
+  :class:`WindowedCounter`, :class:`ExactQuantiles`.  Any merge order
+  yields the same result up to floating-point associativity.
+* **seam-aware** — :class:`InterarrivalStats` and :class:`SeekStats`
+  depend on *consecutive-record* differences, so each accumulator
+  remembers its first and last boundary elements and ``merge`` folds
+  the one gap that spans the seam.  Merging is exact **only** when the
+  right-hand accumulator covers the records immediately following the
+  left's — which is precisely the order shard stitching guarantees.
+* **approximate** — :class:`P2Quantile` (single-stream, no merge) and
+  :class:`ReservoirQuantile` (bounded memory, deterministic seeded
+  merge) trade exactness for O(1)/O(k) state; use
+  :class:`ExactQuantiles` when the equality contract matters.
+
+Floating-point tolerance contract: batch numpy reductions use pairwise
+summation while these accumulators fold sequentially, so merged results
+match the batch path to ~1e-12 relative error, not bit-for-bit.  The
+repository-wide contract (``docs/streaming_analysis.md``) is relative
+agreement within 1e-9.
+
+All accumulators are plain-attribute objects, so they pickle across
+process pools as-is.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CategoricalCounter",
+    "CoMomentsAccumulator",
+    "ExactQuantiles",
+    "FixedHistogram",
+    "InterarrivalStats",
+    "MomentsAccumulator",
+    "P2Quantile",
+    "ReservoirQuantile",
+    "SeekStats",
+    "WindowedCounter",
+]
+
+
+class MomentsAccumulator:
+    """Streaming count / mean / variance / extrema (Welford + Chan).
+
+    ``add`` is Welford's online update; ``merge`` is Chan, Golub & LeVeque's
+    parallel combination of two partial (mean, M2) pairs.
+    """
+
+    __slots__ = ("n", "mean", "m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "MomentsAccumulator") -> "MomentsAccumulator":
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * (self.n * other.n / n)
+        self.mean += delta * (other.n / n)
+        self.n = n
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def sum(self) -> float:
+        return self.mean * self.n
+
+    def variance(self, ddof: int = 0) -> float:
+        """Variance with ``ddof`` delta degrees of freedom (numpy convention)."""
+        if self.n - ddof <= 0:
+            return 0.0
+        return self.m2 / (self.n - ddof)
+
+    def std(self, ddof: int = 0) -> float:
+        return math.sqrt(self.variance(ddof))
+
+
+class CoMomentsAccumulator:
+    """Streaming Pearson correlation between two paired series.
+
+    Tracks the co-moment ``C = sum((x - mean_x)(y - mean_y))`` alongside
+    both marginal M2s; ``merge`` uses the pairwise co-moment update.
+    ``correlation`` returns 0.0 when either marginal is constant,
+    matching :func:`repro.stats.cross_correlation`.
+    """
+
+    __slots__ = ("n", "mean_x", "mean_y", "m2x", "m2y", "cxy")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean_x = 0.0
+        self.mean_y = 0.0
+        self.m2x = 0.0
+        self.m2y = 0.0
+        self.cxy = 0.0
+
+    def add(self, x: float, y: float) -> None:
+        x, y = float(x), float(y)
+        self.n += 1
+        dx = x - self.mean_x
+        dy = y - self.mean_y
+        self.mean_x += dx / self.n
+        self.mean_y += dy / self.n
+        self.m2x += dx * (x - self.mean_x)
+        self.m2y += dy * (y - self.mean_y)
+        self.cxy += dx * (y - self.mean_y)
+
+    def merge(self, other: "CoMomentsAccumulator") -> "CoMomentsAccumulator":
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            for name in self.__slots__:
+                setattr(self, name, getattr(other, name))
+            return self
+        n = self.n + other.n
+        dx = other.mean_x - self.mean_x
+        dy = other.mean_y - self.mean_y
+        scale = self.n * other.n / n
+        self.m2x += other.m2x + dx * dx * scale
+        self.m2y += other.m2y + dy * dy * scale
+        self.cxy += other.cxy + dx * dy * scale
+        self.mean_x += dx * (other.n / n)
+        self.mean_y += dy * (other.n / n)
+        self.n = n
+        return self
+
+    @property
+    def correlation(self) -> float:
+        if self.n < 2 or self.m2x <= 0.0 or self.m2y <= 0.0:
+            return 0.0
+        return float(self.cxy / math.sqrt(self.m2x * self.m2y))
+
+
+class FixedHistogram:
+    """Counting histogram over caller-fixed bin edges.
+
+    Fixing the edges up front is what makes the merge exact: two
+    histograms over the same edges sum bin-wise.  Values outside the
+    edge range land in ``underflow``/``overflow``; a value exactly on
+    the last edge counts into the last bin (numpy's convention).
+    """
+
+    def __init__(self, edges: Sequence[float]):
+        edges = [float(e) for e in edges]
+        if len(edges) < 2 or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("need >= 2 strictly increasing edges")
+        self.edges = edges
+        self.counts = [0] * (len(edges) - 1)
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        value = float(value)
+        if value < self.edges[0]:
+            self.underflow += weight
+            return
+        if value > self.edges[-1]:
+            self.overflow += weight
+            return
+        index = bisect_right(self.edges, value) - 1
+        if index == len(self.counts):  # value == last edge
+            index -= 1
+        self.counts[index] += weight
+
+    def merge(self, other: "FixedHistogram") -> "FixedHistogram":
+        if self.edges != other.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile by linear interpolation inside bins.
+
+        Only in-range values participate; raises on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        in_range = sum(self.counts)
+        if in_range == 0:
+            raise ValueError("empty histogram")
+        target = q * in_range
+        seen = 0
+        for index, count in enumerate(self.counts):
+            if seen + count >= target and count > 0:
+                left, right = self.edges[index], self.edges[index + 1]
+                inside = (target - seen) / count
+                return left + (right - left) * inside
+            seen += count
+        return self.edges[-1]
+
+
+class ExactQuantiles:
+    """Exact quantiles from a kept value buffer (the unbounded baseline).
+
+    Stores every value (one float each, *not* whole trace records), so
+    quantiles and two-sample tests computed from it are exactly the
+    batch numbers.  Merge is list concatenation — exact for any merge
+    order since quantiles are order-free.  Swap in :class:`P2Quantile`
+    or :class:`ReservoirQuantile` when O(n) floats is too much.
+    """
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def add_many(self, values: Iterable[float]) -> None:
+        self.values.extend(float(v) for v in values)
+
+    def merge(self, other: "ExactQuantiles") -> "ExactQuantiles":
+        self.values.extend(other.values)
+        return self
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """``np.mean`` over the kept buffer — bit-identical to batch."""
+        if not self.values:
+            raise ValueError("no values accumulated")
+        return float(np.mean(self.values))
+
+    def array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError("no values accumulated")
+        return float(np.percentile(self.values, q * 100.0))
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² single-quantile estimator (O(1) state).
+
+    Maintains five markers whose heights approximate the ``p``-quantile
+    without storing observations.  Single-stream only: P² marker
+    positions cannot be combined exactly, so ``merge`` raises — use
+    :class:`ReservoirQuantile` or :class:`ExactQuantiles` for sharded
+    folds.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        self.p = p
+        self.n = 0
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        if not self._heights:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ]
+            return
+        q, pos, des = self._heights, self._positions, self._desired
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= q[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            des[i] += self._increments[i]
+        for i in (1, 2, 3):
+            d = des[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q, pos = self._heights, self._positions
+        return q[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step)
+            * (q[i + 1] - q[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step)
+            * (q[i] - q[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        q, pos = self._heights, self._positions
+        j = i + int(step)
+        return q[i] + step * (q[j] - q[i]) / (pos[j] - pos[i])
+
+    def merge(self, other: "P2Quantile") -> "P2Quantile":
+        raise NotImplementedError(
+            "P2Quantile is single-stream; use ReservoirQuantile or "
+            "ExactQuantiles for mergeable quantile estimates"
+        )
+
+    @property
+    def value(self) -> float:
+        if self.n == 0:
+            raise ValueError("no values accumulated")
+        if not self._heights:  # fewer than 5 observations
+            return float(np.percentile(self._initial, self.p * 100.0))
+        return self._heights[2]
+
+
+class ReservoirQuantile:
+    """Bounded-memory quantiles from a deterministic uniform reservoir.
+
+    Algorithm R with a seeded generator: the reservoir (and therefore
+    every quantile) is a pure function of the seed and the exact add /
+    merge sequence.  ``merge`` subsamples the two reservoirs in
+    proportion to how many values each has seen, so merged estimates
+    stay uniform over the union; results are approximate (rank error
+    ~O(1/sqrt(capacity))), unlike :class:`ExactQuantiles`.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.n_seen = 0
+        self.values: list[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.n_seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = int(self._rng.integers(0, self.n_seen))
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    def merge(self, other: "ReservoirQuantile") -> "ReservoirQuantile":
+        if other.n_seen == 0:
+            return self
+        if self.n_seen == 0:
+            self.n_seen = other.n_seen
+            self.values = list(other.values)
+            return self
+        mine = list(self.values)
+        theirs = list(other.values)
+        total = self.n_seen + other.n_seen
+        merged: list[float] = []
+        size = min(self.capacity, len(mine) + len(theirs))
+        weight = self.n_seen / total
+        for _ in range(size):
+            take_mine = mine and (
+                not theirs or self._rng.random() < weight
+            )
+            pool = mine if take_mine else theirs
+            merged.append(pool.pop(int(self._rng.integers(0, len(pool)))))
+        self.values = merged
+        self.n_seen = total
+        return self
+
+    def quantile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError("no values accumulated")
+        return float(np.percentile(self.values, q * 100.0))
+
+
+class CategoricalCounter:
+    """Streaming category counts with batch-compatible modal selection."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def add(self, key: str, weight: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + weight
+
+    def merge(self, other: "CategoricalCounter") -> "CategoricalCounter":
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def modal(self) -> str:
+        """Most frequent key; ties break to the lexicographically
+        smallest, matching ``np.unique`` + ``argmax`` on a value list."""
+        if not self.counts:
+            raise ValueError("no categories accumulated")
+        best = max(self.counts.values())
+        return min(k for k, v in self.counts.items() if v == best)
+
+    def fraction(self, key: str) -> float:
+        total = self.total
+        return self.counts.get(key, 0) / total if total else 0.0
+
+
+class WindowedCounter:
+    """Weighted counts in fixed-width windows anchored at ``origin``.
+
+    Window ``k`` covers ``[origin + k*w, origin + (k+1)*w)`` using the
+    same truncation arithmetic as the batch helpers
+    (:func:`repro.breadth.utilization_series`,
+    :func:`repro.stats.arrivals_to_counts` with an explicit origin), so
+    a merged fold bins every event into exactly the window the batch
+    pass does.  ``series`` folds any trailing windows past the caller's
+    end bound into the final window — the batch clamp.
+    """
+
+    def __init__(self, window: float, origin: float = 0.0):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self.origin = origin
+        self.bins: dict[int, float] = {}
+        self.n = 0
+        self.t_min: Optional[float] = None
+        self.t_max: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def add(self, t: float, weight: float = 1.0, advance: float = 0.0) -> None:
+        """Count ``weight`` into ``t``'s window.
+
+        ``advance`` extends the tracked stream end past ``t`` (e.g. a
+        CPU burst's busy time), mirroring the batch pass's
+        ``end = max(t + busy)``.
+        """
+        if t < self.origin:
+            raise ValueError(f"timestamp {t} precedes origin {self.origin}")
+        index = int((t - self.origin) / self.window)
+        self.bins[index] = self.bins.get(index, 0.0) + weight
+        self.n += 1
+        self.t_min = t if self.t_min is None else min(self.t_min, t)
+        self.t_max = t if self.t_max is None else max(self.t_max, t)
+        tip = t + advance
+        self.end = tip if self.end is None else max(self.end, tip)
+
+    def merge(self, other: "WindowedCounter") -> "WindowedCounter":
+        if self.window != other.window or self.origin != other.origin:
+            raise ValueError("cannot merge counters with different windows")
+        for index, weight in other.bins.items():
+            self.bins[index] = self.bins.get(index, 0.0) + weight
+        self.n += other.n
+        if other.t_min is not None:
+            self.t_min = (
+                other.t_min if self.t_min is None else min(self.t_min, other.t_min)
+            )
+            self.t_max = (
+                other.t_max if self.t_max is None else max(self.t_max, other.t_max)
+            )
+            self.end = (
+                other.end if self.end is None else max(self.end, other.end)
+            )
+        return self
+
+    def series(self, end: Optional[float] = None) -> np.ndarray:
+        """Materialize the window array from ``origin`` to ``end``.
+
+        ``end`` defaults to the tracked stream end; events binned past
+        the last window (e.g. one landing exactly on ``end``) fold into
+        it, matching the batch clamp.
+        """
+        if self.n == 0:
+            raise ValueError("no events accumulated")
+        if end is None:
+            end = self.end
+        n_windows = max(
+            1, int(math.ceil((end - self.origin) / self.window))
+        )
+        series = np.zeros(n_windows)
+        for index, weight in self.bins.items():
+            series[min(index, n_windows - 1)] += weight
+        return series
+
+
+class InterarrivalStats:
+    """Gap statistics over an ordered timestamp stream, seam-mergeable.
+
+    Feeds two moment sets: ``all_gaps`` (every consecutive difference,
+    zeros included — the storage-profile convention) and
+    ``positive_gaps`` (zeros dropped — the arrival-process convention).
+    ``merge(other)`` requires ``other`` to cover the records immediately
+    following this accumulator's; the single seam gap
+    ``other.first - self.last`` is folded so the union is exactly the
+    full-stream gap sequence.
+    """
+
+    def __init__(self) -> None:
+        self.first: Optional[float] = None
+        self.last: Optional[float] = None
+        self.all_gaps = MomentsAccumulator()
+        self.positive_gaps = MomentsAccumulator()
+
+    def _fold(self, gap: float) -> None:
+        self.all_gaps.add(gap)
+        if gap > 0:
+            self.positive_gaps.add(gap)
+
+    def add(self, t: float) -> None:
+        t = float(t)
+        if self.first is None:
+            self.first = t
+        if self.last is not None:
+            self._fold(t - self.last)
+        self.last = t
+
+    def merge(self, other: "InterarrivalStats") -> "InterarrivalStats":
+        if other.first is None:
+            return self
+        if self.last is None:
+            self.first = other.first
+            self.last = other.last
+            self.all_gaps = other.all_gaps
+            self.positive_gaps = other.positive_gaps
+            return self
+        self._fold(other.first - self.last)
+        self.all_gaps.merge(other.all_gaps)
+        self.positive_gaps.merge(other.positive_gaps)
+        self.last = other.last
+        return self
+
+    @property
+    def n(self) -> int:
+        """Timestamps seen (gaps observed + 1, or 0 when empty)."""
+        return 0 if self.first is None else self.all_gaps.n + 1
+
+    @property
+    def span(self) -> float:
+        """``last - first`` (0.0 when fewer than two timestamps)."""
+        if self.first is None or self.last is None:
+            return 0.0
+        return self.last - self.first
+
+    def cov(self) -> float:
+        """CoV of positive gaps (sample std), the burstiness metric."""
+        gaps = self.positive_gaps
+        if gaps.n < 2:
+            raise ValueError(f"need >= 2 positive gaps, got {gaps.n}")
+        if gaps.mean <= 0:
+            raise ValueError("mean interarrival must be positive")
+        return gaps.std(ddof=1) / gaps.mean
+
+
+class SeekStats:
+    """Storage seek-distance statistics over an ordered I/O stream.
+
+    Measures each gap from the *end* of the previous I/O (LBN plus its
+    block-rounded length), exactly like
+    :func:`repro.breadth.seek_distances`.  Integer sums keep the merged
+    sequential fraction and mean absolute seek exact.  Like
+    :class:`InterarrivalStats`, ``merge`` is seam-aware and assumes
+    ``other`` continues this accumulator's stream.
+    """
+
+    BLOCK = 4096
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.first_lbn: Optional[int] = None
+        self.first_end: Optional[int] = None
+        self.last_end: Optional[int] = None
+        self.n_gaps = 0
+        self.n_sequential = 0
+        self.sum_abs = 0
+
+    def _fold(self, gap: int) -> None:
+        self.n_gaps += 1
+        if gap == 0:
+            self.n_sequential += 1
+        self.sum_abs += abs(gap)
+
+    def add(self, lbn: int, size_bytes: int) -> None:
+        if self.first_lbn is None:
+            self.first_lbn = lbn
+        if self.last_end is not None:
+            self._fold(lbn - self.last_end)
+        self.last_end = lbn + max(1, -(-size_bytes // self.BLOCK))
+        if self.first_end is None:
+            self.first_end = self.last_end
+        self.n += 1
+
+    def merge(self, other: "SeekStats") -> "SeekStats":
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            for name in (
+                "n", "first_lbn", "first_end", "last_end",
+                "n_gaps", "n_sequential", "sum_abs",
+            ):
+                setattr(self, name, getattr(other, name))
+            return self
+        self._fold(other.first_lbn - self.last_end)
+        self.n += other.n
+        self.n_gaps += other.n_gaps
+        self.n_sequential += other.n_sequential
+        self.sum_abs += other.sum_abs
+        self.last_end = other.last_end
+        return self
+
+    @property
+    def sequential_fraction(self) -> float:
+        return self.n_sequential / self.n_gaps if self.n_gaps else 0.0
+
+    @property
+    def mean_abs_seek(self) -> float:
+        return self.sum_abs / self.n_gaps if self.n_gaps else 0.0

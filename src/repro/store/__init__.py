@@ -33,9 +33,31 @@ from .training import (
     save_per_class_models,
     train_per_class,
 )
+from .analyze import (
+    ClassReport,
+    PerClassValidation,
+    ShardAnalysisTask,
+    SourceAnalysis,
+    analyze_shard,
+    analyze_source,
+    characterize_source,
+    class_rng,
+    class_seed,
+    validate_per_class,
+)
 
 __all__ = [
     "ClassFitTask",
+    "ClassReport",
+    "PerClassValidation",
+    "ShardAnalysisTask",
+    "SourceAnalysis",
+    "analyze_shard",
+    "analyze_source",
+    "characterize_source",
+    "class_rng",
+    "class_seed",
+    "validate_per_class",
     "MANIFEST_FILENAME",
     "PerClassFit",
     "SHARD_FORMAT",

@@ -1,0 +1,369 @@
+"""One-pass streaming analysis over trace sources, sharded in parallel.
+
+The streaming counterpart of ``WorkloadProfile.from_traces`` and
+``compare_workloads``: each worker folds ONE shard's records through
+the mergeable accumulators (:class:`~repro.core.WorkloadProfileBuilder`
+for characterization, :class:`~repro.core.WorkloadFeatureStats` for
+validation), and the driver merges the per-shard accumulators in
+shard-index order.  The stitched merged ``TraceSet`` is never
+constructed — the property the forbid-stitch tests pin down — and no
+worker ever holds more than one shard's records.
+
+Shard records are shifted by the manifest-derived
+:class:`~repro.store.stitch.StitchOffsets` before folding, so every
+accumulator sees exactly the timestamps and identifiers the merged
+timeline would carry.  Feature extraction is per-shard-exact because a
+request's records never span shards (each shard is one replica's
+complete run); the only cross-shard quantity, the storage seek seam,
+is handled inside the seam-aware accumulators.
+
+Per-class validation replays each request class's model with a
+deterministic per-class RNG stream (:func:`class_rng`), compares each
+class against the streamed original statistics, and additionally
+reports the cross-class mix: the union of all per-class synthetics
+against the whole original workload.
+
+``repro.core`` is imported lazily inside functions: the core package
+pulls in :mod:`repro.datacenter`, whose fleet module imports this
+package — a module-level import here would close that cycle.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..simulation import run_sharded
+from ..tracing import TraceSet, TraceSource
+from ..tracing.store import STREAM_TYPES
+from .shards import ShardStore, _shift
+from .stitch import StitchOffsets
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core import (
+        ValidationReport,
+        WorkloadFeatureStats,
+        WorkloadProfile,
+        WorkloadProfileBuilder,
+    )
+
+__all__ = [
+    "ClassReport",
+    "PerClassValidation",
+    "ShardAnalysisTask",
+    "SourceAnalysis",
+    "analyze_shard",
+    "analyze_source",
+    "characterize_source",
+    "class_rng",
+    "class_seed",
+    "validate_per_class",
+]
+
+
+def class_seed(seed: int, request_class: str) -> int:
+    """A deterministic 31-bit seed derived from a class name.
+
+    Used for the replay harness of one class's synthetic requests, so
+    per-class validation is reproducible and classes never share an
+    RNG stream regardless of iteration order.
+    """
+    return (seed * 1000003 + zlib.crc32(request_class.encode())) % (2**31)
+
+
+def class_rng(seed: int, request_class: str) -> np.random.Generator:
+    """The RNG stream used to synthesize one class's requests.
+
+    Seeded with ``[seed, crc32(class)]`` so streams are independent
+    across classes and across base seeds — and reproducible by tests
+    that re-derive the same generator.
+    """
+    return np.random.default_rng([seed, zlib.crc32(request_class.encode())])
+
+
+@dataclass(frozen=True)
+class ShardAnalysisTask:
+    """One worker's share: fold one shard through the accumulators."""
+
+    directory: str
+    shard_index: int
+    offsets: StitchOffsets
+    window: float = 0.25
+    cores: int = 8
+
+
+def analyze_shard(task: ShardAnalysisTask):
+    """Worker entry point: accumulate one shard, return the accumulators.
+
+    Returns ``(profile_builder, feature_stats, per_class_stats)``.
+    Only this one shard's records are materialized (for the per-request
+    feature join); everything crossing the pool back is accumulator
+    state, a few KB plus the O(n)-float quantile buffers.
+    """
+    from ..core import (
+        WorkloadFeatureStats,
+        WorkloadProfileBuilder,
+        extract_request_features,
+    )
+
+    store = ShardStore(task.directory)
+    manifest = next(
+        m for m in store.manifests if m.index == task.shard_index
+    )
+    builder = WorkloadProfileBuilder(window=task.window, cores=task.cores)
+    shard_traces = TraceSet()
+    for stream in STREAM_TYPES:
+        records = getattr(shard_traces, stream)
+        for record in store.iter_shard_stream(manifest, stream):
+            shifted = _shift(stream, record, task.offsets)
+            builder.add(stream, shifted)
+            records.append(shifted)
+    features = extract_request_features(shard_traces)
+    overall = WorkloadFeatureStats.from_features(features)
+    per_class: dict[str, WorkloadFeatureStats] = {}
+    for f in features:
+        if f.request_class not in per_class:
+            per_class[f.request_class] = WorkloadFeatureStats()
+        per_class[f.request_class].add(f)
+    return builder, overall, per_class
+
+
+@dataclass
+class SourceAnalysis:
+    """Everything one streaming pass over a source produces."""
+
+    profile: "WorkloadProfile"
+    features: "WorkloadFeatureStats"
+    per_class: dict[str, "WorkloadFeatureStats"]
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+
+def analyze_source(
+    source: TraceSource | str | Path,
+    window: float = 0.25,
+    cores: int = 8,
+    workers: int = 1,
+) -> SourceAnalysis:
+    """One streaming pass: profile + validation statistics for a source.
+
+    A :class:`~repro.store.ShardStore` (or a path to one) fans one
+    worker per shard and merges the per-shard accumulators in
+    shard-index order — numerically equal to the single-pass fold for
+    any worker count.  Any other :class:`~repro.tracing.TraceSource`
+    is folded inline.
+    """
+    from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
+
+    if isinstance(source, (str, Path)):
+        from ..tracing import load_traces
+
+        source = load_traces(source)
+    start = time.perf_counter()
+    if isinstance(source, ShardStore):
+        tasks = [
+            ShardAnalysisTask(
+                str(source.directory), m.index, offsets, window, cores
+            )
+            for m, offsets in zip(source.manifests, source.offsets())
+        ]
+        results = run_sharded(analyze_shard, tasks, workers)
+        builder = WorkloadProfileBuilder(window=window, cores=cores)
+        features = WorkloadFeatureStats()
+        per_class: dict[str, WorkloadFeatureStats] = {}
+        for shard_builder, shard_features, shard_classes in results:
+            builder.merge(shard_builder)
+            features.merge(shard_features)
+            for cls, stats in shard_classes.items():
+                if cls in per_class:
+                    per_class[cls].merge(stats)
+                else:
+                    per_class[cls] = stats
+    else:
+        from ..core import extract_request_features
+
+        builder = WorkloadProfileBuilder(window=window, cores=cores)
+        builder.add_source(source)
+        feats = extract_request_features(source)
+        features = WorkloadFeatureStats.from_features(feats)
+        per_class = {}
+        for f in feats:
+            if f.request_class not in per_class:
+                per_class[f.request_class] = WorkloadFeatureStats()
+            per_class[f.request_class].add(f)
+    elapsed = time.perf_counter() - start
+    return SourceAnalysis(
+        profile=builder.profile(),
+        features=features,
+        per_class=dict(sorted(per_class.items())),
+        workers=workers,
+        elapsed_seconds=elapsed,
+    )
+
+
+def characterize_source(
+    source: TraceSource | str | Path,
+    window: float = 0.25,
+    cores: int = 8,
+    workers: int = 1,
+) -> "WorkloadProfile":
+    """Streaming characterization of any trace source.
+
+    Equal to ``WorkloadProfile.from_traces`` on the materialized merge
+    (see ``docs/streaming_analysis.md`` for the tolerance contract)
+    without ever building it.
+    """
+    return analyze_source(source, window=window, cores=cores, workers=workers).profile
+
+
+@dataclass
+class ClassReport:
+    """Per-class Table-2 outcome (or why the class was skipped)."""
+
+    request_class: str
+    n_original: int
+    n_synthetic: int = 0
+    report: Optional["ValidationReport"] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class PerClassValidation:
+    """Per-class replay validation plus the cross-class mix."""
+
+    classes: list[ClassReport] = field(default_factory=list)
+    #: The union of all per-class synthetics vs the whole original
+    #: workload — the joint fidelity a mixed deployment would see.
+    mix: Optional["ValidationReport"] = None
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_validated(self) -> int:
+        return sum(1 for c in self.classes if c.report is not None)
+
+    @property
+    def worst_feature_deviation_pct(self) -> float:
+        worst = [
+            c.report.worst_feature_deviation_pct
+            for c in self.classes
+            if c.report is not None
+        ]
+        if not worst:
+            raise ValueError("no class produced a validation report")
+        return max(worst)
+
+    def to_table(self) -> str:
+        """One summary row per class, plus the mix row."""
+        lines = [
+            f"{'class':>16} | {'n(o/s)':>11} | {'feat dev%':>9} | "
+            f"{'lat dev%':>8} | {'KS':>6} | {'profiles':>8}"
+        ]
+        lines.append("-" * len(lines[0]))
+
+        def row(name: str, n_o: int, n_s: int, report) -> str:
+            return (
+                f"{name:>16} | {n_o:>5}/{n_s:<5} | "
+                f"{report.worst_feature_deviation_pct:>9.2f} | "
+                f"{report.worst_latency_deviation_pct:>8.2f} | "
+                f"{report.latency_ks:>6.3f} | {len(report.profiles):>8}"
+            )
+
+        for c in self.classes:
+            if c.report is not None:
+                lines.append(row(c.request_class, c.n_original, c.n_synthetic, c.report))
+            else:
+                lines.append(
+                    f"{c.request_class:>16} | {c.n_original:>5}/{c.n_synthetic:<5} | "
+                    f"skipped: {c.error}"
+                )
+        if self.mix is not None:
+            lines.append(
+                row("<mix>", self.mix.n_original, self.mix.n_synthetic, self.mix)
+            )
+        return "\n".join(lines)
+
+
+def validate_per_class(
+    source: TraceSource | str | Path,
+    models: Optional[dict] = None,
+    config=None,
+    seed: int = 42,
+    min_profile_count: int = 5,
+    min_requests: int = 16,
+    window: float = 0.25,
+    cores: int = 8,
+    workers: int = 1,
+    analysis: Optional[SourceAnalysis] = None,
+) -> PerClassValidation:
+    """Replay each class's model and grade it against the streamed original.
+
+    ``models`` maps request class to a trained
+    :class:`~repro.core.KoozaModel`; when omitted, per-class models are
+    trained from ``source`` first (fanned over ``workers`` for a shard
+    store).  Each class synthesizes as many requests as the original
+    side contributed feature vectors, using :func:`class_rng` so the
+    result is independent of class iteration order.  Classes whose
+    original or synthetic side is too thin are reported as skipped,
+    not raised.
+
+    Pass a precomputed ``analysis`` to reuse one streaming pass for
+    characterization and validation.
+    """
+    from ..core import ReplayHarness, WorkloadFeatureStats, compare_feature_stats
+
+    start = time.perf_counter()
+    if isinstance(source, (str, Path)):
+        from ..tracing import load_traces
+
+        source = load_traces(source)
+    if analysis is None:
+        analysis = analyze_source(
+            source, window=window, cores=cores, workers=workers
+        )
+    if models is None:
+        from .training import train_per_class
+
+        fit = train_per_class(
+            source, config, workers=workers, min_requests=min_requests
+        )
+        models = fit.models
+    result = PerClassValidation(workers=workers)
+    synthetic_mix = WorkloadFeatureStats()
+    for cls in sorted(analysis.per_class):
+        original = analysis.per_class[cls]
+        if cls not in models:
+            result.classes.append(
+                ClassReport(cls, original.n, error="no model for class")
+            )
+            continue
+        synthetic = models[cls].synthesize(original.n, class_rng(seed, cls))
+        replayed = ReplayHarness(seed=class_seed(seed + 1, cls)).replay(synthetic)
+        stats = WorkloadFeatureStats.from_source(replayed)
+        synthetic_mix.merge(stats)
+        try:
+            report = compare_feature_stats(
+                original, stats, min_profile_count=min_profile_count
+            )
+        except ValueError as error:
+            result.classes.append(
+                ClassReport(cls, original.n, stats.n, error=str(error))
+            )
+            continue
+        result.classes.append(ClassReport(cls, original.n, stats.n, report))
+    if synthetic_mix.n:
+        try:
+            result.mix = compare_feature_stats(
+                analysis.features,
+                synthetic_mix,
+                min_profile_count=min_profile_count,
+            )
+        except ValueError:
+            result.mix = None
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

@@ -120,6 +120,29 @@ class ShardStore:
             groups.setdefault(manifest.param(key), []).append(manifest)
         return groups
 
+    # -- TraceSource protocol ------------------------------------------------
+
+    def streams(self) -> tuple[str, ...]:
+        """Stream names in canonical order (``TraceSource`` protocol)."""
+        return tuple(STREAM_TYPES)
+
+    def iter_records(self, stream: str) -> Iterator:
+        """Yield one stream's records, stitched (``TraceSource`` protocol)."""
+        return self.iter_stream(stream)
+
+    def extent(self) -> float:
+        """Total stitched timeline length, from manifests alone.
+
+        The sum of per-shard extents: each shard is shifted past the
+        cumulative extent of its predecessors, so the merged timeline
+        ends where the last shard's shifted extent does.
+        """
+        return sum(m.extent for m in self.manifests)
+
+    def classes(self) -> dict[str, int]:
+        """Completed-request counts per class (``TraceSource`` protocol)."""
+        return self.request_class_counts()
+
     # -- records -------------------------------------------------------------
 
     def iter_shard_stream(self, manifest: ShardManifest, stream: str) -> Iterator:

@@ -25,11 +25,10 @@ Extent semantics (tightened from the original fleet-internal helper):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
-from ..tracing import TraceSet
+from ..tracing import TraceSet, TraceSource
 
 __all__ = [
     "StitchOffsets",
@@ -42,38 +41,29 @@ __all__ = [
 
 
 def trace_extent(traces: TraceSet, duration: float = 0.0) -> float:
-    """The time span a replica occupies on a merged timeline."""
-    extent = max(duration, 0.0)
-    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
-        for record in stream:
-            extent = max(extent, record.timestamp)
-    for record in traces.requests:
-        extent = max(extent, record.arrival_time, record.completion_time)
-    for span in traces.spans:
-        extent = max(extent, span.start)
-        if not math.isnan(span.end):
-            extent = max(extent, span.end)
-        for annotation in span.annotations:
-            extent = max(extent, annotation.timestamp)
-    return extent
+    """The time span a replica occupies on a merged timeline.
+
+    Delegates to :meth:`TraceSet.extent` (the ``TraceSource`` protocol
+    method) and folds in the simulated ``duration``, so empty replicas
+    still occupy their simulated span.
+    """
+    return max(duration, 0.0, traces.extent())
 
 
-def max_request_id(traces: TraceSet) -> int:
+def max_request_id(traces: "TraceSource") -> int:
     """The largest request id any record in ``traces`` refers to."""
     largest = 0
-    for stream in (traces.network, traces.cpu, traces.memory, traces.storage):
-        for record in stream:
+    for stream in ("network", "cpu", "memory", "storage", "requests"):
+        for record in traces.iter_records(stream):
             largest = max(largest, record.request_id)
-    for record in traces.requests:
-        largest = max(largest, record.request_id)
-    for span in traces.spans:
+    for span in traces.iter_records("spans"):
         largest = max(largest, span.trace_id)
     return largest
 
 
-def max_span_id(traces: TraceSet) -> int:
+def max_span_id(traces: "TraceSource") -> int:
     """The largest span id in ``traces`` (0 when nothing was sampled)."""
-    return max([0] + [s.span_id for s in traces.spans])
+    return max([0] + [s.span_id for s in traces.iter_records("spans")])
 
 
 @dataclass(frozen=True)

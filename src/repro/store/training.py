@@ -26,11 +26,13 @@ package — a module-level import here would close that cycle.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..simulation import run_sharded
+from ..tracing import TraceSource, as_trace_set
 from .shards import ShardStore
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -93,31 +95,68 @@ class PerClassFit:
 
 
 def train_per_class(
-    directory: str | Path,
+    source: TraceSource | str | Path | None = None,
     config: Optional["KoozaConfig"] = None,
     workers: int = 1,
     min_requests: int = MIN_TRAINABLE_REQUESTS,
+    *,
+    directory: str | Path | None = None,
 ) -> PerClassFit:
-    """Fit one KOOZA model per request class, fanned across processes.
+    """Fit one KOOZA model per request class.
 
-    ``workers=1`` runs inline and is the deterministic reference the
-    pooled result matches exactly.  Classes with fewer than
-    ``min_requests`` completed requests (summed over shard manifests)
-    are skipped and reported in :attr:`PerClassFit.skipped`.
+    ``source`` is any :class:`~repro.tracing.TraceSource` or a path
+    (auto-detected via :func:`~repro.tracing.load_traces`).  A shard
+    store fans one worker process per class; ``workers=1`` runs inline
+    and is the deterministic reference the pooled result matches
+    exactly.  Other sources are split by class in-process (their
+    records already live in this process, so there is nothing to gain
+    from shipping them across a pool).  Classes with fewer than
+    ``min_requests`` completed requests are skipped and reported in
+    :attr:`PerClassFit.skipped`.
+
+    .. deprecated:: 0.3
+       The ``directory=`` keyword; pass the store path (or any trace
+       source) positionally or as ``source=``.
     """
     from ..core import model_from_dict
 
-    store = ShardStore(directory)
-    counts = store.request_class_counts()
+    if directory is not None:
+        warnings.warn(
+            "train_per_class(directory=...) is deprecated; pass the trace "
+            "source positionally or as source=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if source is not None:
+            raise TypeError("pass either source or directory, not both")
+        source = directory
+    if source is None:
+        raise TypeError("train_per_class() missing the trace source")
+    if isinstance(source, (str, Path)):
+        from ..tracing import load_traces
+
+        source = load_traces(source)
+
+    counts = source.classes()
     trainable = sorted(c for c, n in counts.items() if n >= min_requests)
     skipped = {c: n for c, n in counts.items() if n < min_requests}
-    tasks = [
-        ClassFitTask(str(directory), cls, config) for cls in trainable
-    ]
     start = time.perf_counter()
-    results = run_sharded(fit_request_class, tasks, workers)
+    if isinstance(source, ShardStore):
+        tasks = [
+            ClassFitTask(str(source.directory), cls, config)
+            for cls in trainable
+        ]
+        results = run_sharded(fit_request_class, tasks, workers)
+        models = {cls: model_from_dict(data) for cls, data in results}
+    else:
+        from ..core import KoozaTrainer, split_traces_by_class
+
+        by_class = split_traces_by_class(as_trace_set(source))
+        models = {
+            cls: KoozaTrainer(config).fit(by_class[cls]) for cls in trainable
+        }
+        workers = 1
     elapsed = time.perf_counter() - start
-    models = {cls: model_from_dict(data) for cls, data in results}
     return PerClassFit(
         models=models,
         skipped=skipped,

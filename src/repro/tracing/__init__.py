@@ -22,8 +22,10 @@ from .records import (
     StorageRecord,
 )
 from .span import Annotation, Span, TraceTree, build_trace_trees
+from .source import FlatTraceDump, TraceSource, as_trace_set
 from .store import STREAM_TYPES, load_traces, save_traces
 from .tracer import (
+    STREAM_NAMES,
     Tracer,
     TraceSet,
     shift_request,
@@ -35,18 +37,22 @@ __all__ = [
     "Annotation",
     "ClusterProfiler",
     "CpuRecord",
+    "FlatTraceDump",
     "ProfileSample",
     "MemoryRecord",
     "NetworkRecord",
     "READ",
     "RequestRecord",
+    "STREAM_NAMES",
     "STREAM_TYPES",
     "Span",
     "StorageRecord",
     "TraceSet",
+    "TraceSource",
     "TraceTree",
     "Tracer",
     "WRITE",
+    "as_trace_set",
     "build_trace_trees",
     "load_traces",
     "read_cluster_jobs",

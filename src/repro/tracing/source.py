@@ -1,0 +1,148 @@
+"""The :class:`TraceSource` protocol: uniform read access to traces.
+
+Every consumer of collected traces — trainers, characterization,
+validation — historically took an in-memory :class:`TraceSet`.  That
+forced the sharded on-disk store to materialize its full stitched
+merge before any analysis could run.  ``TraceSource`` is the common
+read interface that breaks that coupling:
+
+* :meth:`~TraceSource.streams` — the stream names the source carries,
+  in canonical order;
+* :meth:`~TraceSource.iter_records` — the records of one stream, in
+  merged (stitched) order;
+* :meth:`~TraceSource.extent` — the end of the trace timeline, with
+  the same semantics as :func:`repro.store.trace_extent`;
+* :meth:`~TraceSource.classes` — completed-request counts per request
+  class.
+
+Three implementations ship: :class:`~repro.tracing.TraceSet` (in
+memory), :class:`repro.store.ShardStore` (sharded on disk, stitched
+lazily), and :class:`FlatTraceDump` (a flat v1/v2 dump directory, read
+lazily).  :func:`as_trace_set` materializes any source for the batch
+paths that genuinely need random access.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, Iterator, Protocol, Tuple, runtime_checkable
+
+from .store import STREAM_TYPES, find_stream_file, iter_stream_records
+from .tracer import TraceSet
+
+__all__ = ["FlatTraceDump", "TraceSource", "as_trace_set"]
+
+
+@runtime_checkable
+class TraceSource(Protocol):
+    """Read-only access to one logical trace timeline.
+
+    Implementations must yield each stream's records in the order the
+    merged in-memory ``TraceSet`` would hold them, so order-dependent
+    statistics (interarrival gaps, storage seek distances) agree across
+    sources byte for byte.
+    """
+
+    def streams(self) -> Tuple[str, ...]:
+        """Stream names carried by this source, in canonical order."""
+        ...
+
+    def iter_records(self, stream: str) -> Iterator:
+        """Yield one stream's records in merged (stitched) order."""
+        ...
+
+    def extent(self) -> float:
+        """End of the trace timeline (latest timestamp, any stream)."""
+        ...
+
+    def classes(self) -> Dict[str, int]:
+        """Completed-request counts per request class, sorted by name."""
+        ...
+
+
+def as_trace_set(source: TraceSource) -> TraceSet:
+    """Materialize any :class:`TraceSource` into a :class:`TraceSet`.
+
+    A ``TraceSet`` passes through unchanged; anything else is read
+    stream by stream.  This is the explicit escape hatch for batch
+    consumers — streaming paths should fold over
+    :meth:`~TraceSource.iter_records` instead.
+    """
+    if isinstance(source, TraceSet):
+        return source
+    traces = TraceSet()
+    for stream in source.streams():
+        getattr(traces, stream).extend(source.iter_records(stream))
+    return traces
+
+
+class FlatTraceDump:
+    """Lazy :class:`TraceSource` over a flat v1/v2 trace dump directory.
+
+    Reads nothing at construction beyond an existence check; records
+    are parsed on iteration, and :meth:`extent` / :meth:`classes` scan
+    once and cache.  Missing stream files iterate as empty, matching
+    :func:`repro.tracing.load_traces` on partial dumps.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"not a directory: {self.directory}")
+        if all(
+            find_stream_file(self.directory, stream) is None
+            for stream in STREAM_TYPES
+        ):
+            raise FileNotFoundError(
+                f"no trace stream files under {self.directory} "
+                f"(expected <stream>.jsonl[.gz])"
+            )
+        self._extent: float | None = None
+        self._classes: Dict[str, int] | None = None
+
+    def streams(self) -> Tuple[str, ...]:
+        return tuple(STREAM_TYPES)
+
+    def iter_records(self, stream: str) -> Iterator:
+        if stream not in STREAM_TYPES:
+            raise ValueError(f"unknown stream {stream!r}")
+        path = find_stream_file(self.directory, stream)
+        if path is None:
+            return iter(())
+        return iter_stream_records(path, STREAM_TYPES[stream])
+
+    def extent(self) -> float:
+        if self._extent is None:
+            extent = 0.0
+            for stream in ("network", "cpu", "memory", "storage"):
+                for record in self.iter_records(stream):
+                    extent = max(extent, record.timestamp)
+            for record in self.iter_records("requests"):
+                extent = max(extent, record.arrival_time, record.completion_time)
+            for span in self.iter_records("spans"):
+                extent = max(extent, span.start)
+                if not math.isnan(span.end):
+                    extent = max(extent, span.end)
+                for annotation in span.annotations:
+                    extent = max(extent, annotation.timestamp)
+            self._extent = extent
+        return self._extent
+
+    def classes(self) -> Dict[str, int]:
+        if self._classes is None:
+            counts: Dict[str, int] = {}
+            for record in self.iter_records("requests"):
+                if record.completion_time > record.arrival_time:
+                    counts[record.request_class] = (
+                        counts.get(record.request_class, 0) + 1
+                    )
+            self._classes = dict(sorted(counts.items()))
+        return dict(self._classes)
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per stream (same shape as ``TraceSet.summary``)."""
+        return {
+            stream: sum(1 for _ in self.iter_records(stream))
+            for stream in STREAM_TYPES
+        }

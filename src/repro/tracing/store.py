@@ -17,7 +17,8 @@ Format versions:
 The same line-level helpers back the sharded store in
 :mod:`repro.store`, so flat dumps and shard stream files share one
 reader path; :func:`load_traces` additionally recognizes a shard-store
-directory (``shard-*/manifest.json``) and returns its stitched merge.
+directory (``shard-*/manifest.json``) and opens it as a lazy
+:class:`repro.store.ShardStore` rather than stitching it eagerly.
 """
 
 from __future__ import annotations
@@ -149,22 +150,30 @@ def save_traces(
     return directory
 
 
-def load_traces(directory: str | Path) -> TraceSet:
-    """Read a :class:`TraceSet` from any on-disk trace layout.
+def load_traces(directory: str | Path):
+    """Open any on-disk trace layout as a ``TraceSource``.
 
-    Accepts legacy v1 flat dumps, v2 flat dumps (with header, plain or
-    gzipped), and sharded stores written by
-    :class:`repro.store.ShardWriter` — a shard store is recognized by
-    its ``shard-*/manifest.json`` files and loaded as the stitched
-    merge of all shards.  Missing stream files load as empty streams,
-    so partial trace directories (e.g. storage-only characterization
-    runs) are usable.
+    Auto-detects the layout:
+
+    * a sharded store (``shard-*/manifest.json`` present) opens as a
+      lazy :class:`repro.store.ShardStore` — records stay on disk and
+      are stitched on iteration;
+    * a flat v1/v2 dump (plain or gzipped, header optional) loads as an
+      in-memory :class:`TraceSet`; missing stream files load as empty
+      streams, so partial dumps (e.g. storage-only characterization
+      runs) are usable.
+
+    Both returns satisfy the :class:`repro.tracing.TraceSource`
+    protocol.  Callers that need the materialized merge of a shard
+    store should pass the result through
+    :func:`repro.tracing.as_trace_set` (the pre-0.3 behavior, which
+    stitched stores eagerly).
     """
     directory = Path(directory)
     if any(directory.glob("shard-*/manifest.json")):
         from ..store.shards import ShardStore
 
-        return ShardStore(directory).merged()
+        return ShardStore(directory)
     traces = TraceSet()
     for stream, record_cls in STREAM_TYPES.items():
         path = find_stream_file(directory, stream)

@@ -15,8 +15,9 @@ A :class:`TraceSet` bundles everything a model trainer consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterator, Optional
 
 from .records import (
     CpuRecord,
@@ -28,12 +29,17 @@ from .records import (
 from .span import Annotation, Span, TraceTree, build_trace_trees
 
 __all__ = [
+    "STREAM_NAMES",
     "TraceSet",
     "Tracer",
     "shift_request",
     "shift_span",
     "shift_subsystem_record",
 ]
+
+#: Canonical stream order (mirrors ``repro.tracing.store.STREAM_TYPES``,
+#: which cannot be imported here without a cycle).
+STREAM_NAMES = ("network", "cpu", "memory", "storage", "requests", "spans")
 
 
 def shift_subsystem_record(record, time_offset: float = 0.0, request_id_offset: int = 0):
@@ -108,6 +114,43 @@ class TraceSet:
         for record in self.completed_requests():
             grouped.setdefault(record.request_class, []).append(record)
         return grouped
+
+    # -- TraceSource protocol ------------------------------------------------
+
+    def streams(self) -> tuple[str, ...]:
+        """Stream names carried by this set, in canonical order."""
+        return STREAM_NAMES
+
+    def iter_records(self, stream: str) -> Iterator:
+        """Yield one stream's records (``TraceSource`` protocol)."""
+        if stream not in STREAM_NAMES:
+            raise ValueError(f"unknown stream {stream!r}")
+        return iter(getattr(self, stream))
+
+    def extent(self) -> float:
+        """Latest timestamp in any stream (stitch-extent semantics)."""
+        extent = 0.0
+        for stream in (self.network, self.cpu, self.memory, self.storage):
+            for record in stream:
+                extent = max(extent, record.timestamp)
+        for record in self.requests:
+            extent = max(extent, record.arrival_time, record.completion_time)
+        for span in self.spans:
+            extent = max(extent, span.start)
+            if not math.isnan(span.end):
+                extent = max(extent, span.end)
+            for annotation in span.annotations:
+                extent = max(extent, annotation.timestamp)
+        return extent
+
+    def classes(self) -> dict[str, int]:
+        """Completed-request counts per request class, sorted by name."""
+        return dict(
+            sorted(
+                (cls, len(records))
+                for cls, records in self.requests_by_class().items()
+            )
+        )
 
     def shifted(
         self,

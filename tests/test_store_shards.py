@@ -44,6 +44,7 @@ from repro.tracing import (
     StorageRecord,
     Tracer,
     TraceSet,
+    as_trace_set,
     load_traces,
     save_traces,
 )
@@ -141,7 +142,8 @@ def test_shard_writer_is_a_tracer_sink(tmp_path):
     tracer.close()
     manifest = writer.finalize(duration=0.4)
     assert manifest.counts["spans"] == 1
-    loaded = load_traces(tmp_path)
+    # load_traces opens the store lazily; as_trace_set materializes.
+    loaded = as_trace_set(load_traces(tmp_path))
     assert loaded.storage[0].lbn == 7
     assert loaded.spans[0].end == 0.4
 
@@ -165,8 +167,11 @@ def test_store_merge_byte_identical_to_in_memory(tmp_path, workers):
     assert [m.index for m in result.manifests] == [0, 1, 2, 3]
     store = ShardStore(out)
     _assert_traces_equal(reference.traces, store.merged(), f"workers={workers}")
-    # load_traces recognizes the store layout — one reader path.
-    _assert_traces_equal(reference.traces, load_traces(out), "load_traces")
+    # load_traces recognizes the store layout — one reader path.  It
+    # returns the store itself (a lazy TraceSource) since 0.3.
+    loaded = load_traces(out)
+    assert isinstance(loaded, ShardStore)
+    _assert_traces_equal(reference.traces, as_trace_set(loaded), "load_traces")
 
 
 def test_store_merge_matches_for_webapp(tmp_path):

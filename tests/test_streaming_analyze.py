@@ -1,0 +1,420 @@
+"""Tests for the streaming analysis engine and the TraceSource API.
+
+Pins down the PR-4 acceptance contract: streaming accumulators merge
+associatively; the sharded one-pass profile/validation equals the batch
+path on the materialized merge for 1, 2 and 4 workers; per-class
+validation matches a manual per-class split; `repro characterize --in`
+and `repro validate --per-class --in` never construct the merged
+``TraceSet`` (the stitch path is monkeypatched to explode); and the
+pre-0.3 keyword signatures warn ``DeprecationWarning`` but still work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    KoozaTrainer,
+    ReplayHarness,
+    WorkloadFeatureStats,
+    WorkloadProfile,
+    WorkloadProfileBuilder,
+    compare_feature_stats,
+    compare_workloads,
+    extract_request_features,
+    split_traces_by_class,
+)
+from repro.datacenter import FleetSpec, collect_fleet_to_store, run_gfs_workload
+from repro.stats import (
+    CategoricalCounter,
+    CoMomentsAccumulator,
+    ExactQuantiles,
+    FixedHistogram,
+    MomentsAccumulator,
+    P2Quantile,
+    ReservoirQuantile,
+    SeekStats,
+    WindowedCounter,
+)
+from repro.store import (
+    ShardStore,
+    analyze_source,
+    characterize_source,
+    class_rng,
+    class_seed,
+    train_per_class,
+    validate_per_class,
+)
+from repro.tracing import (
+    FlatTraceDump,
+    TraceSet,
+    TraceSource,
+    as_trace_set,
+    load_traces,
+    save_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("astore")
+    collect_fleet_to_store(
+        FleetSpec(app="gfs", replicas=3, seed=5, n_requests=80),
+        directory=directory,
+        workers=2,
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def merged(store_dir):
+    return ShardStore(store_dir).merged()
+
+
+# -- accumulators ------------------------------------------------------------
+
+
+def test_moments_merge_matches_whole():
+    rng = np.random.default_rng(0)
+    values = rng.normal(5.0, 2.0, size=501)
+    whole = MomentsAccumulator()
+    for v in values:
+        whole.add(float(v))
+    left, right = MomentsAccumulator(), MomentsAccumulator()
+    for v in values[:200]:
+        left.add(float(v))
+    for v in values[200:]:
+        right.add(float(v))
+    left.merge(right)
+    assert left.n == whole.n == 501
+    assert left.mean == pytest.approx(np.mean(values), rel=1e-12)
+    assert left.variance() == pytest.approx(np.var(values), rel=1e-9)
+    assert whole.variance() == pytest.approx(np.var(values), rel=1e-9)
+    assert (left.min, left.max) == (values.min(), values.max())
+
+
+def test_comoments_correlation_matches_numpy():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=300)
+    y = 0.6 * x + rng.normal(scale=0.5, size=300)
+    halves = [CoMomentsAccumulator(), CoMomentsAccumulator()]
+    for i, (a, b) in enumerate(zip(x, y)):
+        halves[i % 2].add(float(a), float(b))
+    halves[0].merge(halves[1])
+    assert halves[0].correlation == pytest.approx(
+        np.corrcoef(x, y)[0, 1], rel=1e-9
+    )
+
+
+def test_comoments_zero_variance_matches_cross_correlation():
+    acc = CoMomentsAccumulator()
+    for v in (1.0, 1.0, 1.0):
+        acc.add(v, float(v * 2))
+    assert acc.correlation == 0.0
+
+
+def test_fixed_histogram_merge_and_quantile():
+    edges = [0.0, 1.0, 2.0, 4.0]
+    a, b = FixedHistogram(edges), FixedHistogram(edges)
+    for v in (0.5, 1.5, 3.0, -1.0):
+        a.add(v)
+    for v in (0.25, 5.0):
+        b.add(v)
+    a.merge(b)
+    assert a.underflow == 1 and a.overflow == 1
+    assert sum(a.counts) == 4
+    assert 0.0 <= a.quantile(0.5) <= 4.0
+
+
+def test_streaming_quantiles_approximate_exact():
+    rng = np.random.default_rng(2)
+    values = rng.exponential(2.0, size=4000)
+    exact = ExactQuantiles()
+    p2 = P2Quantile(0.95)
+    res = ReservoirQuantile(capacity=2048, seed=3)
+    for v in values:
+        exact.add(float(v))
+        p2.add(float(v))
+        res.add(float(v))
+    truth = exact.quantile(0.95)
+    assert truth == float(np.percentile(values, 95))
+    assert p2.value == pytest.approx(truth, rel=0.15)
+    assert res.quantile(0.95) == pytest.approx(truth, rel=0.15)
+    with pytest.raises(NotImplementedError):
+        p2.merge(P2Quantile(0.95))
+
+
+def test_categorical_counter_modal_tie_is_lexicographic():
+    c = CategoricalCounter()
+    for key in ("write", "read", "write", "read"):
+        c.add(key)
+    assert c.modal() == "read"
+    assert c.fraction("write") == 0.5
+
+
+def test_windowed_counter_merge_and_clamp():
+    a = WindowedCounter(window=0.5)
+    b = WindowedCounter(window=0.5)
+    for t in (0.1, 0.4, 0.6):
+        a.add(t)
+    for t in (0.2, 1.9):
+        b.add(t)
+    a.merge(b)
+    series = a.series(end=1.0)
+    # the 1.9 event lands past end=1.0 and clamps into the last window
+    assert series.tolist() == [3.0, 2.0]
+    with pytest.raises(ValueError):
+        a.merge(WindowedCounter(window=0.25))
+
+
+def test_seek_stats_seam_merge_matches_single_pass():
+    ios = [(10, 4096), (11, 4096), (500, 8192), (502, 4096), (503, 4096)]
+    whole = SeekStats()
+    for lbn, size in ios:
+        whole.add(lbn, size)
+    left, right = SeekStats(), SeekStats()
+    for lbn, size in ios[:2]:
+        left.add(lbn, size)
+    for lbn, size in ios[2:]:
+        right.add(lbn, size)
+    left.merge(right)
+    assert left.n_gaps == whole.n_gaps
+    assert left.n_sequential == whole.n_sequential
+    assert left.sum_abs == whole.sum_abs
+
+
+# -- TraceSource protocol ----------------------------------------------------
+
+
+def test_trace_source_conformance(store_dir, merged, tmp_path):
+    save_traces(merged, tmp_path / "flat")
+    flat = FlatTraceDump(tmp_path / "flat")
+    store = ShardStore(store_dir)
+    for source in (merged, store, flat):
+        assert isinstance(source, TraceSource)
+        assert set(source.streams()) == {
+            "network", "cpu", "memory", "storage", "requests", "spans",
+        }
+    assert store.classes() == merged.classes() == flat.classes()
+    assert store.extent() == pytest.approx(merged.extent())
+    # stitched iteration yields the merged records
+    assert [r.to_dict() for r in store.iter_records("requests")] == [
+        r.to_dict() for r in merged.iter_records("requests")
+    ]
+
+
+def test_load_traces_auto_detects_layouts(store_dir, merged, tmp_path):
+    assert isinstance(load_traces(store_dir), ShardStore)
+    save_traces(merged, tmp_path / "flat")
+    assert isinstance(load_traces(tmp_path / "flat"), TraceSet)
+    round_tripped = as_trace_set(load_traces(store_dir))
+    assert [r.to_dict() for r in round_tripped.requests] == [
+        r.to_dict() for r in merged.requests
+    ]
+
+
+def test_flat_trace_dump_requires_stream_files(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        FlatTraceDump(tmp_path)
+
+
+# -- streaming == batch ------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_streaming_profile_equals_batch(store_dir, merged, workers):
+    batch = WorkloadProfile.from_traces(merged)
+    streamed = characterize_source(ShardStore(store_dir), workers=workers)
+    assert streamed == batch
+    assert "storage:" in streamed.describe()
+
+
+def test_streaming_profile_builder_merge_associative(merged):
+    # The merge contract covers contiguous, in-order partitions of each
+    # stream (what shards are) — seam-aware accumulators like SeekStats
+    # depend on record adjacency.
+    whole = WorkloadProfileBuilder()
+    whole.add_source(merged)
+    parts = [WorkloadProfileBuilder() for _ in range(3)]
+    for stream in merged.streams():
+        records = list(merged.iter_records(stream))
+        third = -(-len(records) // 3) or 1
+        for i, record in enumerate(records):
+            parts[min(i // third, 2)].add(stream, record)
+    parts[0].merge(parts[1]).merge(parts[2])
+    assert parts[0].profile() == whole.profile()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_streaming_validation_stats_equal_batch(store_dir, merged, workers):
+    analysis = analyze_source(ShardStore(store_dir), workers=workers)
+    batch = WorkloadFeatureStats.from_features(extract_request_features(merged))
+    assert analysis.features.n == batch.n
+    assert set(analysis.features.profiles) == set(batch.profiles)
+    for key, o in batch.profiles.items():
+        s = analysis.features.profiles[key]
+        assert s.n == o.n
+        assert s.network_bytes.mean == pytest.approx(
+            o.network_bytes.mean, rel=1e-9
+        )
+        assert s.latency.quantile(0.95) == o.latency.quantile(0.95)
+    assert analysis.features.joint.correlation == pytest.approx(
+        batch.joint.correlation, rel=1e-9
+    )
+
+
+def test_compare_feature_stats_matches_compare_workloads(merged):
+    model = KoozaTrainer().fit(merged)
+    synthetic = model.synthesize(150, np.random.default_rng(8))
+    replayed = ReplayHarness(seed=9).replay(synthetic)
+    batch = compare_workloads(merged, replayed)
+    streamed = compare_feature_stats(
+        WorkloadFeatureStats.from_source(merged),
+        WorkloadFeatureStats.from_source(replayed),
+    )
+    assert streamed.latency_ks == batch.latency_ks
+    assert streamed.n_original == batch.n_original
+    assert streamed.joint_correlation_original == pytest.approx(
+        batch.joint_correlation_original, rel=1e-9
+    )
+    assert len(streamed.profiles) == len(batch.profiles)
+    for s, b in zip(streamed.profiles, batch.profiles):
+        assert s.profile == b.profile
+        assert s.network_bytes == pytest.approx(b.network_bytes, rel=1e-9)
+        assert s.latency_p95 == b.latency_p95
+        assert s.memory_op_match == b.memory_op_match
+
+
+# -- per-class validation ----------------------------------------------------
+
+
+def test_per_class_validation_matches_manual_split(store_dir, merged):
+    store = ShardStore(store_dir)
+    fit = train_per_class(store, workers=2)
+    result = validate_per_class(store, models=fit.models, seed=42, workers=2)
+    assert result.n_validated == len(fit.models) > 0
+    assert result.mix is not None
+
+    by_class = split_traces_by_class(merged)
+    for report in result.classes:
+        cls = report.request_class
+        assert report.report is not None, report.error
+        # replay the exact same synthesis manually over the class split
+        synthetic = fit.models[cls].synthesize(
+            report.n_original, class_rng(42, cls)
+        )
+        replayed = ReplayHarness(seed=class_seed(43, cls)).replay(synthetic)
+        manual = compare_workloads(by_class[cls], replayed)
+        assert report.report.latency_ks == manual.latency_ks
+        assert report.report.n_original == manual.n_original
+        assert report.report.worst_feature_deviation_pct == pytest.approx(
+            manual.worst_feature_deviation_pct, rel=1e-9, abs=1e-12
+        )
+        assert report.report.worst_latency_deviation_pct == pytest.approx(
+            manual.worst_latency_deviation_pct, rel=1e-9
+        )
+    # the mix compares the union of synthetics to the whole original
+    assert result.mix.n_original == sum(r.n_original for r in result.classes)
+    assert result.mix.n_synthetic == sum(r.n_synthetic for r in result.classes)
+
+
+def test_per_class_validation_reports_missing_models(store_dir):
+    result = validate_per_class(ShardStore(store_dir), models={}, seed=1)
+    assert result.n_validated == 0
+    assert all(c.error == "no model for class" for c in result.classes)
+    assert result.mix is None
+    with pytest.raises(ValueError):
+        result.worst_feature_deviation_pct
+
+
+# -- the stitch path stays cold ----------------------------------------------
+
+
+def test_characterize_and_validate_never_merge(store_dir, monkeypatch, capsys):
+    def forbid(self, *args, **kwargs):  # pragma: no cover - should not run
+        raise AssertionError("merged TraceSet must not be constructed")
+
+    import repro.tracing.source as source_module
+
+    monkeypatch.setattr(ShardStore, "merged", forbid)
+    monkeypatch.setattr(source_module, "as_trace_set", forbid)
+    assert main(["characterize", "--in", str(store_dir)]) == 0
+    assert main(
+        ["validate", "--per-class", "--in", str(store_dir),
+         "--feature-limit", "5.0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "storage:" in out
+    assert "<mix>" in out
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+def test_fit_traces_keyword_warns(merged):
+    with pytest.warns(DeprecationWarning, match="traces"):
+        model = KoozaTrainer().fit(traces=merged)
+    assert model.n_training_requests > 0
+    with pytest.raises(TypeError):
+        KoozaTrainer().fit(merged, traces=merged)
+    with pytest.raises(TypeError):
+        KoozaTrainer().fit()
+
+
+def test_extract_features_traces_keyword_warns(merged):
+    with pytest.warns(DeprecationWarning):
+        features = extract_request_features(traces=merged)
+    assert features == extract_request_features(merged)
+
+
+def test_train_per_class_directory_keyword_warns(store_dir):
+    with pytest.warns(DeprecationWarning):
+        fit = train_per_class(directory=store_dir, workers=1)
+    assert fit.models
+    with pytest.warns(DeprecationWarning), pytest.raises(TypeError):
+        train_per_class(store_dir, directory=store_dir)
+    with pytest.raises(TypeError):
+        train_per_class()
+
+
+def test_train_per_class_accepts_flat_sources(merged):
+    fit = train_per_class(merged, workers=1)
+    reference = train_per_class_models_reference(merged)
+    assert fit.models.keys() == reference.keys()
+
+
+def train_per_class_models_reference(traces):
+    return {
+        cls: KoozaTrainer().fit(part)
+        for cls, part in split_traces_by_class(traces).items()
+        if len(part.completed_requests()) >= 16
+    }
+
+
+# -- CLI uniform --in --------------------------------------------------------
+
+
+def test_cli_rejects_both_input_forms(store_dir):
+    with pytest.raises(SystemExit):
+        main(["characterize", str(store_dir), "--in", str(store_dir)])
+    with pytest.raises(SystemExit):
+        main(["characterize"])
+
+
+def test_cli_empty_store_message(tmp_path, capsys):
+    save_traces(TraceSet(), tmp_path / "flat")
+    with pytest.raises(SystemExit, match="empty"):
+        main(["characterize", "--in", str(tmp_path / "flat")])
+
+
+def test_cli_describe_store_directory(store_dir, capsys):
+    assert main(["describe", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "classes:" in out
+
+
+def test_cli_validate_store_aggregate(store_dir):
+    assert main(
+        ["validate", "--in", str(store_dir), "--workers", "2",
+         "--feature-limit", "5.0"]
+    ) == 0
