@@ -1,0 +1,108 @@
+"""Bench: incremental re-analysis — warm cache speedup over appends.
+
+Models the intended lifecycle of a long-lived trace store: one initial
+collection plus several appended rounds, re-characterizing after each.
+Two claims back the analysis cache:
+
+* **Equality** — the warm (all cache hits) profile equals the cold
+  (``cache=False``) profile exactly; JSON snapshots round-trip floats
+  bit-for-bit.  Asserted after every round.
+* **Speedup** — a fully warm re-analysis skips every stream-file
+  decode and fold, paying only content hashing plus JSON state loads,
+  so it beats the cold pass by a wide margin once the store has a few
+  rounds.  With >= 4 appended rounds the warm pass must be at least
+  3x faster.
+
+Results land in ``benchmarks/results/incremental_analyze.txt`` and —
+as the machine-readable record the acceptance criteria name —
+``BENCH_incremental_analyze.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import save_result
+
+from repro.datacenter import FleetSpec, collect_fleet_to_store
+from repro.store import analyze_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: 1 initial collection + 4 appended rounds.
+ROUNDS = 5
+REPLICAS = 2
+N_REQUESTS = 600
+SEED = 7
+
+
+def test_incremental_analyze_speedup(tmp_path):
+    directory = tmp_path / "store"
+    spec = FleetSpec(
+        app="gfs", replicas=REPLICAS, seed=SEED, n_requests=N_REQUESTS
+    )
+    rows = []
+    for round_index in range(ROUNDS):
+        collect_fleet_to_store(
+            spec, directory=directory, append=round_index > 0
+        )
+
+        start = time.perf_counter()
+        cold = analyze_source(directory, cache=False)
+        t_cold = time.perf_counter() - start
+
+        # Populate / extend the cache (hits every prior round's shards,
+        # folds only this round's), then time the fully warm pass.
+        populate = analyze_source(directory, cache=True)
+        assert populate.cache_misses <= REPLICAS
+        start = time.perf_counter()
+        warm = analyze_source(directory, cache=True)
+        t_warm = time.perf_counter() - start
+
+        assert warm.cache_misses == 0
+        assert warm.profile == cold.profile, "warm result must equal cold"
+        rows.append(
+            {
+                "round": round_index,
+                "shards": (round_index + 1) * REPLICAS,
+                "cold_seconds": round(t_cold, 4),
+                "warm_seconds": round(t_warm, 4),
+                "speedup": round(t_cold / t_warm, 2) if t_warm > 0 else None,
+            }
+        )
+
+    final = rows[-1]
+    payload = {
+        "bench": "incremental_analyze",
+        "app": spec.app,
+        "replicas_per_round": REPLICAS,
+        "n_requests": N_REQUESTS,
+        "seed": SEED,
+        "rounds": rows,
+        "final_speedup": final["speedup"],
+        "warm_equals_cold": True,
+    }
+    (REPO_ROOT / "BENCH_incremental_analyze.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"replicas/round={REPLICAS} n_requests={N_REQUESTS} seed={SEED}",
+        f"{'round':>5} | {'shards':>6} | {'cold s':>8} | {'warm s':>8} | "
+        f"{'speedup':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['round']:>5} | {row['shards']:>6} | "
+            f"{row['cold_seconds']:>8.4f} | {row['warm_seconds']:>8.4f} | "
+            f"{row['speedup']:>6.1f}x"
+        )
+    lines.append("warm profile equals cold profile every round: yes")
+    save_result("incremental_analyze", "\n".join(lines))
+
+    assert final["speedup"] >= 3.0, (
+        f"warm re-analysis over {final['shards']} cached shards should be "
+        f">= 3x faster than cold, got {final['speedup']}x"
+    )

@@ -6,11 +6,11 @@ cluster, model training offline, validation and studies anywhere:
     repro collect --app gfs --requests 2000 --out traces/
     repro collect --app gfs --replicas 8 --workers 4 --out traces/
     repro collect --app gfs --replicas 2 --sweep-rate 10,25,40 --out sweep/
+    repro append --app gfs --replicas 4 --workers 4 --out traces/
+    repro compact --in traces/
     repro merge --in traces/ --out traces/merged
-    repro train --in traces/ --model model.json
     repro train --in traces/ --per-class --workers 4 --model classes.json
     repro describe model.json
-    repro validate --in traces/ --model model.json
     repro validate --in traces/ --per-class --workers 4
     repro characterize --in traces/
 
@@ -20,6 +20,10 @@ still works as a hidden alias).  Shard stores are analyzed by the
 streaming engine — one accumulator set per shard, merged — so
 ``characterize`` and ``validate`` never materialize the merged trace
 timeline (see ``docs/streaming_analysis.md``).
+
+Analysis commands over a shard store default to the persistent
+per-shard cache (``--no-cache`` disables it); cache statistics go to
+stderr so cached and uncached runs print byte-identical stdout.
 """
 
 from __future__ import annotations
@@ -80,6 +84,11 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
     if args.replicas < 1:
         raise SystemExit(f"--replicas must be >= 1, got {args.replicas}")
+    if args.append and args.flat:
+        raise SystemExit(
+            "--append adds a round to a shard store; it cannot combine "
+            "with --flat"
+        )
     rate = None if args.app == "mapreduce" else args.rate
     sweep_rates = None
     if args.sweep_rate:
@@ -89,7 +98,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             raise SystemExit(f"bad --sweep-rate list: {args.sweep_rate!r}")
         if not sweep_rates:
             raise SystemExit("--sweep-rate needs at least one rate")
-    if (args.replicas > 1 or sweep_rates) and not args.flat:
+    if (args.replicas > 1 or sweep_rates or args.append) and not args.flat:
         # Sharded fleet streamed straight to an on-disk store: each
         # replica writes shard-<idx>/ as it completes and only the
         # manifest crosses the process pool.  The stitched merge
@@ -115,17 +124,24 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                 f"({manifest.duration:.2f}s simulated)"
             )
 
-        result = collect_fleet_to_store(
-            spec,
-            directory=args.out,
-            workers=args.workers,
-            compress=args.gzip,
-            replica_specs=replica_specs,
-            on_shard=report,
-        )
+        try:
+            result = collect_fleet_to_store(
+                spec,
+                directory=args.out,
+                workers=args.workers,
+                compress=args.gzip,
+                replica_specs=replica_specs,
+                on_shard=report,
+                append=args.append,
+            )
+        except (FileExistsError, FileNotFoundError) as error:
+            raise SystemExit(str(error))
         n_shards = len(result.manifests)
+        verb = (
+            f"appended round {result.round} to" if args.append else "saved"
+        )
         print(
-            f"saved shard store to {args.out} ({n_shards} shards, "
+            f"{verb} shard store at {args.out} ({n_shards} shards, "
             f"{result.n_records} records; {n_shards} replicas x "
             f"{args.workers} workers in {result.elapsed_seconds:.2f}s wall)"
         )
@@ -182,6 +198,30 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(hits: int, misses: int) -> None:
+    """Report cache effectiveness on stderr.
+
+    stderr, not stdout: a warm run and a ``--no-cache`` run must print
+    byte-identical stdout (the equality CI pins down with a diff).
+    """
+    print(f"cache: {hits} hits, {misses} misses", file=sys.stderr)
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from .store import compact_store, is_shard_store
+
+    path = _input_path(args, "store")
+    if not is_shard_store(path):
+        raise SystemExit(f"{path} is not a shard store")
+    index = compact_store(path)
+    n_shards = sum(len(v) for v in index.rounds.values())
+    print(
+        f"compacted {path}: {len(index.rounds)} rounds, {n_shards} shards "
+        f"indexed"
+    )
+    return 0
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     from .store import ShardStore
 
@@ -212,9 +252,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     source = _open_source(path)
     if args.per_class:
-        from .store import save_per_class_models, train_per_class
+        from .store import ShardStore, save_per_class_models, train_per_class
 
-        fit = train_per_class(source, config, workers=args.workers)
+        use_cache = args.cache and isinstance(source, ShardStore)
+        fit = train_per_class(
+            source, config, workers=args.workers, cache=use_cache
+        )
+        if use_cache:
+            _print_cache_stats(fit.cache_hits, fit.cache_misses)
         if not fit.models:
             raise SystemExit(
                 f"no request class reached the trainable minimum; "
@@ -268,13 +313,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
     path = _input_path(args, "traces")
     source = _open_source(path)
+    use_cache = args.cache and isinstance(source, ShardStore)
     if args.per_class:
         from .store import load_per_class_models, validate_per_class
 
         models = load_per_class_models(args.model) if args.model else None
         result = validate_per_class(
-            source, models=models, seed=args.seed, workers=args.workers
+            source,
+            models=models,
+            seed=args.seed,
+            workers=args.workers,
+            cache=use_cache,
         )
+        if use_cache:
+            _print_cache_stats(result.cache_hits, result.cache_misses)
         print(result.to_table())
         if result.n_validated == 0:
             print("validation failed: no request class could be compared")
@@ -288,7 +340,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if isinstance(source, ShardStore):
         # Streaming accumulation, one worker per shard — the merged
         # TraceSet is never built.
-        original = analyze_source(source, workers=args.workers).features
+        analysis = analyze_source(
+            source, workers=args.workers, cache=use_cache
+        )
+        if use_cache:
+            _print_cache_stats(analysis.cache_hits, analysis.cache_misses)
+        original = analysis.features
     else:
         original = WorkloadFeatureStats.from_source(source)
     if args.model:
@@ -315,14 +372,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    from .store import characterize_source
+    from .store import ShardStore, analyze_source
 
     path = _input_path(args, "traces")
     source = _open_source(path)
-    profile = characterize_source(
-        source, window=args.window, workers=args.workers
+    use_cache = args.cache and isinstance(source, ShardStore)
+    analysis = analyze_source(
+        source,
+        window=args.window,
+        workers=args.workers,
+        cache=use_cache,
+        max_quantile_values=args.max_quantile_values,
     )
-    print(profile.describe())
+    if use_cache:
+        _print_cache_stats(analysis.cache_hits, analysis.cache_misses)
+    print(analysis.profile.describe())
     return 0
 
 
@@ -332,45 +396,6 @@ def build_parser() -> argparse.ArgumentParser:
         description="Datacenter workload modeling: in-breadth, in-depth, KOOZA",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    collect = sub.add_parser("collect", help="run a workload, save traces")
-    collect.add_argument(
-        "--app", choices=("gfs", "webapp", "mapreduce"), default="gfs"
-    )
-    collect.add_argument("--requests", type=int, default=2000)
-    collect.add_argument("--seed", type=int, default=0)
-    collect.add_argument("--rate", type=float, default=25.0)
-    collect.add_argument(
-        "--replicas",
-        type=int,
-        default=1,
-        help="independent workload replicas to run and merge (default 1)",
-    )
-    collect.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes for the replica fleet; 0 = all cores "
-        "(merged traces are identical for any worker count)",
-    )
-    collect.add_argument(
-        "--sweep-rate",
-        default=None,
-        metavar="R1,R2,...",
-        help="sweep arrival rate across replicas: each listed rate gets "
-        "--replicas repetitions, recorded in shard manifests",
-    )
-    collect.add_argument(
-        "--flat",
-        action="store_true",
-        help="merge replicas in memory and save one flat dump instead of "
-        "a sharded store",
-    )
-    collect.add_argument(
-        "--gzip", action="store_true", help="gzip trace stream files"
-    )
-    collect.add_argument("--out", type=Path, required=True)
-    collect.set_defaults(func=_cmd_collect)
 
     def add_input(cmd: argparse.ArgumentParser, attr: str) -> None:
         # Uniform input: `--in PATH` auto-detects shard stores vs flat
@@ -384,6 +409,78 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="input traces: a shard store or flat dump (auto-detected)",
         )
+
+    def add_cache_flag(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--cache",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="reuse / persist per-shard analysis caches under "
+            "<store>/_cache (shard stores only; default on)",
+        )
+
+    def add_collect_args(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--app", choices=("gfs", "webapp", "mapreduce"), default="gfs"
+        )
+        cmd.add_argument("--requests", type=int, default=2000)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--rate", type=float, default=25.0)
+        cmd.add_argument(
+            "--replicas",
+            type=int,
+            default=1,
+            help="independent workload replicas to run and merge (default 1)",
+        )
+        cmd.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for the replica fleet; 0 = all cores "
+            "(merged traces are identical for any worker count)",
+        )
+        cmd.add_argument(
+            "--sweep-rate",
+            default=None,
+            metavar="R1,R2,...",
+            help="sweep arrival rate across replicas: each listed rate gets "
+            "--replicas repetitions, recorded in shard manifests",
+        )
+        cmd.add_argument(
+            "--gzip", action="store_true", help="gzip trace stream files"
+        )
+        cmd.add_argument("--out", type=Path, required=True)
+
+    collect = sub.add_parser("collect", help="run a workload, save traces")
+    add_collect_args(collect)
+    collect.add_argument(
+        "--flat",
+        action="store_true",
+        help="merge replicas in memory and save one flat dump instead of "
+        "a sharded store",
+    )
+    collect.add_argument(
+        "--append",
+        action="store_true",
+        help="add a collection round to an existing shard store instead "
+        "of requiring a fresh --out directory",
+    )
+    collect.set_defaults(func=_cmd_collect)
+
+    append = sub.add_parser(
+        "append",
+        help="add a collection round to an existing shard store "
+        "(collect --append)",
+    )
+    add_collect_args(append)
+    append.set_defaults(func=_cmd_collect, append=True, flat=False)
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold a store's per-round manifests into one index.json",
+    )
+    add_input(compact, "store")
+    compact.set_defaults(func=_cmd_compact)
 
     merge = sub.add_parser(
         "merge", help="stitch a sharded trace store into one flat dump"
@@ -419,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for --per-class fits; 0 = all cores",
     )
+    add_cache_flag(train)
     train.set_defaults(func=_cmd_train)
 
     describe = sub.add_parser(
@@ -460,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for streaming analysis over a shard "
         "store; 0 = all cores",
     )
+    add_cache_flag(validate)
     validate.set_defaults(func=_cmd_validate)
 
     characterize = sub.add_parser(
@@ -474,6 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for streaming analysis over a shard "
         "store; 0 = all cores",
     )
+    characterize.add_argument(
+        "--max-quantile-values",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound every exact-quantile buffer at N values; beyond the "
+        "bound quantiles degrade to reservoir estimates (default: exact)",
+    )
+    add_cache_flag(characterize)
     characterize.set_defaults(func=_cmd_characterize)
 
     return parser

@@ -26,17 +26,19 @@ which is what makes window bins identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
 from ..stats import (
+    STREAMING_STATE_VERSION,
     CategoricalCounter,
     ExactQuantiles,
     SeekStats,
     WindowedCounter,
     classify_utilization_pattern,
 )
+from ..stats.streaming import check_state
 from ..tracing import READ, TraceSource, as_trace_set
 
 __all__ = [
@@ -281,6 +283,11 @@ class WorkloadProfileBuilder:
 
     window: float = 0.25
     cores: int = 8
+    #: Optional bound on every exact-quantile buffer (storage sizes and
+    #: times, network times, request latencies): past this many values
+    #: each degrades to a ReservoirQuantile — see
+    #: :class:`repro.stats.ExactQuantiles`.
+    max_quantile_values: Optional[int] = None
     # storage
     storage_n: int = 0
     storage_reads: int = 0
@@ -310,11 +317,20 @@ class WorkloadProfileBuilder:
     # timeline
     max_extent: float = 0.0
 
+    #: ExactQuantiles fields, in state() order; the max_quantile_values
+    #: bound applies to each.
+    _QUANTILE_FIELDS = ("storage_sizes", "storage_times", "network_times", "latencies")
+
     def __post_init__(self) -> None:
         if self.cpu_busy is None:
             self.cpu_busy = WindowedCounter(self.window)
         if self.network_counts is None:
             self.network_counts = WindowedCounter(self.window)
+        if self.max_quantile_values is not None:
+            for name in self._QUANTILE_FIELDS:
+                acc = getattr(self, name)
+                if acc.max_values is None:
+                    acc.max_values = self.max_quantile_values
 
     # -- folding -------------------------------------------------------------
 
@@ -373,7 +389,11 @@ class WorkloadProfileBuilder:
 
     def merge(self, other: "WorkloadProfileBuilder") -> "WorkloadProfileBuilder":
         """Fold in a builder covering the records that follow this one's."""
-        if self.window != other.window or self.cores != other.cores:
+        if (
+            self.window != other.window
+            or self.cores != other.cores
+            or self.max_quantile_values != other.max_quantile_values
+        ):
             raise ValueError("cannot merge builders with different settings")
         self.storage_n += other.storage_n
         self.storage_reads += other.storage_reads
@@ -394,6 +414,72 @@ class WorkloadProfileBuilder:
         self.class_counts.merge(other.class_counts)
         self.max_extent = max(self.max_extent, other.max_extent)
         return self
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Versioned JSON-able snapshot (see ``repro.stats.streaming``).
+
+        ``from_state(b.state())`` is behaviorally identical to ``b``:
+        same future adds, merges and :meth:`profile` output.  This is
+        what the per-shard analysis cache persists.
+        """
+        return {
+            "kind": "profile-builder",
+            "version": STREAMING_STATE_VERSION,
+            "window": self.window,
+            "cores": self.cores,
+            "max_quantile_values": self.max_quantile_values,
+            "storage_n": self.storage_n,
+            "storage_reads": self.storage_reads,
+            "storage_sizes": self.storage_sizes.state(),
+            "storage_seeks": self.storage_seeks.state(),
+            "storage_queue_sum": self.storage_queue_sum,
+            "storage_times": self.storage_times.state(),
+            "cpu_busy": self.cpu_busy.state(),
+            "cpu_n": self.cpu_n,
+            "network_n": self.network_n,
+            "network_size_sum": self.network_size_sum,
+            "network_times": self.network_times.state(),
+            "network_counts": self.network_counts.state(),
+            "memory_n": self.memory_n,
+            "memory_reads": self.memory_reads,
+            "memory_size_sum": self.memory_size_sum,
+            "latencies": self.latencies.state(),
+            "class_counts": self.class_counts.state(),
+            "max_extent": self.max_extent,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "WorkloadProfileBuilder":
+        check_state(state, "profile-builder")
+        max_quantile_values = state.get("max_quantile_values")
+        builder = cls(
+            window=float(state["window"]),
+            cores=int(state["cores"]),
+            max_quantile_values=(
+                None if max_quantile_values is None else int(max_quantile_values)
+            ),
+            storage_n=int(state["storage_n"]),
+            storage_reads=int(state["storage_reads"]),
+            storage_sizes=ExactQuantiles.from_state(state["storage_sizes"]),
+            storage_seeks=SeekStats.from_state(state["storage_seeks"]),
+            storage_queue_sum=int(state["storage_queue_sum"]),
+            storage_times=ExactQuantiles.from_state(state["storage_times"]),
+            cpu_busy=WindowedCounter.from_state(state["cpu_busy"]),
+            cpu_n=int(state["cpu_n"]),
+            network_n=int(state["network_n"]),
+            network_size_sum=int(state["network_size_sum"]),
+            network_times=ExactQuantiles.from_state(state["network_times"]),
+            network_counts=WindowedCounter.from_state(state["network_counts"]),
+            memory_n=int(state["memory_n"]),
+            memory_reads=int(state["memory_reads"]),
+            memory_size_sum=int(state["memory_size_sum"]),
+            latencies=ExactQuantiles.from_state(state["latencies"]),
+            class_counts=CategoricalCounter.from_state(state["class_counts"]),
+            max_extent=float(state["max_extent"]),
+        )
+        return builder
 
     # -- finishing -----------------------------------------------------------
 

@@ -12,9 +12,12 @@ percentage of the original mean.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
+
 import numpy as np
 
 from ..stats import (
+    STREAMING_STATE_VERSION,
     CategoricalCounter,
     CoMomentsAccumulator,
     ExactQuantiles,
@@ -22,6 +25,7 @@ from ..stats import (
     cross_correlation,
     ks_two_sample,
 )
+from ..stats.streaming import check_state
 from ..tracing import TraceSource
 from .features import RequestFeatures, extract_request_features
 
@@ -221,6 +225,32 @@ class ProfileFeatureStats:
         self.storage_ops.merge(other.storage_ops)
         return self
 
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "profile-feature-stats",
+            "version": STREAMING_STATE_VERSION,
+            "network_bytes": self.network_bytes.state(),
+            "cpu_utilization": self.cpu_utilization.state(),
+            "memory_bytes": self.memory_bytes.state(),
+            "storage_bytes": self.storage_bytes.state(),
+            "latency": self.latency.state(),
+            "memory_ops": self.memory_ops.state(),
+            "storage_ops": self.storage_ops.state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ProfileFeatureStats":
+        check_state(state, "profile-feature-stats")
+        return cls(
+            network_bytes=MomentsAccumulator.from_state(state["network_bytes"]),
+            cpu_utilization=MomentsAccumulator.from_state(state["cpu_utilization"]),
+            memory_bytes=MomentsAccumulator.from_state(state["memory_bytes"]),
+            storage_bytes=MomentsAccumulator.from_state(state["storage_bytes"]),
+            latency=ExactQuantiles.from_state(state["latency"]),
+            memory_ops=CategoricalCounter.from_state(state["memory_ops"]),
+            storage_ops=CategoricalCounter.from_state(state["storage_ops"]),
+        )
+
 
 @dataclass
 class WorkloadFeatureStats:
@@ -269,6 +299,35 @@ class WorkloadFeatureStats:
         self.joint.merge(other.joint)
         self.n += other.n
         return self
+
+    def state(self) -> dict[str, Any]:
+        # Profile keys are (storage_op, bucket) tuples; JSON has no
+        # tuple, so each entry is a [[op, bucket], state] pair.
+        return {
+            "kind": "workload-feature-stats",
+            "version": STREAMING_STATE_VERSION,
+            "profiles": [
+                [[key[0], key[1]], stats.state()]
+                for key, stats in sorted(self.profiles.items())
+            ],
+            "latencies": self.latencies.state(),
+            "joint": self.joint.state(),
+            "n": self.n,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "WorkloadFeatureStats":
+        check_state(state, "workload-feature-stats")
+        stats = cls(
+            latencies=ExactQuantiles.from_state(state["latencies"]),
+            joint=CoMomentsAccumulator.from_state(state["joint"]),
+            n=int(state["n"]),
+        )
+        for (op, bucket), profile_state in state["profiles"]:
+            stats.profiles[(str(op), int(bucket))] = ProfileFeatureStats.from_state(
+                profile_state
+            )
+        return stats
 
 
 def compare_feature_stats(

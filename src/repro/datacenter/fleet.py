@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..simulation import RandomStreams, run_sharded
-from ..store.manifest import ShardManifest
+from ..store.manifest import ShardManifest, write_round_file
 from ..store.stitch import (
     accumulate_offsets,
     max_request_id,
@@ -350,6 +350,7 @@ class ShardTask:
     replica: ReplicaSpec
     directory: str
     compress: bool = False
+    round: int = 0
 
 
 def write_replica_shard(task: ShardTask) -> ShardManifest:
@@ -368,6 +369,7 @@ def write_replica_shard(task: ShardTask) -> ShardManifest:
         seed=spec.seed,
         params=replica_params(spec),
         compress=task.compress,
+        round=task.round,
     )
     streams = replica_streams(spec.seed, spec.index)
     tracer = Tracer(
@@ -404,6 +406,8 @@ class StoreFleetResult:
     manifests: list[ShardManifest]
     workers: int
     elapsed_seconds: float
+    #: Collection round these manifests belong to (0 = initial collect).
+    round: int = 0
 
     @property
     def n_records(self) -> int:
@@ -432,6 +436,7 @@ def collect_fleet_to_store(
     compress: bool = False,
     replica_specs: Optional[Sequence[ReplicaSpec]] = None,
     on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
+    append: bool = False,
     **spec_kwargs,
 ) -> StoreFleetResult:
     """Run a fleet (or explicit sweep list) streaming shards to ``directory``.
@@ -443,6 +448,15 @@ def collect_fleet_to_store(
     trace timeline with :class:`repro.store.ShardStore` (or
     ``repro merge``); the result is byte-identical to
     ``merge_replicas(collect_replicas(...))`` for any worker count.
+
+    ``append=True`` adds a new collection **round** to an existing
+    store: replica indices continue past the largest shard index
+    already on disk, so — replica streams being pure functions of
+    ``(seed, index)`` — collecting N replicas and appending M more with
+    the same seed produces byte-identical stream files to collecting
+    N+M in one go.  Each round records which shards it produced in a
+    ``round-<n>.json`` file at the store root (folded into one
+    ``index.json`` by :func:`repro.store.compact_store`).
     """
     if replica_specs is None:
         if spec is None:
@@ -456,8 +470,32 @@ def collect_fleet_to_store(
         raise TypeError("pass either replica_specs or a spec, not both")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    existing = sorted(directory.glob("shard-*/manifest.json"))
+    round_index = 0
+    if append:
+        if not existing:
+            raise FileNotFoundError(
+                f"append=True but {directory} holds no shard store "
+                "(collect without append first)"
+            )
+        manifests_on_disk = [ShardManifest.load(p) for p in existing]
+        start_index = max(m.index for m in manifests_on_disk) + 1
+        round_index = max(m.round for m in manifests_on_disk) + 1
+        replica_specs = [
+            replace(r, index=r.index + start_index) for r in replica_specs
+        ]
+    elif existing:
+        raise FileExistsError(
+            f"{directory} already holds a shard store; pass append=True "
+            "to add a collection round (or choose a fresh directory)"
+        )
     tasks = [
-        ShardTask(replica=r, directory=str(directory), compress=compress)
+        ShardTask(
+            replica=r,
+            directory=str(directory),
+            compress=compress,
+            round=round_index,
+        )
         for r in replica_specs
     ]
     start = time.perf_counter()
@@ -465,9 +503,11 @@ def collect_fleet_to_store(
         write_replica_shard, tasks, workers, on_result=on_shard
     )
     elapsed = time.perf_counter() - start
+    write_round_file(directory, round_index, [m.index for m in manifests])
     return StoreFleetResult(
         directory=directory,
         manifests=manifests,
         workers=workers,
         elapsed_seconds=elapsed,
+        round=round_index,
     )

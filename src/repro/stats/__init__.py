@@ -27,6 +27,7 @@ from .regression import LinearRegression
 from .sampling import reservoir_sample, systematic_sample
 from .selfsim import arrivals_to_counts, hurst_aggregated_variance, hurst_rs
 from .streaming import (
+    STREAMING_STATE_VERSION,
     CategoricalCounter,
     CoMomentsAccumulator,
     ExactQuantiles,
@@ -53,6 +54,7 @@ __all__ = [
     "PCA",
     "ReservoirQuantile",
     "SampleSummary",
+    "STREAMING_STATE_VERSION",
     "SeekStats",
     "VUList",
     "WindowedCounter",

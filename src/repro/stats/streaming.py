@@ -31,18 +31,27 @@ repository-wide contract (``docs/streaming_analysis.md``) is relative
 agreement within 1e-9.
 
 All accumulators are plain-attribute objects, so they pickle across
-process pools as-is.
+process pools as-is.  Each one additionally carries a versioned
+``state()`` / ``from_state()`` pair producing a JSON-able snapshot:
+``from_state(a.state())`` is behaviorally identical to ``a`` (same
+future adds, merges and results), which is what lets the incremental
+re-analysis cache persist per-shard accumulator state beside a trace
+store and fold it back in later sessions.  Snapshots embed
+:data:`STREAMING_STATE_VERSION`; a snapshot newer than the running code
+raises ``ValueError`` so stale caches are skipped, not misread.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from bisect import bisect_right
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
+    "STREAMING_STATE_VERSION",
     "CategoricalCounter",
     "CoMomentsAccumulator",
     "ExactQuantiles",
@@ -54,6 +63,28 @@ __all__ = [
     "SeekStats",
     "WindowedCounter",
 ]
+
+#: Schema version embedded in every accumulator snapshot.  Bump when a
+#: ``state()`` layout changes incompatibly; readers reject newer
+#: versions, and the analysis cache keys on it so old cache files are
+#: invalidated rather than misinterpreted.
+STREAMING_STATE_VERSION = 1
+
+
+def check_state(state: Mapping[str, Any], kind: str) -> Mapping[str, Any]:
+    """Validate a snapshot's kind and version before restoring from it."""
+    if not isinstance(state, Mapping):
+        raise ValueError(f"accumulator state must be a mapping, got {type(state)}")
+    got = state.get("kind")
+    if got != kind:
+        raise ValueError(f"expected {kind!r} state, got {got!r}")
+    version = state.get("version")
+    if not isinstance(version, int) or version > STREAMING_STATE_VERSION:
+        raise ValueError(
+            f"unsupported {kind} state version {version!r} "
+            f"(this build reads <= {STREAMING_STATE_VERSION})"
+        )
+    return state
 
 
 class MomentsAccumulator:
@@ -105,6 +136,28 @@ class MomentsAccumulator:
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
         return self
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "moments",
+            "version": STREAMING_STATE_VERSION,
+            "n": self.n,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "MomentsAccumulator":
+        check_state(state, "moments")
+        acc = cls()
+        acc.n = int(state["n"])
+        acc.mean = float(state["mean"])
+        acc.m2 = float(state["m2"])
+        acc.min = float(state["min"])
+        acc.max = float(state["max"])
+        return acc
 
     @property
     def sum(self) -> float:
@@ -169,6 +222,24 @@ class CoMomentsAccumulator:
         self.n = n
         return self
 
+    def state(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": "co-moments",
+            "version": STREAMING_STATE_VERSION,
+        }
+        for name in self.__slots__:
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "CoMomentsAccumulator":
+        check_state(state, "co-moments")
+        acc = cls()
+        acc.n = int(state["n"])
+        for name in ("mean_x", "mean_y", "m2x", "m2y", "cxy"):
+            setattr(acc, name, float(state[name]))
+        return acc
+
     @property
     def correlation(self) -> float:
         if self.n < 2 or self.m2x <= 0.0 or self.m2y <= 0.0:
@@ -215,6 +286,27 @@ class FixedHistogram:
         self.overflow += other.overflow
         return self
 
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "fixed-histogram",
+            "version": STREAMING_STATE_VERSION,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "FixedHistogram":
+        check_state(state, "fixed-histogram")
+        hist = cls(state["edges"])
+        hist.counts = [int(c) for c in state["counts"]]
+        if len(hist.counts) != len(hist.edges) - 1:
+            raise ValueError("histogram state counts do not match edges")
+        hist.underflow = int(state["underflow"])
+        hist.overflow = int(state["overflow"])
+        return hist
+
     @property
     def total(self) -> int:
         return sum(self.counts) + self.underflow + self.overflow
@@ -248,39 +340,143 @@ class ExactQuantiles:
     batch numbers.  Merge is list concatenation — exact for any merge
     order since quantiles are order-free.  Swap in :class:`P2Quantile`
     or :class:`ReservoirQuantile` when O(n) floats is too much.
+
+    ``max_values`` bounds the buffer for long incremental runs: once
+    more than ``max_values`` values have been seen, the accumulator
+    transparently degrades to a :class:`ReservoirQuantile` of that
+    capacity (warning once per accumulator).  After degradation
+    quantiles and :meth:`array` are approximate (uniform sample of the
+    stream) while ``n`` and ``mean`` stay exact — the mean is tracked
+    through a :class:`MomentsAccumulator` from the degradation point
+    on.  The default ``max_values=None`` keeps the historical unbounded
+    exact behavior.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_values: Optional[int] = None) -> None:
+        if max_values is not None and max_values < 1:
+            raise ValueError(f"max_values must be >= 1, got {max_values}")
+        self.max_values = max_values
         self.values: list[float] = []
+        self._reservoir: Optional["ReservoirQuantile"] = None
+        self._moments: Optional[MomentsAccumulator] = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the exact buffer has been replaced by a reservoir."""
+        return self._reservoir is not None
+
+    def _degrade(self) -> None:
+        warnings.warn(
+            f"ExactQuantiles exceeded max_values={self.max_values}; "
+            "degrading to a bounded ReservoirQuantile — quantiles become "
+            "approximate (means and counts stay exact)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        reservoir = ReservoirQuantile(capacity=self.max_values, seed=0)
+        moments = MomentsAccumulator()
+        for value in self.values:
+            reservoir.add(value)
+            moments.add(value)
+        self._reservoir = reservoir
+        self._moments = moments
+        self.values = []
 
     def add(self, value: float) -> None:
+        if self._reservoir is not None:
+            value = float(value)
+            self._reservoir.add(value)
+            self._moments.add(value)
+            return
         self.values.append(float(value))
+        if self.max_values is not None and len(self.values) > self.max_values:
+            self._degrade()
 
     def add_many(self, values: Iterable[float]) -> None:
-        self.values.extend(float(v) for v in values)
+        if self.max_values is None and self._reservoir is None:
+            self.values.extend(float(v) for v in values)
+            return
+        for value in values:
+            self.add(value)
 
     def merge(self, other: "ExactQuantiles") -> "ExactQuantiles":
+        if other._reservoir is not None:
+            # Exactness is already lost on the other side; degrade this
+            # side (if it has a bound) and combine the reservoirs.
+            if self._reservoir is None:
+                if self.max_values is None:
+                    self.max_values = other.max_values
+                self._degrade()
+            self._reservoir.merge(other._reservoir)
+            self._moments.merge(other._moments)
+            return self
+        if self._reservoir is not None:
+            for value in other.values:
+                self._reservoir.add(value)
+                self._moments.add(value)
+            return self
         self.values.extend(other.values)
+        if self.max_values is not None and len(self.values) > self.max_values:
+            self._degrade()
         return self
 
     @property
     def n(self) -> int:
+        if self._moments is not None:
+            return self._moments.n
         return len(self.values)
 
     @property
     def mean(self) -> float:
-        """``np.mean`` over the kept buffer — bit-identical to batch."""
+        """``np.mean`` over the kept buffer — bit-identical to batch.
+
+        After degradation: the exact streaming mean of every value seen
+        (Welford, within the 1e-9 relative contract of batch numpy).
+        """
+        if self._moments is not None:
+            if self._moments.n == 0:
+                raise ValueError("no values accumulated")
+            return self._moments.mean
         if not self.values:
             raise ValueError("no values accumulated")
         return float(np.mean(self.values))
 
     def array(self) -> np.ndarray:
+        if self._reservoir is not None:
+            return np.asarray(self._reservoir.values, dtype=float)
         return np.asarray(self.values, dtype=float)
 
     def quantile(self, q: float) -> float:
+        if self._reservoir is not None:
+            return self._reservoir.quantile(q)
         if not self.values:
             raise ValueError("no values accumulated")
         return float(np.percentile(self.values, q * 100.0))
+
+    def state(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": "exact-quantiles",
+            "version": STREAMING_STATE_VERSION,
+            "max_values": self.max_values,
+        }
+        if self._reservoir is not None:
+            data["reservoir"] = self._reservoir.state()
+            data["moments"] = self._moments.state()
+        else:
+            data["values"] = list(self.values)
+        return data
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ExactQuantiles":
+        check_state(state, "exact-quantiles")
+        max_values = state.get("max_values")
+        acc = cls(max_values=None if max_values is None else int(max_values))
+        if "reservoir" in state:
+            acc._reservoir = ReservoirQuantile.from_state(state["reservoir"])
+            acc._moments = MomentsAccumulator.from_state(state["moments"])
+        else:
+            acc.values = [float(v) for v in state["values"]]
+        return acc
 
 
 class P2Quantile:
@@ -379,6 +575,29 @@ class P2Quantile:
             return float(np.percentile(self._initial, self.p * 100.0))
         return self._heights[2]
 
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "p2-quantile",
+            "version": STREAMING_STATE_VERSION,
+            "p": self.p,
+            "n": self.n,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "P2Quantile":
+        check_state(state, "p2-quantile")
+        acc = cls(float(state["p"]))
+        acc.n = int(state["n"])
+        acc._initial = [float(v) for v in state["initial"]]
+        acc._heights = [float(v) for v in state["heights"]]
+        acc._positions = [float(v) for v in state["positions"]]
+        acc._desired = [float(v) for v in state["desired"]]
+        return acc
+
 
 class ReservoirQuantile:
     """Bounded-memory quantiles from a deterministic uniform reservoir.
@@ -438,6 +657,29 @@ class ReservoirQuantile:
             raise ValueError("no values accumulated")
         return float(np.percentile(self.values, q * 100.0))
 
+    def state(self) -> dict[str, Any]:
+        # The bit-generator state is a JSON-able dict of Python ints, so
+        # a restored reservoir continues the exact same random sequence
+        # — snapshot/restore is invisible to future adds and merges.
+        return {
+            "kind": "reservoir-quantile",
+            "version": STREAMING_STATE_VERSION,
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "n_seen": self.n_seen,
+            "values": list(self.values),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ReservoirQuantile":
+        check_state(state, "reservoir-quantile")
+        acc = cls(capacity=int(state["capacity"]), seed=int(state["seed"]))
+        acc.n_seen = int(state["n_seen"])
+        acc.values = [float(v) for v in state["values"]]
+        acc._rng.bit_generator.state = state["rng"]
+        return acc
+
 
 class CategoricalCounter:
     """Streaming category counts with batch-compatible modal selection."""
@@ -468,6 +710,20 @@ class CategoricalCounter:
     def fraction(self, key: str) -> float:
         total = self.total
         return self.counts.get(key, 0) / total if total else 0.0
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "categorical-counter",
+            "version": STREAMING_STATE_VERSION,
+            "counts": dict(self.counts),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "CategoricalCounter":
+        check_state(state, "categorical-counter")
+        acc = cls()
+        acc.counts = {str(k): int(v) for k, v in state["counts"].items()}
+        return acc
 
 
 class WindowedCounter:
@@ -547,6 +803,32 @@ class WindowedCounter:
             series[min(index, n_windows - 1)] += weight
         return series
 
+    def state(self) -> dict[str, Any]:
+        # JSON object keys must be strings; window indices round-trip
+        # through str(int).
+        return {
+            "kind": "windowed-counter",
+            "version": STREAMING_STATE_VERSION,
+            "window": self.window,
+            "origin": self.origin,
+            "bins": {str(k): v for k, v in self.bins.items()},
+            "n": self.n,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "end": self.end,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "WindowedCounter":
+        check_state(state, "windowed-counter")
+        acc = cls(window=float(state["window"]), origin=float(state["origin"]))
+        acc.bins = {int(k): float(v) for k, v in state["bins"].items()}
+        acc.n = int(state["n"])
+        for name in ("t_min", "t_max", "end"):
+            value = state[name]
+            setattr(acc, name, None if value is None else float(value))
+        return acc
+
 
 class InterarrivalStats:
     """Gap statistics over an ordered timestamp stream, seam-mergeable.
@@ -615,6 +897,26 @@ class InterarrivalStats:
             raise ValueError("mean interarrival must be positive")
         return gaps.std(ddof=1) / gaps.mean
 
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "interarrival-stats",
+            "version": STREAMING_STATE_VERSION,
+            "first": self.first,
+            "last": self.last,
+            "all_gaps": self.all_gaps.state(),
+            "positive_gaps": self.positive_gaps.state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "InterarrivalStats":
+        check_state(state, "interarrival-stats")
+        acc = cls()
+        acc.first = None if state["first"] is None else float(state["first"])
+        acc.last = None if state["last"] is None else float(state["last"])
+        acc.all_gaps = MomentsAccumulator.from_state(state["all_gaps"])
+        acc.positive_gaps = MomentsAccumulator.from_state(state["positive_gaps"])
+        return acc
+
 
 class SeekStats:
     """Storage seek-distance statistics over an ordered I/O stream.
@@ -679,3 +981,26 @@ class SeekStats:
     @property
     def mean_abs_seek(self) -> float:
         return self.sum_abs / self.n_gaps if self.n_gaps else 0.0
+
+    _STATE_FIELDS = (
+        "n", "first_lbn", "first_end", "last_end",
+        "n_gaps", "n_sequential", "sum_abs",
+    )
+
+    def state(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": "seek-stats",
+            "version": STREAMING_STATE_VERSION,
+        }
+        for name in self._STATE_FIELDS:
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SeekStats":
+        check_state(state, "seek-stats")
+        acc = cls()
+        for name in cls._STATE_FIELDS:
+            value = state[name]
+            setattr(acc, name, None if value is None else int(value))
+        return acc

@@ -14,8 +14,30 @@ in :mod:`repro.datacenter`, which imports this package) is deferred to
 call time inside :mod:`repro.store.training`.
 """
 
-from .manifest import MANIFEST_FILENAME, SHARD_FORMAT, SHARD_VERSION, ShardManifest
-from .shards import ShardStore, is_shard_store
+from .cache import (
+    CACHE_DIRNAME,
+    analysis_key,
+    combine_hashes,
+    hash_file,
+    load_analysis_cache,
+    save_analysis_cache,
+    shard_content_hash,
+    shard_stream_hashes,
+)
+from .manifest import (
+    MANIFEST_FILENAME,
+    SHARD_FORMAT,
+    SHARD_VERSION,
+    STORE_INDEX_FILENAME,
+    ShardManifest,
+    StoreIndex,
+    compact_store,
+    load_store_index,
+    load_store_rounds,
+    round_filename,
+    write_round_file,
+)
+from .shards import ShardStore, is_shard_store, shifter_for
 from .stitch import (
     StitchOffsets,
     accumulate_offsets,
@@ -47,6 +69,7 @@ from .analyze import (
 )
 
 __all__ = [
+    "CACHE_DIRNAME",
     "ClassFitTask",
     "ClassReport",
     "PerClassValidation",
@@ -62,19 +85,34 @@ __all__ = [
     "PerClassFit",
     "SHARD_FORMAT",
     "SHARD_VERSION",
+    "STORE_INDEX_FILENAME",
     "ShardManifest",
     "ShardStore",
     "ShardWriter",
     "StitchOffsets",
+    "StoreIndex",
     "accumulate_offsets",
+    "analysis_key",
+    "combine_hashes",
+    "compact_store",
     "fit_request_class",
+    "hash_file",
     "is_shard_store",
+    "load_analysis_cache",
     "load_per_class_models",
+    "load_store_index",
+    "load_store_rounds",
     "max_request_id",
     "max_span_id",
     "offsets_for",
+    "round_filename",
+    "save_analysis_cache",
     "save_per_class_models",
+    "shard_content_hash",
     "shard_dirname",
+    "shard_stream_hashes",
+    "shifter_for",
     "trace_extent",
     "train_per_class",
+    "write_round_file",
 ]

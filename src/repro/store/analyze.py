@@ -41,7 +41,13 @@ import numpy as np
 from ..simulation import run_sharded
 from ..tracing import TraceSet, TraceSource
 from ..tracing.store import STREAM_TYPES
-from .shards import ShardStore, _shift
+from .cache import (
+    analysis_key,
+    load_analysis_cache,
+    save_analysis_cache,
+    shard_content_hash,
+)
+from .shards import ShardStore, _shift, shifter_for  # noqa: F401  (_shift: API)
 from .stitch import StitchOffsets
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -95,6 +101,7 @@ class ShardAnalysisTask:
     offsets: StitchOffsets
     window: float = 0.25
     cores: int = 8
+    max_quantile_values: Optional[int] = None
 
 
 def analyze_shard(task: ShardAnalysisTask):
@@ -115,14 +122,22 @@ def analyze_shard(task: ShardAnalysisTask):
     manifest = next(
         m for m in store.manifests if m.index == task.shard_index
     )
-    builder = WorkloadProfileBuilder(window=task.window, cores=task.cores)
+    builder = WorkloadProfileBuilder(
+        window=task.window,
+        cores=task.cores,
+        max_quantile_values=task.max_quantile_values,
+    )
     shard_traces = TraceSet()
     for stream in STREAM_TYPES:
         records = getattr(shard_traces, stream)
-        for record in store.iter_shard_stream(manifest, stream):
-            shifted = _shift(stream, record, task.offsets)
-            builder.add(stream, shifted)
-            records.append(shifted)
+        shift = shifter_for(stream, task.offsets)
+        add = builder.add
+        append = records.append
+        for batch in store.iter_shard_stream_batches(manifest, stream):
+            for record in batch:
+                shifted = shift(record)
+                add(stream, shifted)
+                append(shifted)
     features = extract_request_features(shard_traces)
     overall = WorkloadFeatureStats.from_features(features)
     per_class: dict[str, WorkloadFeatureStats] = {}
@@ -142,6 +157,10 @@ class SourceAnalysis:
     per_class: dict[str, "WorkloadFeatureStats"]
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Shards restored from the persistent cache / re-folded by workers.
+    #: Both stay 0 when caching is off or the source is not a store.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def analyze_source(
@@ -149,6 +168,8 @@ def analyze_source(
     window: float = 0.25,
     cores: int = 8,
     workers: int = 1,
+    cache: bool = False,
+    max_quantile_values: Optional[int] = None,
 ) -> SourceAnalysis:
     """One streaming pass: profile + validation statistics for a source.
 
@@ -157,6 +178,19 @@ def analyze_source(
     shard-index order — numerically equal to the single-pass fold for
     any worker count.  Any other :class:`~repro.tracing.TraceSource`
     is folded inline.
+
+    With ``cache=True`` (stores only) each shard's folded accumulator
+    state is persisted under ``<store>/_cache/<shard>/`` keyed by the
+    shard's content hash, its stitch offsets, the accumulator schema
+    version and the analysis parameters; matching entries are restored
+    instead of re-reading the shard, so re-analysis after an append
+    spawns workers only for the new round.  Cached and fresh results
+    are merged in shard-index order, and JSON snapshots round-trip
+    floats exactly, so the warm result equals the cold one.
+
+    ``max_quantile_values`` bounds every exact-quantile buffer (see
+    :class:`~repro.stats.ExactQuantiles`); it participates in the cache
+    key.
     """
     from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
 
@@ -165,18 +199,72 @@ def analyze_source(
 
         source = load_traces(source)
     start = time.perf_counter()
+    cache_hits = cache_misses = 0
     if isinstance(source, ShardStore):
+        key = analysis_key(
+            "profile",
+            {
+                "window": window,
+                "cores": cores,
+                "max_quantile_values": max_quantile_values,
+            },
+        )
+        cached: dict[int, tuple] = {}
+        pending: list[tuple] = []  # (manifest, offsets, content_hash)
+        for manifest, offsets in zip(source.manifests, source.offsets()):
+            if not cache:
+                pending.append((manifest, offsets, None))
+                continue
+            shard_dir = source.shard_dir(manifest)
+            content_hash = shard_content_hash(shard_dir)
+            entry = load_analysis_cache(
+                source.directory, shard_dir.name, key, content_hash, offsets
+            )
+            if entry is not None:
+                cached[manifest.index] = entry
+                cache_hits += 1
+            else:
+                pending.append((manifest, offsets, content_hash))
+                cache_misses += 1
         tasks = [
             ShardAnalysisTask(
-                str(source.directory), m.index, offsets, window, cores
+                str(source.directory),
+                manifest.index,
+                offsets,
+                window,
+                cores,
+                max_quantile_values,
             )
-            for m, offsets in zip(source.manifests, source.offsets())
+            for manifest, offsets, _ in pending
         ]
         results = run_sharded(analyze_shard, tasks, workers)
-        builder = WorkloadProfileBuilder(window=window, cores=cores)
+        fresh: dict[int, tuple] = {}
+        for (manifest, offsets, content_hash), result in zip(pending, results):
+            fresh[manifest.index] = result
+            if cache:
+                shard_builder, shard_features, shard_classes = result
+                save_analysis_cache(
+                    source.directory,
+                    source.shard_dir(manifest).name,
+                    key,
+                    content_hash,
+                    offsets,
+                    shard_builder,
+                    shard_features,
+                    shard_classes,
+                    compress=manifest.compress,
+                )
+        builder = WorkloadProfileBuilder(
+            window=window, cores=cores, max_quantile_values=max_quantile_values
+        )
         features = WorkloadFeatureStats()
         per_class: dict[str, WorkloadFeatureStats] = {}
-        for shard_builder, shard_features, shard_classes in results:
+        for manifest in source.manifests:
+            shard_builder, shard_features, shard_classes = (
+                cached[manifest.index]
+                if manifest.index in cached
+                else fresh[manifest.index]
+            )
             builder.merge(shard_builder)
             features.merge(shard_features)
             for cls, stats in shard_classes.items():
@@ -187,7 +275,9 @@ def analyze_source(
     else:
         from ..core import extract_request_features
 
-        builder = WorkloadProfileBuilder(window=window, cores=cores)
+        builder = WorkloadProfileBuilder(
+            window=window, cores=cores, max_quantile_values=max_quantile_values
+        )
         builder.add_source(source)
         feats = extract_request_features(source)
         features = WorkloadFeatureStats.from_features(feats)
@@ -203,6 +293,8 @@ def analyze_source(
         per_class=dict(sorted(per_class.items())),
         workers=workers,
         elapsed_seconds=elapsed,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 
@@ -211,14 +303,24 @@ def characterize_source(
     window: float = 0.25,
     cores: int = 8,
     workers: int = 1,
+    cache: bool = False,
+    max_quantile_values: Optional[int] = None,
 ) -> "WorkloadProfile":
     """Streaming characterization of any trace source.
 
     Equal to ``WorkloadProfile.from_traces`` on the materialized merge
     (see ``docs/streaming_analysis.md`` for the tolerance contract)
-    without ever building it.
+    without ever building it.  ``cache=True`` enables the persistent
+    per-shard cache for store sources (see :func:`analyze_source`).
     """
-    return analyze_source(source, window=window, cores=cores, workers=workers).profile
+    return analyze_source(
+        source,
+        window=window,
+        cores=cores,
+        workers=workers,
+        cache=cache,
+        max_quantile_values=max_quantile_values,
+    ).profile
 
 
 @dataclass
@@ -242,6 +344,10 @@ class PerClassValidation:
     mix: Optional["ValidationReport"] = None
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Analysis-cache outcome of the underlying streaming pass (both 0
+    #: when caching was off or a precomputed analysis was supplied).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def n_validated(self) -> int:
@@ -300,6 +406,8 @@ def validate_per_class(
     cores: int = 8,
     workers: int = 1,
     analysis: Optional[SourceAnalysis] = None,
+    cache: bool = False,
+    max_quantile_values: Optional[int] = None,
 ) -> PerClassValidation:
     """Replay each class's model and grade it against the streamed original.
 
@@ -313,7 +421,10 @@ def validate_per_class(
     not raised.
 
     Pass a precomputed ``analysis`` to reuse one streaming pass for
-    characterization and validation.
+    characterization and validation.  ``cache=True`` enables both the
+    per-shard analysis cache and the per-class model cache for store
+    sources (see :func:`analyze_source` and
+    :func:`repro.store.training.train_per_class`).
     """
     from ..core import ReplayHarness, WorkloadFeatureStats, compare_feature_stats
 
@@ -324,16 +435,29 @@ def validate_per_class(
         source = load_traces(source)
     if analysis is None:
         analysis = analyze_source(
-            source, window=window, cores=cores, workers=workers
+            source,
+            window=window,
+            cores=cores,
+            workers=workers,
+            cache=cache,
+            max_quantile_values=max_quantile_values,
         )
     if models is None:
         from .training import train_per_class
 
         fit = train_per_class(
-            source, config, workers=workers, min_requests=min_requests
+            source,
+            config,
+            workers=workers,
+            min_requests=min_requests,
+            cache=cache,
         )
         models = fit.models
-    result = PerClassValidation(workers=workers)
+    result = PerClassValidation(
+        workers=workers,
+        cache_hits=analysis.cache_hits,
+        cache_misses=analysis.cache_misses,
+    )
     synthetic_mix = WorkloadFeatureStats()
     for cls in sorted(analysis.per_class):
         original = analysis.per_class[cls]

@@ -7,6 +7,19 @@ consumes (``extent``, ``max_request_id``, ``max_span_id``) plus the
 replica's provenance (seed, index, spec parameters) so downstream
 analysis can group shards by sweep parameters without opening a single
 stream file.
+
+Version 2 adds two fields for multi-round stores:
+
+* ``round`` — which collection round wrote the shard (``repro append``
+  adds rounds to an existing store; round 0 is the initial collect).
+* ``content_hashes`` — sha256 of each stream file's raw bytes, computed
+  at finalize time.  These make shard edits and corruption detectable
+  (`ShardStore.verify`) and key the incremental analysis cache.
+
+Round files (``round-<n>.json`` at the store root) record which shard
+indices each round produced; ``compact_store`` folds them into a single
+``index.json`` so a reader of a many-round store stats one file instead
+of globbing.
 """
 
 from __future__ import annotations
@@ -14,13 +27,30 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
-__all__ = ["MANIFEST_FILENAME", "SHARD_FORMAT", "SHARD_VERSION", "ShardManifest"]
+__all__ = [
+    "MANIFEST_FILENAME",
+    "SHARD_FORMAT",
+    "SHARD_VERSION",
+    "STORE_INDEX_FILENAME",
+    "ShardManifest",
+    "StoreIndex",
+    "compact_store",
+    "load_store_index",
+    "load_store_rounds",
+    "round_filename",
+    "write_round_file",
+]
 
 SHARD_FORMAT = "repro-shard"
-SHARD_VERSION = 1
+SHARD_VERSION = 2
 MANIFEST_FILENAME = "manifest.json"
+
+ROUND_FORMAT = "repro-store-round"
+STORE_INDEX_FORMAT = "repro-store-index"
+STORE_INDEX_VERSION = 1
+STORE_INDEX_FILENAME = "index.json"
 
 
 @dataclass(frozen=True)
@@ -44,6 +74,12 @@ class ShardManifest:
     #: recorded on completion, so these are trainable-population sizes).
     request_classes: dict[str, int] = field(default_factory=dict)
     compress: bool = False
+    #: Collection round that wrote this shard (0 = initial collect;
+    #: each ``repro append`` increments it).
+    round: int = 0
+    #: sha256 hex digest of each stream file's raw bytes at finalize
+    #: time, keyed by stream name.  Empty for version-1 shards.
+    content_hashes: dict[str, str] = field(default_factory=dict)
     version: int = SHARD_VERSION
 
     @property
@@ -56,7 +92,7 @@ class ShardManifest:
 
     def param(self, key: str, default: Any = None) -> Any:
         """Look up a grouping key: manifest field first, then params."""
-        if key in ("index", "app", "seed", "duration", "extent"):
+        if key in ("index", "app", "seed", "duration", "extent", "round"):
             return getattr(self, key)
         return self.params.get(key, default)
 
@@ -74,6 +110,8 @@ class ShardManifest:
         version = data.get("version", SHARD_VERSION)
         if not isinstance(version, int) or version > SHARD_VERSION:
             raise ValueError(f"unsupported shard manifest version {version!r}")
+        # Version-1 manifests predate rounds and hashes; the dataclass
+        # defaults (round 0, no hashes) are the right reading.
         return cls(**data)
 
     def save(self, directory: str | Path) -> Path:
@@ -91,3 +129,135 @@ class ShardManifest:
         if path.is_dir():
             path = path / MANIFEST_FILENAME
         return cls.from_dict(json.loads(path.read_text()))
+
+
+# -- store-level round tracking ----------------------------------------------
+
+
+def round_filename(round_index: int) -> str:
+    """Name of the per-round index file at the store root."""
+    return f"round-{round_index:05d}.json"
+
+
+def write_round_file(
+    directory: str | Path, round_index: int, shard_indices: list[int]
+) -> Path:
+    """Record which shard indices a collection round produced."""
+    path = Path(directory) / round_filename(round_index)
+    path.write_text(
+        json.dumps(
+            {
+                "format": ROUND_FORMAT,
+                "version": STORE_INDEX_VERSION,
+                "round": round_index,
+                "shards": sorted(shard_indices),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return path
+
+
+def load_store_rounds(directory: str | Path) -> dict[int, list[int]]:
+    """Read every ``round-*.json`` file: round index -> shard indices.
+
+    Single-round stores written before rounds existed have no round
+    files; callers treat every shard as round 0 in that case.
+    """
+    rounds: dict[int, list[int]] = {}
+    for path in sorted(Path(directory).glob("round-*.json")):
+        data = json.loads(path.read_text())
+        if data.get("format") != ROUND_FORMAT:
+            raise ValueError(f"{path} is not a store round file")
+        rounds[int(data["round"])] = [int(i) for i in data["shards"]]
+    return rounds
+
+
+@dataclass(frozen=True)
+class StoreIndex:
+    """Compacted store-level index: one file instead of N round files.
+
+    Holds the round → shard-indices map plus per-shard content-hash
+    digests, so integrity checks and cache invalidation can start
+    without touching any per-shard manifest.
+    """
+
+    rounds: dict[int, list[int]] = field(default_factory=dict)
+    #: Combined digest per shard index: sha256 over the shard's sorted
+    #: per-stream hashes (empty string for hashless v1 shards).
+    shard_digests: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return sum(len(v) for v in self.rounds.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": STORE_INDEX_FORMAT,
+            "version": STORE_INDEX_VERSION,
+            "rounds": {str(k): sorted(v) for k, v in sorted(self.rounds.items())},
+            "shard_digests": {
+                str(k): v for k, v in sorted(self.shard_digests.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreIndex":
+        fmt = data.get("format")
+        if fmt != STORE_INDEX_FORMAT:
+            raise ValueError(f"not a store index (format {fmt!r})")
+        version = data.get("version")
+        if not isinstance(version, int) or version > STORE_INDEX_VERSION:
+            raise ValueError(f"unsupported store index version {version!r}")
+        return cls(
+            rounds={int(k): [int(i) for i in v] for k, v in data["rounds"].items()},
+            shard_digests={
+                int(k): str(v) for k, v in data.get("shard_digests", {}).items()
+            },
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        path = Path(directory) / STORE_INDEX_FILENAME
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+def load_store_index(directory: str | Path) -> Optional[StoreIndex]:
+    """Read ``index.json`` if present (None otherwise)."""
+    path = Path(directory) / STORE_INDEX_FILENAME
+    if not path.exists():
+        return None
+    return StoreIndex.from_dict(json.loads(path.read_text()))
+
+
+def compact_store(directory: str | Path) -> StoreIndex:
+    """Fold round files (and shard manifests) into one ``index.json``.
+
+    Reads every shard manifest once, groups shards by their recorded
+    round, writes the combined :class:`StoreIndex`, and removes the now
+    redundant ``round-*.json`` files.  Idempotent: compacting twice is
+    a no-op, and appending after a compact simply adds new round files
+    to fold in next time.
+    """
+    from .cache import combine_hashes  # local import: cache imports manifest
+
+    directory = Path(directory)
+    rounds: dict[int, list[int]] = {}
+    digests: dict[int, str] = {}
+    for manifest_path in sorted(directory.glob("shard-*/manifest.json")):
+        manifest = ShardManifest.load(manifest_path)
+        rounds.setdefault(manifest.round, []).append(manifest.index)
+        digests[manifest.index] = (
+            combine_hashes(manifest.content_hashes)
+            if manifest.content_hashes
+            else ""
+        )
+    index = StoreIndex(rounds=rounds, shard_digests=digests)
+    index.save(directory)
+    for path in directory.glob("round-*.json"):
+        path.unlink()
+    return index

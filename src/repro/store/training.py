@@ -88,6 +88,10 @@ class PerClassFit:
     skipped: dict[str, int] = field(default_factory=dict)
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Classes restored from / missing in the persistent model cache
+    #: (both 0 when caching was off or the source is not a store).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def n_classes(self) -> int:
@@ -100,6 +104,7 @@ def train_per_class(
     workers: int = 1,
     min_requests: int = MIN_TRAINABLE_REQUESTS,
     *,
+    cache: bool = False,
     directory: str | Path | None = None,
 ) -> PerClassFit:
     """Fit one KOOZA model per request class.
@@ -113,6 +118,15 @@ def train_per_class(
     from shipping them across a pool).  Classes with fewer than
     ``min_requests`` completed requests are skipped and reported in
     :attr:`PerClassFit.skipped`.
+
+    With ``cache=True`` (stores only) each class's serialized fit is
+    persisted under ``<store>/_cache/models/`` keyed by the store-wide
+    content hash, the class name and the training configuration.  A fit
+    depends on every shard (class records are stitched across all of
+    them), so unlike the per-shard analysis cache this is a whole-model
+    cache: any shard change — including an append — invalidates it.  It
+    pays off for repeated runs over an unchanged store, e.g. a
+    ``validate --per-class`` following a ``train``.
 
     .. deprecated:: 0.3
        The ``directory=`` keyword; pass the store path (or any trace
@@ -141,13 +155,60 @@ def train_per_class(
     trainable = sorted(c for c, n in counts.items() if n >= min_requests)
     skipped = {c: n for c, n in counts.items() if n < min_requests}
     start = time.perf_counter()
+    cache_hits = cache_misses = 0
     if isinstance(source, ShardStore):
+        models = {}
+        pending = trainable
+        cache_paths: dict[str, Path] = {}
+        if cache:
+            import dataclasses
+            import json
+
+            from ..core import KoozaConfig
+            from .cache import (
+                combine_hashes,
+                load_model_cache,
+                model_cache_path,
+                save_model_cache,
+                shard_content_hash,
+            )
+
+            store_hash = combine_hashes(
+                {
+                    source.shard_dir(m).name: shard_content_hash(
+                        source.shard_dir(m)
+                    )
+                    for m in source.manifests
+                }
+            )
+            config_digest = json.dumps(
+                dataclasses.asdict(config if config is not None else KoozaConfig()),
+                sort_keys=True,
+                default=str,
+            )
+            pending = []
+            for cls in trainable:
+                path = model_cache_path(
+                    source.directory, cls, store_hash, config_digest
+                )
+                cache_paths[cls] = path
+                data = load_model_cache(path, cls)
+                if data is not None:
+                    models[cls] = model_from_dict(data)
+                    cache_hits += 1
+                else:
+                    pending.append(cls)
+                    cache_misses += 1
         tasks = [
             ClassFitTask(str(source.directory), cls, config)
-            for cls in trainable
+            for cls in pending
         ]
         results = run_sharded(fit_request_class, tasks, workers)
-        models = {cls: model_from_dict(data) for cls, data in results}
+        for cls, data in results:
+            models[cls] = model_from_dict(data)
+            if cache:
+                save_model_cache(cache_paths[cls], cls, data)
+        models = {cls: models[cls] for cls in trainable}
     else:
         from ..core import KoozaTrainer, split_traces_by_class
 
@@ -162,6 +223,8 @@ def train_per_class(
         skipped=skipped,
         workers=workers,
         elapsed_seconds=elapsed,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
     )
 
 

@@ -46,6 +46,7 @@ class ShardWriter:
         seed: int = 0,
         params: Optional[Mapping[str, Any]] = None,
         compress: bool = False,
+        round: int = 0,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -54,6 +55,7 @@ class ShardWriter:
         self.seed = seed
         self.params = dict(params or {})
         self.compress = compress
+        self.round = round
         self._suffix = ".jsonl.gz" if compress else ".jsonl"
         self._files: dict[str, TextIO] = {}
         self._finalized = False
@@ -128,6 +130,17 @@ class ShardWriter:
         for fh in self._files.values():
             fh.close()
         self._files.clear()
+        # Hash the raw stream-file bytes after close: the digest covers
+        # exactly what a reader will see, compressed or not, so any
+        # later edit or corruption is detectable.
+        from .cache import hash_file
+
+        content_hashes = {
+            stream: hash_file(self.directory / f"{stream}{self._suffix}")
+            for stream in sorted(self._counts)
+            if self._counts[stream]
+            and (self.directory / f"{stream}{self._suffix}").exists()
+        }
         manifest = ShardManifest(
             index=self.index,
             app=self.app,
@@ -140,6 +153,8 @@ class ShardWriter:
             max_span_id=self._max_span_id,
             request_classes=dict(sorted(self._request_classes.items())),
             compress=self.compress,
+            round=self.round,
+            content_hashes=content_hashes,
         )
         manifest.save(self.directory)
         return manifest

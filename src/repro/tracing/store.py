@@ -44,6 +44,7 @@ __all__ = [
     "TRACES_FORMAT",
     "TRACES_VERSION",
     "find_stream_file",
+    "iter_record_batches",
     "iter_stream_records",
     "load_traces",
     "open_trace_read",
@@ -109,29 +110,92 @@ def _is_header(data: dict) -> bool:
     return isinstance(data, dict) and data.get("format") == TRACES_FORMAT
 
 
+#: Memoized header detection: file path -> ((mtime_ns, size), has_header).
+#: Stream files are opened once per shard per analysis stream, and an
+#: incremental workflow re-opens the same (immutable) shard files across
+#: many characterize/validate calls — caching the decoded-and-validated
+#: verdict skips a json.loads per open.  Keyed on stat identity so an
+#: edited file re-validates.
+_HEADER_CACHE: dict[str, tuple[tuple[int, int], bool]] = {}
+_HEADER_CACHE_MAX = 4096
+
+
+def _first_line_is_header(path: Path, line: str) -> bool:
+    """Whether the first non-blank line is a (validated) v2 header."""
+    key = str(path)
+    try:
+        stat = path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = None
+    if signature is not None:
+        cached = _HEADER_CACHE.get(key)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+    data = json.loads(line)
+    has_header = _is_header(data)
+    if has_header:
+        version = data.get("version")
+        if not isinstance(version, int) or version > TRACES_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format version {version!r}"
+            )
+    if signature is not None:
+        if len(_HEADER_CACHE) >= _HEADER_CACHE_MAX:
+            _HEADER_CACHE.clear()
+        _HEADER_CACHE[key] = (signature, has_header)
+    return has_header
+
+
+def iter_record_batches(
+    path: str | Path, record_cls, batch_size: int = 1024
+) -> Iterator[list]:
+    """Yield records from one stream file in lists of ``batch_size``.
+
+    The JSONL hot path: header handling happens once up front (memoized
+    across opens of the same unchanged file), then the loop body is a
+    single dispatch — ``from_dict(loads(line))`` with both callables
+    bound locally — with no per-record conditionals.  Blank lines are
+    skipped without allocating a stripped copy (``json.loads`` accepts
+    surrounding whitespace).
+    """
+    path = Path(path)
+    with open_trace_read(path) as fh:
+        first = fh.readline()
+        while first and first.isspace():
+            first = fh.readline()
+        carry: list[str] = []
+        if first and not _first_line_is_header(path, first):
+            carry = [first]  # v1 file: the first line is a record
+        loads = json.loads
+        from_dict = record_cls.from_dict
+        batch: list = []
+        append = batch.append
+        for line in _chain(carry, fh):
+            if line and not line.isspace():
+                append(from_dict(loads(line)))
+                if len(batch) >= batch_size:
+                    yield batch
+                    batch = []
+                    append = batch.append
+        if batch:
+            yield batch
+
+
+def _chain(head: list[str], rest) -> Iterator[str]:
+    yield from head
+    yield from rest
+
+
 def iter_stream_records(path: str | Path, record_cls) -> Iterator:
     """Yield records from one stream file, v1 (headerless) or v2.
 
     A header newer than :data:`TRACES_VERSION` is rejected rather than
-    misread; anything else on the first line must be a record.
+    misread; anything else on the first line must be a record.  Thin
+    wrapper over the batched fast path (:func:`iter_record_batches`).
     """
-    with open_trace_read(path) as fh:
-        first = True
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            if first:
-                first = False
-                if _is_header(data):
-                    version = data.get("version")
-                    if not isinstance(version, int) or version > TRACES_VERSION:
-                        raise ValueError(
-                            f"{path}: unsupported trace format version {version!r}"
-                        )
-                    continue
-            yield record_cls.from_dict(data)
+    for batch in iter_record_batches(path, record_cls):
+        yield from batch
 
 
 def save_traces(
