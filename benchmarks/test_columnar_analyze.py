@@ -1,0 +1,114 @@
+"""Bench: columnar codec — cold characterize throughput vs JSONL.
+
+The columnar codec exists to take per-record Python dispatch out of the
+cold analysis path: instead of ``json.loads`` + ``from_dict`` + field
+extraction per record, shards decode straight to numpy column buffers
+that feed the vectorized accumulator folds.  Two claims back it:
+
+* **Equality** — the cold profile computed over the columnar store
+  equals the cold profile over the JSONL store it was converted from,
+  exactly (dataclass ``==``, which compares every accumulator-derived
+  summary field).
+* **Speedup** — a cold ``analyze_source`` over the columnar store must
+  be at least 3x faster than over the JSONL store (the acceptance
+  floor; the design target is 10x, recorded in the payload).
+
+Results land in ``benchmarks/results/columnar_analyze.txt`` and — as
+the machine-readable record the acceptance criteria name —
+``BENCH_columnar_analyze.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import save_result
+
+from repro.datacenter import FleetSpec, collect_fleet_to_store
+from repro.store import ShardStore, analyze_source, convert_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+REPLICAS = 4
+N_REQUESTS = 3000
+SEED = 7
+SPEEDUP_FLOOR = 3.0
+SPEEDUP_TARGET = 10.0
+
+
+def _time_cold(directory) -> tuple[float, object]:
+    """Best-of-two cold analysis time (no cache, single process)."""
+    best = None
+    analysis = None
+    for _ in range(2):
+        start = time.perf_counter()
+        analysis = analyze_source(directory, cache=False)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, analysis
+
+
+def test_columnar_cold_analyze_speedup(tmp_path):
+    jsonl_dir = tmp_path / "jsonl"
+    spec = FleetSpec(
+        app="gfs", replicas=REPLICAS, seed=SEED, n_requests=N_REQUESTS
+    )
+    collect_fleet_to_store(spec, directory=jsonl_dir)
+    columnar_dir = tmp_path / "columnar"
+    convert_store(jsonl_dir, columnar_dir, codec="columnar")
+
+    n_records = sum(
+        sum(m.counts.values()) for m in ShardStore(jsonl_dir).manifests
+    )
+
+    t_jsonl, jsonl_analysis = _time_cold(jsonl_dir)
+    t_columnar, columnar_analysis = _time_cold(columnar_dir)
+
+    assert columnar_analysis.profile == jsonl_analysis.profile, (
+        "columnar cold profile must equal the JSONL cold profile exactly"
+    )
+
+    speedup = t_jsonl / t_columnar
+    records_per_sec_jsonl = n_records / t_jsonl
+    records_per_sec_columnar = n_records / t_columnar
+
+    payload = {
+        "bench": "columnar_analyze",
+        "app": spec.app,
+        "replicas": REPLICAS,
+        "n_requests": N_REQUESTS,
+        "seed": SEED,
+        "n_records": n_records,
+        "jsonl_cold_seconds": round(t_jsonl, 4),
+        "columnar_cold_seconds": round(t_columnar, 4),
+        "jsonl_records_per_sec": round(records_per_sec_jsonl),
+        "columnar_records_per_sec": round(records_per_sec_columnar),
+        "speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_target": speedup >= SPEEDUP_TARGET,
+        "profiles_equal": True,
+    }
+    (REPO_ROOT / "BENCH_columnar_analyze.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        f"replicas={REPLICAS} n_requests={N_REQUESTS} seed={SEED} "
+        f"records={n_records}",
+        f"{'codec':>9} | {'cold s':>8} | {'records/s':>10}",
+        f"{'jsonl':>9} | {t_jsonl:>8.4f} | {records_per_sec_jsonl:>10.0f}",
+        f"{'columnar':>9} | {t_columnar:>8.4f} | "
+        f"{records_per_sec_columnar:>10.0f}",
+        f"speedup: {speedup:.1f}x  (floor {SPEEDUP_FLOOR:.0f}x, "
+        f"target {SPEEDUP_TARGET:.0f}x)",
+        "columnar profile equals jsonl profile: yes",
+    ]
+    save_result("columnar_analyze", "\n".join(lines))
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"columnar cold analysis should be >= {SPEEDUP_FLOOR}x faster than "
+        f"JSONL, got {speedup:.2f}x"
+    )

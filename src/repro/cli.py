@@ -7,6 +7,8 @@ cluster, model training offline, validation and studies anywhere:
     repro collect --app gfs --replicas 8 --workers 4 --out traces/
     repro collect --app gfs --replicas 2 --sweep-rate 10,25,40 --out sweep/
     repro append --app gfs --replicas 4 --workers 4 --out traces/
+    repro collect --app gfs --replicas 4 --codec columnar --out traces/
+    repro convert --in traces/ --out traces-col/ --codec columnar
     repro compact --in traces/
     repro merge --in traces/ --out traces/merged
     repro train --in traces/ --per-class --workers 4 --model classes.json
@@ -89,6 +91,16 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             "--append adds a round to a shard store; it cannot combine "
             "with --flat"
         )
+    if args.codec == "columnar" and args.gzip:
+        raise SystemExit(
+            "--gzip applies to jsonl stream files; columnar column "
+            "buffers are raw binary and cannot combine with it"
+        )
+    if args.codec == "columnar" and args.flat:
+        raise SystemExit(
+            "--flat writes a jsonl dump; collect into a shard store to "
+            "use --codec columnar"
+        )
     rate = None if args.app == "mapreduce" else args.rate
     sweep_rates = None
     if args.sweep_rate:
@@ -98,7 +110,13 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             raise SystemExit(f"bad --sweep-rate list: {args.sweep_rate!r}")
         if not sweep_rates:
             raise SystemExit("--sweep-rate needs at least one rate")
-    if (args.replicas > 1 or sweep_rates or args.append) and not args.flat:
+    use_store = (
+        args.replicas > 1
+        or sweep_rates
+        or args.append
+        or args.codec != "jsonl"
+    )
+    if use_store and not args.flat:
         # Sharded fleet streamed straight to an on-disk store: each
         # replica writes shard-<idx>/ as it completes and only the
         # manifest crosses the process pool.  The stitched merge
@@ -133,6 +151,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                 replica_specs=replica_specs,
                 on_shard=report,
                 append=args.append,
+                codec=args.codec,
             )
         except (FileExistsError, FileNotFoundError) as error:
             raise SystemExit(str(error))
@@ -205,6 +224,34 @@ def _print_cache_stats(hits: int, misses: int) -> None:
     byte-identical stdout (the equality CI pins down with a diff).
     """
     print(f"cache: {hits} hits, {misses} misses", file=sys.stderr)
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .store import is_shard_store
+    from .store.convert import convert_flat_dump, convert_store
+
+    path = _input_path(args, "traces")
+    if args.codec == "columnar" and args.gzip:
+        raise SystemExit(
+            "--gzip applies to jsonl stream files; it cannot combine "
+            "with --codec columnar"
+        )
+    try:
+        if is_shard_store(path):
+            manifests = convert_store(
+                path, args.out, args.codec, compress=args.gzip
+            )
+            n_records = sum(m.n_records for m in manifests)
+            print(
+                f"converted {len(manifests)} shards from {path} to "
+                f"{args.codec} at {args.out} ({n_records} records)"
+            )
+        else:
+            convert_flat_dump(path, args.out, args.codec, compress=args.gzip)
+            print(f"converted flat dump {path} to {args.codec} at {args.out}")
+    except (FileNotFoundError, FileExistsError, ValueError) as error:
+        raise SystemExit(str(error))
+    return 0
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
@@ -449,6 +496,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--gzip", action="store_true", help="gzip trace stream files"
         )
+        cmd.add_argument(
+            "--codec",
+            choices=("jsonl", "columnar"),
+            default="jsonl",
+            help="shard stream layout: jsonl line files (default) or the "
+            "binary columnar struct-of-arrays layout (vectorized "
+            "analysis reads whole column buffers)",
+        )
         cmd.add_argument("--out", type=Path, required=True)
 
     collect = sub.add_parser("collect", help="run a workload, save traces")
@@ -481,6 +536,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_input(compact, "store")
     compact.set_defaults(func=_cmd_compact)
+
+    convert = sub.add_parser(
+        "convert",
+        help="rewrite a store or flat dump under another stream codec",
+    )
+    add_input(convert, "traces")
+    convert.add_argument("--out", type=Path, required=True)
+    convert.add_argument(
+        "--codec", choices=("jsonl", "columnar"), required=True,
+        help="target stream layout",
+    )
+    convert.add_argument(
+        "--gzip", action="store_true",
+        help="gzip the rewritten jsonl stream files",
+    )
+    convert.set_defaults(func=_cmd_convert)
 
     merge = sub.add_parser(
         "merge", help="stitch a sharded trace store into one flat dump"

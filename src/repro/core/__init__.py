@@ -15,7 +15,11 @@ Public API:
 
 from .capabilities import CAPABILITIES, Capability, capability_table
 from .dependency import DependencyQueue, mine_dependency_queue
-from .features import RequestFeatures, extract_request_features
+from .features import (
+    RequestFeatures,
+    extract_request_features,
+    request_feature_columns,
+)
 from .instances import (
     MultiServerKooza,
     split_traces_by_class,
@@ -80,5 +84,6 @@ __all__ = [
     "split_traces_by_server",
     "model_to_dict",
     "profile_key",
+    "request_feature_columns",
     "save_model",
 ]

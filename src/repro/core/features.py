@@ -12,11 +12,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Mapping, Optional
+
+import numpy as np
 
 from ..tracing import TraceSource, build_trace_trees
+from ..tracing.columnar import StringColumn
 
-__all__ = ["RequestFeatures", "extract_request_features"]
+__all__ = [
+    "RequestFeatures",
+    "extract_request_features",
+    "request_feature_columns",
+]
 
 #: Servers whose records are control-plane, not data-path.
 _CONTROL_SERVERS = ("master",)
@@ -151,3 +158,143 @@ def extract_request_features(
         f.storage_delta = int(f.storage_delta)
         last_end[f.server] = f.storage_lbn + blocks
     return features
+
+
+def _group_boundaries(sorted_ids: np.ndarray) -> np.ndarray:
+    """Start offsets of each run in an id-sorted array."""
+    if sorted_ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+
+
+def _membership(sorted_unique: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Boolean mask: which ``ids`` appear in ``sorted_unique``."""
+    if sorted_unique.size == 0:
+        return np.zeros(ids.size, dtype=bool)
+    pos = np.minimum(
+        np.searchsorted(sorted_unique, ids), sorted_unique.size - 1
+    )
+    return sorted_unique[pos] == ids
+
+
+def request_feature_columns(
+    streams: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Vectorized :func:`extract_request_features` over column dicts.
+
+    ``streams`` maps stream name → (shifted) column dict for
+    ``storage``, ``memory``, ``cpu``, ``network`` and ``requests``;
+    the result holds one column per feature the downstream statistics
+    consume (``request_class``, ``arrival_time``, ``latency``,
+    ``network_bytes``, ``cpu_utilization``, ``memory_op``,
+    ``memory_bytes``, ``storage_op``, ``storage_bytes``), rows in the
+    same arrival-sorted order the record path produces.
+
+    Equivalence to the record path is exact, not approximate: integer
+    sums/maxima are order-free; the CPU lookup/aggregate busy sums use
+    ``np.add.at``, which performs the same scalar float adds in the
+    same stream order as the per-record ``sum``; first-by-timestamp
+    selections replicate Python's stable sort tie-breaking; and the
+    final ordering is a stable argsort on arrival time over rows in
+    requests-stream order — the record path's ``list.sort``.
+    (``storage_delta`` and ``stage_sequence`` are not assembled here:
+    no feature statistic consumes them.)
+    """
+    storage = streams["storage"]
+    memory = streams["memory"]
+    cpu = streams["cpu"]
+    network = streams["network"]
+    requests = streams["requests"]
+
+    # storage / memory: group by request id, first record by timestamp
+    # (stable on stream order), integer byte sums.
+    def first_and_sum(cols: Mapping[str, Any]):
+        rid = np.asarray(cols["request_id"])
+        ts = np.asarray(cols["timestamp"])
+        order = np.lexsort((np.arange(rid.size), ts, rid))
+        sorted_rid = rid[order]
+        starts = _group_boundaries(sorted_rid)
+        uniq = sorted_rid[starts]
+        first = order[starts]
+        sums = (
+            np.add.reduceat(cols["size_bytes"][order], starts)
+            if starts.size
+            else np.zeros(0, dtype=np.int64)
+        )
+        return uniq, first, sums
+
+    sto_uniq, sto_first, sto_sums = first_and_sum(storage)
+    mem_uniq, mem_first, mem_sums = first_and_sum(memory)
+
+    # network: data-path records only; per-request max message size.
+    net_keep = ~network["server"].mask_in(_CONTROL_SERVERS)
+    net_rid = np.asarray(network["request_id"])[net_keep]
+    net_size = np.asarray(network["size_bytes"])[net_keep]
+    net_order = np.argsort(net_rid, kind="stable")
+    net_sorted = net_rid[net_order]
+    net_starts = _group_boundaries(net_sorted)
+    net_uniq = net_sorted[net_starts]
+    net_max = (
+        np.maximum.reduceat(net_size[net_order], net_starts)
+        if net_starts.size
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    # cpu: data-path records only; lookup/aggregate busy sums folded
+    # with np.add.at in stream order (bit-identical to Python's sum).
+    cpu_keep = ~cpu["server"].mask_in(_CONTROL_SERVERS)
+    cpu_rid = np.asarray(cpu["request_id"])[cpu_keep]
+    cpu_busy = np.asarray(cpu["busy_seconds"])[cpu_keep]
+    cpu_lookup = cpu["phase"].mask("lookup")[cpu_keep]
+    cpu_uniq, cpu_inverse = np.unique(cpu_rid, return_inverse=True)
+    lookup_sums = np.zeros(cpu_uniq.size)
+    np.add.at(lookup_sums, cpu_inverse[cpu_lookup], cpu_busy[cpu_lookup])
+    aggregate_sums = np.zeros(cpu_uniq.size)
+    np.add.at(
+        aggregate_sums, cpu_inverse[~cpu_lookup], cpu_busy[~cpu_lookup]
+    )
+
+    # requests: completed, present in all four subsystem groups.
+    req_rid = np.asarray(requests["request_id"])
+    arrival = np.asarray(requests["arrival_time"])
+    completion = np.asarray(requests["completion_time"])
+    keep = (
+        (completion > arrival)
+        & _membership(sto_uniq, req_rid)
+        & _membership(mem_uniq, req_rid)
+        & _membership(cpu_uniq, req_rid)
+        & _membership(net_uniq, req_rid)
+    )
+    kept = np.flatnonzero(keep)
+    final = kept[np.argsort(arrival[kept], kind="stable")]
+    rid_final = req_rid[final]
+
+    latency = (completion - arrival)[final]
+    sto_at = np.searchsorted(sto_uniq, rid_final)
+    mem_at = np.searchsorted(mem_uniq, rid_final)
+    cpu_at = np.searchsorted(cpu_uniq, rid_final)
+    net_at = np.searchsorted(net_uniq, rid_final)
+    busy = lookup_sums[cpu_at] + aggregate_sums[cpu_at]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        utilization = np.where(latency > 0, busy / latency, 0.0)
+
+    mem_op = memory["op"]
+    sto_op = storage["op"]
+    return {
+        "n": int(final.size),
+        "request_class": requests["request_class"].take(final),
+        "arrival_time": arrival[final],
+        "latency": latency,
+        "network_bytes": net_max[net_at],
+        "cpu_utilization": utilization,
+        "memory_op": StringColumn(
+            mem_op.codes[mem_first[mem_at]], mem_op.values
+        ),
+        "memory_bytes": mem_sums[mem_at],
+        "storage_op": StringColumn(
+            sto_op.codes[sto_first[sto_at]], sto_op.values
+        ),
+        "storage_bytes": sto_sums[sto_at],
+    }

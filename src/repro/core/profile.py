@@ -387,6 +387,83 @@ class WorkloadProfileBuilder:
                 self.add(stream, record)
         return self
 
+    def update_batch(self, stream: str, cols: Mapping[str, Any]) -> None:
+        """Fold a column-dict batch of one stream — the vectorized
+        counterpart of per-record :meth:`add`.
+
+        ``cols`` is the representation produced by
+        :func:`repro.tracing.columnar.read_columnar_columns` /
+        ``columns_from_records``: an ``"n"`` row count plus one numpy
+        array (or dictionary-encoded string column) per needed field.
+        Every underlying accumulator fold here is exact (integer
+        counts, buffer extends, ``np.add.at`` window bins), so a batch
+        fold produces bit-identical state to record-by-record adds.
+        """
+        n = int(cols["n"])
+        if n == 0:
+            return
+        if stream == "storage":
+            self.storage_n += n
+            self.storage_reads += int(cols["op"].mask(READ).sum())
+            self.storage_sizes.update_batch(cols["size_bytes"])
+            self.storage_seeks.update_batch(cols["lbn"], cols["size_bytes"])
+            self.storage_queue_sum += int(cols["queue_depth"].sum())
+            self.storage_times.update_batch(cols["timestamp"])
+            self.max_extent = max(
+                self.max_extent, float(cols["timestamp"].max())
+            )
+        elif stream == "cpu":
+            self.cpu_n += n
+            busy = cols["busy_seconds"]
+            self.cpu_busy.update_batch(
+                cols["timestamp"], weights=busy, advance=busy
+            )
+            self.max_extent = max(
+                self.max_extent, float(cols["timestamp"].max())
+            )
+        elif stream == "network":
+            rx = cols["direction"].mask("rx")
+            if rx.any():
+                times = cols["timestamp"][rx]
+                self.network_n += int(rx.sum())
+                self.network_size_sum += int(cols["size_bytes"][rx].sum())
+                self.network_times.update_batch(times)
+                self.network_counts.update_batch(times)
+            self.max_extent = max(
+                self.max_extent, float(cols["timestamp"].max())
+            )
+        elif stream == "memory":
+            self.memory_n += n
+            self.memory_reads += int(cols["op"].mask(READ).sum())
+            self.memory_size_sum += int(cols["size_bytes"].sum())
+            self.max_extent = max(
+                self.max_extent, float(cols["timestamp"].max())
+            )
+        elif stream == "requests":
+            arrival = cols["arrival_time"]
+            completion = cols["completion_time"]
+            self.max_extent = max(
+                self.max_extent, float(arrival.max()), float(completion.max())
+            )
+            completed = completion > arrival
+            if completed.any():
+                self.latencies.update_batch(
+                    (completion - arrival)[completed]
+                )
+                self.class_counts.update_batch(
+                    cols["request_class"].take(completed)
+                )
+        elif stream == "spans":
+            self.max_extent = max(self.max_extent, float(cols["start"].max()))
+            ends = cols["end"]
+            finite = ends == ends  # not NaN
+            if finite.any():
+                self.max_extent = max(
+                    self.max_extent, float(ends[finite].max())
+                )
+        else:
+            raise ValueError(f"unknown stream {stream!r}")
+
     def merge(self, other: "WorkloadProfileBuilder") -> "WorkloadProfileBuilder":
         """Fold in a builder covering the records that follow this one's."""
         if (

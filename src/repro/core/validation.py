@@ -27,6 +27,7 @@ from ..stats import (
 )
 from ..stats.streaming import check_state
 from ..tracing import TraceSource
+from ..tracing.columnar import take_columns
 from .features import RequestFeatures, extract_request_features
 
 __all__ = [
@@ -215,6 +216,25 @@ class ProfileFeatureStats:
         self.memory_ops.add(f.memory_op)
         self.storage_ops.add(f.storage_op)
 
+    def update_batch(self, cols: Mapping[str, Any]) -> None:
+        """Fold a feature-column batch (one profile's subset of
+        :func:`repro.core.features.request_feature_columns` output).
+
+        Latency buffers, op counts and ``n`` are bit-identical to
+        repeated :meth:`add`; the moment fields follow the 1e-9
+        relative contract of
+        :meth:`repro.stats.MomentsAccumulator.update_batch`.
+        """
+        if not cols["n"]:
+            return
+        self.network_bytes.update_batch(cols["network_bytes"])
+        self.cpu_utilization.update_batch(cols["cpu_utilization"])
+        self.memory_bytes.update_batch(cols["memory_bytes"])
+        self.storage_bytes.update_batch(cols["storage_bytes"])
+        self.latency.update_batch(cols["latency"])
+        self.memory_ops.update_batch(cols["memory_op"])
+        self.storage_ops.update_batch(cols["storage_op"])
+
     def merge(self, other: "ProfileFeatureStats") -> "ProfileFeatureStats":
         self.network_bytes.merge(other.network_bytes)
         self.cpu_utilization.merge(other.cpu_utilization)
@@ -280,9 +300,47 @@ class WorkloadFeatureStats:
             self.add(f)
         return self
 
+    def update_batch(self, cols: Mapping[str, Any]) -> "WorkloadFeatureStats":
+        """Fold a whole feature-column batch (the output of
+        :func:`repro.core.features.request_feature_columns`).
+
+        Rows are grouped by :func:`profile_key` vectorized —
+        ``np.round``/``round`` both round half-to-even, so bucket
+        assignment matches the scalar path exactly — and each group
+        folds through :meth:`ProfileFeatureStats.update_batch` with
+        row order preserved, so quantile buffers and counts are
+        bit-identical to per-feature :meth:`add`.
+        """
+        n = int(cols["n"])
+        if n == 0:
+            return self
+        network_bytes = np.asarray(cols["network_bytes"])
+        buckets = np.round(
+            np.log2(np.maximum(1, network_bytes).astype(float))
+        ).astype(np.int64)
+        op = cols["storage_op"]
+        pairs = np.stack([op.codes.astype(np.int64), buckets], axis=1)
+        uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        for gi in range(uniq.shape[0]):
+            key = (op.values[int(uniq[gi, 0])], int(uniq[gi, 1]))
+            if key not in self.profiles:
+                self.profiles[key] = ProfileFeatureStats()
+            self.profiles[key].update_batch(
+                take_columns(cols, inverse == gi)
+            )
+        self.latencies.update_batch(cols["latency"])
+        self.joint.update_batch(cols["network_bytes"], cols["storage_bytes"])
+        self.n += n
+        return self
+
     @classmethod
     def from_features(cls, features) -> "WorkloadFeatureStats":
         return cls().add_features(features)
+
+    @classmethod
+    def from_feature_columns(cls, cols: Mapping[str, Any]) -> "WorkloadFeatureStats":
+        """Fresh statistics from one feature-column batch."""
+        return cls().update_batch(cols)
 
     @classmethod
     def from_source(cls, source: TraceSource) -> "WorkloadFeatureStats":

@@ -351,6 +351,8 @@ class ShardTask:
     directory: str
     compress: bool = False
     round: int = 0
+    #: Stream layout the shard is written in (``"jsonl"``/``"columnar"``).
+    codec: str = "jsonl"
 
 
 def write_replica_shard(task: ShardTask) -> ShardManifest:
@@ -370,6 +372,7 @@ def write_replica_shard(task: ShardTask) -> ShardManifest:
         params=replica_params(spec),
         compress=task.compress,
         round=task.round,
+        codec=task.codec,
     )
     streams = replica_streams(spec.seed, spec.index)
     tracer = Tracer(
@@ -437,6 +440,7 @@ def collect_fleet_to_store(
     replica_specs: Optional[Sequence[ReplicaSpec]] = None,
     on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
     append: bool = False,
+    codec: str = "jsonl",
     **spec_kwargs,
 ) -> StoreFleetResult:
     """Run a fleet (or explicit sweep list) streaming shards to ``directory``.
@@ -457,6 +461,11 @@ def collect_fleet_to_store(
     N+M in one go.  Each round records which shards it produced in a
     ``round-<n>.json`` file at the store root (folded into one
     ``index.json`` by :func:`repro.store.compact_store`).
+
+    ``codec`` selects the per-shard stream layout (``"jsonl"`` line
+    files or the binary ``"columnar"`` struct-of-arrays layout); the
+    simulated records are identical either way, only the on-disk
+    encoding differs, and a store may mix codecs across rounds.
     """
     if replica_specs is None:
         if spec is None:
@@ -495,6 +504,7 @@ def collect_fleet_to_store(
             directory=str(directory),
             compress=compress,
             round=round_index,
+            codec=codec,
         )
         for r in replica_specs
     ]

@@ -118,6 +118,35 @@ class MomentsAccumulator:
         for value in values:
             self.add(value)
 
+    def update_batch(self, values) -> None:
+        """Fold a whole array in one vectorized step.
+
+        Computes the batch's (n, mean, M2) with numpy reductions and
+        Chan-combines them into the running state — same contract as
+        ``merge``: results match repeated ``add`` within the 1e-9
+        relative tolerance, not bit-for-bit.  Extrema are exact and
+        NaN-transparent (a NaN value poisons mean/M2 exactly as a
+        sequential ``add`` would, but never moves min/max).
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        n = int(values.size)
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        if self.n == 0:
+            self.n, self.mean, self.m2 = n, mean, m2
+        else:
+            total = self.n + n
+            delta = mean - self.mean
+            self.m2 += m2 + delta * delta * (self.n * n / total)
+            self.mean += delta * (n / total)
+            self.n = total
+        finite = values[~np.isnan(values)]
+        if finite.size:
+            self.min = min(self.min, float(finite.min()))
+            self.max = max(self.max, float(finite.max()))
+
     def merge(self, other: "MomentsAccumulator") -> "MomentsAccumulator":
         if other.n == 0:
             return self
@@ -203,6 +232,38 @@ class CoMomentsAccumulator:
         self.m2y += dy * (y - self.mean_y)
         self.cxy += dx * (y - self.mean_y)
 
+    def update_batch(self, xs, ys) -> None:
+        """Fold two paired arrays in one vectorized step (Chan combine)."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.size != ys.size:
+            raise ValueError("paired batches must have equal length")
+        if xs.size == 0:
+            return
+        n = int(xs.size)
+        mean_x = float(xs.mean())
+        mean_y = float(ys.mean())
+        dx = xs - mean_x
+        dy = ys - mean_y
+        m2x = float((dx * dx).sum())
+        m2y = float((dy * dy).sum())
+        cxy = float((dx * dy).sum())
+        if self.n == 0:
+            self.n = n
+            self.mean_x, self.mean_y = mean_x, mean_y
+            self.m2x, self.m2y, self.cxy = m2x, m2y, cxy
+            return
+        total = self.n + n
+        ddx = mean_x - self.mean_x
+        ddy = mean_y - self.mean_y
+        scale = self.n * n / total
+        self.m2x += m2x + ddx * ddx * scale
+        self.m2y += m2y + ddy * ddy * scale
+        self.cxy += cxy + ddx * ddy * scale
+        self.mean_x += ddx * (n / total)
+        self.mean_y += ddy * (n / total)
+        self.n = total
+
     def merge(self, other: "CoMomentsAccumulator") -> "CoMomentsAccumulator":
         if other.n == 0:
             return self
@@ -277,6 +338,33 @@ class FixedHistogram:
         if index == len(self.counts):  # value == last edge
             index -= 1
         self.counts[index] += weight
+
+    def update_batch(self, values, weight: int = 1) -> None:
+        """Bin a whole array at once — exactly ``add`` per value.
+
+        ``np.searchsorted(side="right")`` places every value (including
+        NaN, which sorts past the last edge and clamps into the last
+        bin) in the same bin ``bisect_right`` does, and counts are
+        integers, so this fold is bit-identical to the sequential path.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        edges = np.asarray(self.edges)
+        under = values < edges[0]
+        over = values > edges[-1]
+        self.underflow += int(under.sum()) * weight
+        self.overflow += int(over.sum()) * weight
+        in_range = values[~(under | over)]
+        if in_range.size == 0:
+            return
+        index = np.searchsorted(edges, in_range, side="right") - 1
+        index = np.minimum(index, len(self.counts) - 1)
+        for i, count in enumerate(
+            np.bincount(index, minlength=len(self.counts)).tolist()
+        ):
+            if count:
+                self.counts[i] += count * weight
 
     def merge(self, other: "FixedHistogram") -> "FixedHistogram":
         if self.edges != other.edges:
@@ -397,6 +485,21 @@ class ExactQuantiles:
             self.values.extend(float(v) for v in values)
             return
         for value in values:
+            self.add(value)
+
+    def update_batch(self, values) -> None:
+        """Fold an array of values — bit-identical to repeated ``add``.
+
+        Unbounded accumulators extend the buffer in order (``tolist``
+        yields the same Python floats ``float(v)`` would); bounded or
+        degraded ones fall back to the sequential path so the reservoir
+        RNG consumes the exact same draw sequence.
+        """
+        values = np.asarray(values, dtype=float)
+        if self.max_values is None and self._reservoir is None:
+            self.values.extend(values.tolist())
+            return
+        for value in values.tolist():
             self.add(value)
 
     def merge(self, other: "ExactQuantiles") -> "ExactQuantiles":
@@ -561,6 +664,17 @@ class P2Quantile:
         j = i + int(step)
         return q[i] + step * (q[j] - q[i]) / (pos[j] - pos[i])
 
+    def update_batch(self, values) -> None:
+        """Fold an array of values.
+
+        P² marker updates are inherently sequential (each observation
+        moves the markers the next one lands between), so this is the
+        per-value loop — provided for interface parity, bit-identical
+        to repeated ``add``.
+        """
+        for value in np.asarray(values, dtype=float).tolist():
+            self.add(value)
+
     def merge(self, other: "P2Quantile") -> "P2Quantile":
         raise NotImplementedError(
             "P2Quantile is single-stream; use ReservoirQuantile or "
@@ -629,6 +743,16 @@ class ReservoirQuantile:
         if slot < self.capacity:
             self.values[slot] = value
 
+    def update_batch(self, values) -> None:
+        """Fold an array of values — bit-identical to repeated ``add``.
+
+        The reservoir is a pure function of the seeded RNG's draw
+        sequence, so batching must not reorder or batch the draws;
+        this is the sequential loop by design.
+        """
+        for value in np.asarray(values, dtype=float).tolist():
+            self.add(value)
+
     def merge(self, other: "ReservoirQuantile") -> "ReservoirQuantile":
         if other.n_seen == 0:
             return self
@@ -689,6 +813,25 @@ class CategoricalCounter:
 
     def add(self, key: str, weight: int = 1) -> None:
         self.counts[key] = self.counts.get(key, 0) + weight
+
+    def update_batch(self, keys, weight: int = 1) -> None:
+        """Fold a batch of keys — exact (integer counts).
+
+        Accepts either a plain sequence of strings or a
+        dictionary-encoded column (anything with ``codes``/``values``
+        attributes, e.g. :class:`repro.tracing.columnar.StringColumn`),
+        which folds via one ``bincount`` instead of a Python loop.
+        """
+        codes = getattr(keys, "codes", None)
+        table = getattr(keys, "values", None)
+        if codes is not None and table is not None:
+            counts = np.bincount(codes, minlength=len(table))
+            for key, count in zip(table, counts.tolist()):
+                if count:
+                    self.add(key, count * weight)
+            return
+        for key in keys:
+            self.add(key, weight)
 
     def merge(self, other: "CategoricalCounter") -> "CategoricalCounter":
         for key, count in other.counts.items():
@@ -764,6 +907,66 @@ class WindowedCounter:
         self.t_min = t if self.t_min is None else min(self.t_min, t)
         self.t_max = t if self.t_max is None else max(self.t_max, t)
         tip = t + advance
+        self.end = tip if self.end is None else max(self.end, tip)
+
+    #: Widest dense scratch array ``update_batch`` will allocate; batches
+    #: spanning more window indices fall back to the sequential loop.
+    _MAX_DENSE_SPAN = 1 << 22
+
+    def update_batch(self, times, weights=None, advance=None) -> None:
+        """Fold arrays of timestamps (and weights) — bit-identical.
+
+        Batch indices are computed with the same truncation arithmetic
+        as ``add``, and weights are folded with ``np.add.at``, which
+        applies one unbuffered scalar add per event in input order —
+        the exact floating-point sequence the per-record loop performs,
+        so bins match the sequential path bit for bit.
+
+        ``weights``/``advance`` may be scalars or arrays matching
+        ``times``.  Raises (before mutating) if any timestamp precedes
+        ``origin``.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        t_min = float(times.min())
+        if t_min < self.origin:
+            raise ValueError(
+                f"timestamp {t_min} precedes origin {self.origin}"
+            )
+        weight_arr = np.broadcast_to(
+            np.asarray(1.0 if weights is None else weights, dtype=float),
+            times.shape,
+        )
+        advance_arr = np.broadcast_to(
+            np.asarray(0.0 if advance is None else advance, dtype=float),
+            times.shape,
+        )
+        index = ((times - self.origin) / self.window).astype(np.int64)
+        lo = int(index.min())
+        span = int(index.max()) - lo + 1
+        if span > self._MAX_DENSE_SPAN:
+            for t, w, a in zip(
+                times.tolist(), weight_arr.tolist(), advance_arr.tolist()
+            ):
+                self.add(t, weight=w, advance=a)
+            return
+        # Seed the scratch slots that will receive adds with their
+        # current bin values: np.add.at then performs the identical
+        # scalar-add sequence the per-record loop would.
+        scratch = np.zeros(span)
+        touched = np.unique(index).tolist()
+        for k in touched:
+            if k in self.bins:
+                scratch[k - lo] = self.bins[k]
+        np.add.at(scratch, index - lo, weight_arr)
+        for k in touched:
+            self.bins[k] = float(scratch[k - lo])
+        self.n += int(times.size)
+        t_max = float(times.max())
+        self.t_min = t_min if self.t_min is None else min(self.t_min, t_min)
+        self.t_max = t_max if self.t_max is None else max(self.t_max, t_max)
+        tip = float((times + advance_arr).max())
         self.end = tip if self.end is None else max(self.end, tip)
 
     def merge(self, other: "WindowedCounter") -> "WindowedCounter":
@@ -861,6 +1064,29 @@ class InterarrivalStats:
             self._fold(t - self.last)
         self.last = t
 
+    def update_batch(self, times) -> None:
+        """Fold an ordered timestamp array in one vectorized step.
+
+        Gap values (``np.diff``) are the identical elementwise
+        subtractions the sequential path performs; the gaps then fold
+        through :meth:`MomentsAccumulator.update_batch`, so moments
+        match repeated ``add`` within the 1e-9 relative contract.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        if self.last is None:
+            self.first = float(times[0])
+            gaps = np.diff(times)
+        else:
+            gaps = np.diff(np.concatenate(([self.last], times)))
+        if gaps.size:
+            self.all_gaps.update_batch(gaps)
+            positive = gaps[gaps > 0]
+            if positive.size:
+                self.positive_gaps.update_batch(positive)
+        self.last = float(times[-1])
+
     def merge(self, other: "InterarrivalStats") -> "InterarrivalStats":
         if other.first is None:
             return self
@@ -955,6 +1181,32 @@ class SeekStats:
         if self.first_end is None:
             self.first_end = self.last_end
         self.n += 1
+
+    def update_batch(self, lbns, sizes) -> None:
+        """Fold ordered LBN/size arrays in one vectorized step — exact.
+
+        Everything here is integer arithmetic (numpy floor division
+        matches Python's for the ceil-div trick), so counts and sums
+        are bit-identical to repeated ``add``.
+        """
+        lbns = np.asarray(lbns, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if lbns.size != sizes.size:
+            raise ValueError("lbn/size batches must have equal length")
+        if lbns.size == 0:
+            return
+        ends = lbns + np.maximum(1, -(-sizes // self.BLOCK))
+        if self.last_end is None:
+            self.first_lbn = int(lbns[0])
+            self.first_end = int(ends[0])
+            gaps = lbns[1:] - ends[:-1]
+        else:
+            gaps = lbns - np.concatenate(([self.last_end], ends[:-1]))
+        self.n_gaps += int(gaps.size)
+        self.n_sequential += int((gaps == 0).sum())
+        self.sum_abs += int(np.abs(gaps).sum())
+        self.last_end = int(ends[-1])
+        self.n += int(lbns.size)
 
     def merge(self, other: "SeekStats") -> "SeekStats":
         if other.n == 0:

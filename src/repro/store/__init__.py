@@ -23,9 +23,12 @@ from .cache import (
     save_analysis_cache,
     shard_content_hash,
     shard_stream_hashes,
+    stream_content_hash,
 )
+from .convert import convert_flat_dump, convert_store
 from .manifest import (
     MANIFEST_FILENAME,
+    SHARD_CODECS,
     SHARD_FORMAT,
     SHARD_VERSION,
     STORE_INDEX_FILENAME,
@@ -34,7 +37,9 @@ from .manifest import (
     compact_store,
     load_store_index,
     load_store_rounds,
+    parse_shard_index,
     round_filename,
+    shard_manifest_paths,
     write_round_file,
 )
 from .shards import ShardStore, is_shard_store, shifter_for
@@ -83,6 +88,7 @@ __all__ = [
     "validate_per_class",
     "MANIFEST_FILENAME",
     "PerClassFit",
+    "SHARD_CODECS",
     "SHARD_FORMAT",
     "SHARD_VERSION",
     "STORE_INDEX_FILENAME",
@@ -95,6 +101,8 @@ __all__ = [
     "analysis_key",
     "combine_hashes",
     "compact_store",
+    "convert_flat_dump",
+    "convert_store",
     "fit_request_class",
     "hash_file",
     "is_shard_store",
@@ -105,13 +113,16 @@ __all__ = [
     "max_request_id",
     "max_span_id",
     "offsets_for",
+    "parse_shard_index",
     "round_filename",
     "save_analysis_cache",
     "save_per_class_models",
     "shard_content_hash",
     "shard_dirname",
+    "shard_manifest_paths",
     "shard_stream_hashes",
     "shifter_for",
+    "stream_content_hash",
     "trace_extent",
     "train_per_class",
     "write_round_file",

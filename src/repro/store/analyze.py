@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ..simulation import run_sharded
-from ..tracing import TraceSet, TraceSource
+from ..tracing import TraceSource
 from ..tracing.store import STREAM_TYPES
 from .cache import (
     analysis_key,
@@ -104,19 +104,41 @@ class ShardAnalysisTask:
     max_quantile_values: Optional[int] = None
 
 
+#: Columns each analysis stream fold actually consumes — the union of
+#: what ``WorkloadProfileBuilder.update_batch`` and
+#: ``request_feature_columns`` read.  Columnar shards open only these
+#: ``.bin`` files; jsonl shards decode once and pivot to the same
+#: subset.  The two ``json`` columns (``extra``, ``annotations``) are
+#: never requested: no analysis statistic consumes them.
+_ANALYSIS_COLUMNS = {
+    "network": ("request_id", "server", "timestamp", "size_bytes", "direction"),
+    "cpu": ("request_id", "server", "timestamp", "busy_seconds", "phase"),
+    "memory": ("request_id", "timestamp", "size_bytes", "op"),
+    "storage": ("request_id", "timestamp", "lbn", "size_bytes", "op", "queue_depth"),
+    "requests": ("request_id", "request_class", "arrival_time", "completion_time"),
+    "spans": ("start", "end"),
+}
+
+
 def analyze_shard(task: ShardAnalysisTask):
     """Worker entry point: accumulate one shard, return the accumulators.
 
     Returns ``(profile_builder, feature_stats, per_class_stats)``.
-    Only this one shard's records are materialized (for the per-request
-    feature join); everything crossing the pool back is accumulator
-    state, a few KB plus the O(n)-float quantile buffers.
+
+    Both codecs fold through one code path: each stream is loaded as
+    full column arrays (columnar shards serve their buffers directly,
+    jsonl shards decode once and pivot), shifted in column space by the
+    manifest-derived stitch offsets, and folded through the vectorized
+    ``update_batch`` accumulators — so per-record Python dispatch never
+    runs on this hot path, and analyses over the two codecs are
+    byte-identical because they see the identical arrays.
     """
     from ..core import (
         WorkloadFeatureStats,
         WorkloadProfileBuilder,
-        extract_request_features,
+        request_feature_columns,
     )
+    from ..tracing.columnar import columns_from_records, shift_columns, take_columns
 
     store = ShardStore(task.directory)
     manifest = next(
@@ -127,24 +149,33 @@ def analyze_shard(task: ShardAnalysisTask):
         cores=task.cores,
         max_quantile_values=task.max_quantile_values,
     )
-    shard_traces = TraceSet()
+    offsets = task.offsets
+    shard_columns: dict[str, dict] = {}
     for stream in STREAM_TYPES:
-        records = getattr(shard_traces, stream)
-        shift = shifter_for(stream, task.offsets)
-        add = builder.add
-        append = records.append
-        for batch in store.iter_shard_stream_batches(manifest, stream):
-            for record in batch:
-                shifted = shift(record)
-                add(stream, shifted)
-                append(shifted)
-    features = extract_request_features(shard_traces)
-    overall = WorkloadFeatureStats.from_features(features)
+        names = list(_ANALYSIS_COLUMNS[stream])
+        cols = store.load_shard_stream_columns(manifest, stream, names)
+        if cols is None:  # empty stream: fold zero-length columns
+            cols = columns_from_records(stream, [], names)
+        cols = shift_columns(
+            stream,
+            cols,
+            time_offset=offsets.time,
+            request_id_offset=offsets.request_id,
+            span_id_offset=offsets.span_id,
+        )
+        builder.update_batch(stream, cols)
+        if stream != "spans":  # spans carry no request features
+            shard_columns[stream] = cols
+    features = request_feature_columns(shard_columns)
+    overall = WorkloadFeatureStats.from_feature_columns(features)
     per_class: dict[str, WorkloadFeatureStats] = {}
-    for f in features:
-        if f.request_class not in per_class:
-            per_class[f.request_class] = WorkloadFeatureStats()
-        per_class[f.request_class].add(f)
+    klass = features["request_class"]
+    for code, name in enumerate(klass.values):
+        mask = klass.codes == code
+        if mask.any():
+            per_class[name] = WorkloadFeatureStats.from_feature_columns(
+                take_columns(features, mask)
+            )
     return builder, overall, per_class
 
 
@@ -218,7 +249,12 @@ def analyze_source(
             shard_dir = source.shard_dir(manifest)
             content_hash = shard_content_hash(shard_dir)
             entry = load_analysis_cache(
-                source.directory, shard_dir.name, key, content_hash, offsets
+                source.directory,
+                shard_dir.name,
+                key,
+                content_hash,
+                offsets,
+                codec=manifest.codec,
             )
             if entry is not None:
                 cached[manifest.index] = entry
@@ -253,6 +289,7 @@ def analyze_source(
                     shard_features,
                     shard_classes,
                     compress=manifest.compress,
+                    codec=manifest.codec,
                 )
         builder = WorkloadProfileBuilder(
             window=window, cores=cores, max_quantile_values=max_quantile_values

@@ -46,6 +46,8 @@ from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from ..stats.streaming import STREAMING_STATE_VERSION
+from ..tracing.columnar import columnar_stream_files, find_columnar_stream
+from ..tracing.store import _CanonicalGzipFile, find_stream_file
 from .stitch import StitchOffsets
 
 __all__ = [
@@ -62,11 +64,15 @@ __all__ = [
     "save_model_cache",
     "shard_content_hash",
     "shard_stream_hashes",
+    "stream_content_hash",
 ]
 
 CACHE_DIRNAME = "_cache"
 CACHE_FORMAT = "repro-analysis-cache"
-CACHE_VERSION = 1
+#: Version 2: vectorized batch folds changed the floating-point
+#: association of moment accumulators, and entries carry the shard's
+#: codec — older entries must be recomputed, not reused.
+CACHE_VERSION = 2
 MODEL_CACHE_FORMAT = "repro-model-cache"
 
 
@@ -85,17 +91,42 @@ def hash_file(path: str | Path, chunk_size: int = 1 << 20) -> str:
     return digest.hexdigest()
 
 
+def stream_content_hash(directory: str | Path, stream: str) -> Optional[str]:
+    """Content digest of one stream, whichever codec stores it.
+
+    A jsonl stream hashes its single ``.jsonl[.gz]`` file directly
+    (unchanged from the historical digest, so pre-codec manifests still
+    verify); a columnar stream combines the digests of its header and
+    per-column buffers.  ``None`` when the stream has no files.
+    """
+    path = find_stream_file(directory, stream)
+    if path is not None:
+        return hash_file(path)
+    if find_columnar_stream(directory, stream) is not None:
+        return combine_hashes(
+            {f.name: hash_file(f) for f in columnar_stream_files(directory, stream)}
+        )
+    return None
+
+
 def shard_stream_hashes(shard_dir: str | Path) -> dict[str, str]:
     """Per-stream sha256 of every stream file in a shard directory.
 
     Hashing is an order of magnitude cheaper than JSON-decoding the
     same bytes, which is what makes hash-checked cache hits a win.
+    Streams stored columnar digest their header + column buffers
+    through :func:`stream_content_hash`.
     """
     shard_dir = Path(shard_dir)
     hashes: dict[str, str] = {}
-    for pattern in ("*.jsonl", "*.jsonl.gz"):
-        for path in sorted(shard_dir.glob(pattern)):
-            hashes[path.name.split(".", 1)[0]] = hash_file(path)
+    streams = set()
+    for pattern in ("*.jsonl", "*.jsonl.gz", "*.columns.json"):
+        for path in shard_dir.glob(pattern):
+            streams.add(path.name.split(".", 1)[0])
+    for stream in sorted(streams):
+        digest = stream_content_hash(shard_dir, stream)
+        if digest is not None:
+            hashes[stream] = digest
     return hashes
 
 
@@ -157,7 +188,14 @@ def _write_json(path: Path, data: dict, compress: bool) -> Path:
     tmp = path.with_name(path.name + ".tmp")
     text = json.dumps(data, sort_keys=True)
     if compress:
-        with gzip.open(tmp, "wt", encoding="utf-8") as fh:
+        # Canonical gzip header (mtime=0, no embedded filename):
+        # identical payloads produce byte-identical cache files, so
+        # re-running an analysis never dirties an unchanged store.
+        import io
+
+        with io.TextIOWrapper(
+            _CanonicalGzipFile(tmp), encoding="utf-8"
+        ) as fh:
             fh.write(text)
     else:
         tmp.write_text(text)
@@ -178,6 +216,7 @@ def save_analysis_cache(
     features,
     per_class: Mapping[str, Any],
     compress: bool = False,
+    codec: str = "jsonl",
 ) -> Path:
     """Persist one shard's folded accumulator states beside the store."""
     plain, gzipped = _entry_path(store_dir, shard_dirname, key)
@@ -185,6 +224,7 @@ def save_analysis_cache(
         "format": CACHE_FORMAT,
         "version": CACHE_VERSION,
         "schema": STREAMING_STATE_VERSION,
+        "codec": codec,
         "content_hash": content_hash,
         "offsets": [offsets.time, offsets.request_id, offsets.span_id],
         "builder": builder.state(),
@@ -202,13 +242,17 @@ def load_analysis_cache(
     key: str,
     content_hash: str,
     offsets: StitchOffsets,
+    codec: str = "jsonl",
 ):
     """Restore one shard's cached fold, or ``None`` if it cannot be used.
 
     Returns ``(builder, features, per_class)`` on a hit.  Every
     validity rule from the module docstring is enforced here; failures
     of any kind — including snapshot-layer ``ValueError`` on a stale
-    schema — are treated as a miss, never raised.
+    schema — are treated as a miss, never raised.  ``codec`` must match
+    the shard's manifest codec: converting a shard between codecs
+    changes its bytes anyway, but the explicit check keeps the cache
+    key honest even if a future codec hashed to the same digest.
     """
     from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
 
@@ -218,6 +262,8 @@ def load_analysis_cache(
     if data.get("format") != CACHE_FORMAT or data.get("version") != CACHE_VERSION:
         return None
     if data.get("schema") != STREAMING_STATE_VERSION:
+        return None
+    if data.get("codec") != codec:
         return None
     if data.get("content_hash") != content_hash:
         return None

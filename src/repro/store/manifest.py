@@ -20,6 +20,12 @@ Round files (``round-<n>.json`` at the store root) record which shard
 indices each round produced; ``compact_store`` folds them into a single
 ``index.json`` so a reader of a many-round store stats one file instead
 of globbing.
+
+Version 3 adds ``codec`` — which stream layout the shard's files use
+(``"jsonl"`` for ``.jsonl[.gz]`` lines, ``"columnar"`` for the binary
+struct-of-arrays layout of :mod:`repro.tracing.columnar`).  Readers
+negotiate per shard, so a store may mix codecs freely; v1/v2 manifests
+read as ``codec="jsonl"``.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import Any, Mapping, Optional
 
 __all__ = [
     "MANIFEST_FILENAME",
+    "SHARD_CODECS",
     "SHARD_FORMAT",
     "SHARD_VERSION",
     "STORE_INDEX_FILENAME",
@@ -39,13 +46,18 @@ __all__ = [
     "compact_store",
     "load_store_index",
     "load_store_rounds",
+    "parse_shard_index",
     "round_filename",
+    "shard_manifest_paths",
     "write_round_file",
 ]
 
 SHARD_FORMAT = "repro-shard"
-SHARD_VERSION = 2
+SHARD_VERSION = 3
 MANIFEST_FILENAME = "manifest.json"
+
+#: Stream layouts a shard may use (`ShardManifest.codec`).
+SHARD_CODECS = ("jsonl", "columnar")
 
 ROUND_FORMAT = "repro-store-round"
 STORE_INDEX_FORMAT = "repro-store-index"
@@ -74,6 +86,10 @@ class ShardManifest:
     #: recorded on completion, so these are trainable-population sizes).
     request_classes: dict[str, int] = field(default_factory=dict)
     compress: bool = False
+    #: Stream layout of this shard's files: ``"jsonl"`` line files or
+    #: the binary ``"columnar"`` struct-of-arrays layout.  Pre-v3
+    #: manifests have no codec field and read as ``"jsonl"``.
+    codec: str = "jsonl"
     #: Collection round that wrote this shard (0 = initial collect;
     #: each ``repro append`` increments it).
     round: int = 0
@@ -110,9 +126,13 @@ class ShardManifest:
         version = data.get("version", SHARD_VERSION)
         if not isinstance(version, int) or version > SHARD_VERSION:
             raise ValueError(f"unsupported shard manifest version {version!r}")
-        # Version-1 manifests predate rounds and hashes; the dataclass
-        # defaults (round 0, no hashes) are the right reading.
-        return cls(**data)
+        # Version-1 manifests predate rounds and hashes, version-2 ones
+        # predate codecs; the dataclass defaults (round 0, no hashes,
+        # jsonl codec) are the right reading.
+        manifest = cls(**data)
+        if manifest.codec not in SHARD_CODECS:
+            raise ValueError(f"unknown shard codec {manifest.codec!r}")
+        return manifest
 
     def save(self, directory: str | Path) -> Path:
         """Write ``manifest.json`` into a shard directory."""
@@ -129,6 +149,37 @@ class ShardManifest:
         if path.is_dir():
             path = path / MANIFEST_FILENAME
         return cls.from_dict(json.loads(path.read_text()))
+
+
+def parse_shard_index(name: str) -> Optional[int]:
+    """Shard index parsed from a ``shard-<n>`` directory name.
+
+    Accepts any zero-pad width (historic stores pad to 5 digits, new
+    ones to 8); returns ``None`` for names that are not shard dirs.
+    """
+    prefix = "shard-"
+    if not name.startswith(prefix):
+        return None
+    digits = name[len(prefix):]
+    return int(digits) if digits.isdigit() else None
+
+
+def shard_manifest_paths(directory: str | Path) -> list[Path]:
+    """Every ``shard-*/manifest.json`` path, sorted by parsed index.
+
+    Lexicographic glob order diverges from index order once pad widths
+    mix (``shard-100000`` sorts before ``shard-99999``), so every store
+    reader iterates in parsed-index order instead.
+    """
+    paths = list(Path(directory).glob("shard-*/manifest.json"))
+    paths.sort(
+        key=lambda p: (
+            parse_shard_index(p.parent.name) is None,
+            parse_shard_index(p.parent.name) or 0,
+            p.parent.name,
+        )
+    )
+    return paths
 
 
 # -- store-level round tracking ----------------------------------------------
@@ -248,7 +299,7 @@ def compact_store(directory: str | Path) -> StoreIndex:
     directory = Path(directory)
     rounds: dict[int, list[int]] = {}
     digests: dict[int, str] = {}
-    for manifest_path in sorted(directory.glob("shard-*/manifest.json")):
+    for manifest_path in shard_manifest_paths(directory):
         manifest = ShardManifest.load(manifest_path)
         rounds.setdefault(manifest.round, []).append(manifest.index)
         digests[manifest.index] = (

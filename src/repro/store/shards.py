@@ -25,6 +25,12 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..tracing import TraceSet, shift_request, shift_span, shift_subsystem_record
+from ..tracing.columnar import (
+    columns_from_records,
+    find_columnar_stream,
+    iter_columnar_records,
+    read_columnar_columns,
+)
 from ..tracing.store import (
     STREAM_TYPES,
     find_stream_file,
@@ -33,7 +39,7 @@ from ..tracing.store import (
     open_trace_write,
     stream_header,
 )
-from .manifest import MANIFEST_FILENAME, ShardManifest
+from .manifest import MANIFEST_FILENAME, ShardManifest, shard_manifest_paths
 from .stitch import StitchOffsets, offsets_for
 
 __all__ = ["ShardStore", "is_shard_store", "shifter_for"]
@@ -78,9 +84,7 @@ class ShardStore:
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
-        manifest_paths = sorted(
-            self.directory.glob(f"shard-*/{MANIFEST_FILENAME}")
-        )
+        manifest_paths = shard_manifest_paths(self.directory)
         if not manifest_paths:
             raise FileNotFoundError(
                 f"no shard manifests under {self.directory} "
@@ -146,15 +150,20 @@ class ShardStore:
         whose bytes no longer match what :class:`ShardWriter` recorded —
         edits, truncation, corruption.  Hashless version-1 shards verify
         trivially.  An empty dict means the store is intact.
+
+        Legacy jsonl digests (a plain sha256 of the single stream file)
+        and columnar digests (a combined digest over header + column
+        buffers) both flow through
+        :func:`repro.store.stream_content_hash`, so stores written by
+        any version verify with the same code path.
         """
-        from .cache import hash_file
+        from .cache import stream_content_hash
 
         bad: dict[int, list[str]] = {}
         for manifest in self.manifests:
             shard_dir = self.shard_dir(manifest)
             for stream, expected in manifest.content_hashes.items():
-                path = find_stream_file(shard_dir, stream)
-                if path is None or hash_file(path) != expected:
+                if stream_content_hash(shard_dir, stream) != expected:
                     bad.setdefault(manifest.index, []).append(stream)
         return bad
 
@@ -196,12 +205,18 @@ class ShardStore:
     # -- records -------------------------------------------------------------
 
     def iter_shard_stream(self, manifest: ShardManifest, stream: str) -> Iterator:
-        """Yield one shard's records for ``stream``, unshifted."""
-        record_cls = STREAM_TYPES[stream]
-        path = find_stream_file(self.shard_dir(manifest), stream)
-        if path is None:
+        """Yield one shard's records for ``stream``, unshifted.
+
+        Works for either codec: columnar shards materialize record
+        objects identical to what the JSONL reader yields.
+        """
+        shard_dir = self.shard_dir(manifest)
+        path = find_stream_file(shard_dir, stream)
+        if path is not None:
+            yield from iter_stream_records(path, STREAM_TYPES[stream])
             return
-        yield from iter_stream_records(path, record_cls)
+        if find_columnar_stream(shard_dir, stream) is not None:
+            yield from iter_columnar_records(shard_dir, stream)
 
     def iter_shard_stream_batches(
         self, manifest: ShardManifest, stream: str, batch_size: int = 1024
@@ -211,11 +226,45 @@ class ShardStore:
         The batched fast path under :meth:`iter_shard_stream` — one list
         per ``batch_size`` records, unshifted.
         """
-        record_cls = STREAM_TYPES[stream]
-        path = find_stream_file(self.shard_dir(manifest), stream)
-        if path is None:
+        shard_dir = self.shard_dir(manifest)
+        path = find_stream_file(shard_dir, stream)
+        if path is not None:
+            yield from iter_record_batches(
+                path, STREAM_TYPES[stream], batch_size=batch_size
+            )
             return
-        yield from iter_record_batches(path, record_cls, batch_size=batch_size)
+        if find_columnar_stream(shard_dir, stream) is None:
+            return
+        batch: list = []
+        for record in iter_columnar_records(shard_dir, stream):
+            batch.append(record)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def load_shard_stream_columns(
+        self,
+        manifest: ShardManifest,
+        stream: str,
+        names: "list[str] | None" = None,
+    ) -> "dict[str, Any] | None":
+        """One shard's stream as full (unshifted) column arrays.
+
+        The analyzer's entry point: columnar shards serve their buffers
+        directly; jsonl shards decode once and pivot through
+        :func:`repro.tracing.columnar.columns_from_records`.  Both
+        codecs hand back the identical representation, which is what
+        makes cross-codec analyses byte-identical.  ``None`` when the
+        stream has no file (empty stream).
+        """
+        shard_dir = self.shard_dir(manifest)
+        path = find_stream_file(shard_dir, stream)
+        if path is not None:
+            records = list(iter_stream_records(path, STREAM_TYPES[stream]))
+            return columns_from_records(stream, records, names)
+        return read_columnar_columns(shard_dir, stream, names)
 
     def iter_stream(self, stream: str) -> Iterator:
         """Yield all shards' records for ``stream``, stitched.

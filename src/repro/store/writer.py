@@ -18,15 +18,23 @@ import math
 from pathlib import Path
 from typing import Any, Mapping, Optional, TextIO
 
+from ..tracing.columnar import ColumnarStreamWriter
 from ..tracing.store import STREAM_TYPES, open_trace_write, stream_header
-from .manifest import ShardManifest
+from .manifest import SHARD_CODECS, ShardManifest
 
 __all__ = ["ShardWriter", "shard_dirname"]
 
 
 def shard_dirname(index: int) -> str:
-    """Canonical shard directory name (zero-padded so glob order = index order)."""
-    return f"shard-{index:05d}"
+    """Canonical shard directory name.
+
+    Zero-padded to 8 digits so lexicographic order matches index order
+    up to 100M shards.  Readers sort by the *parsed* index
+    (:func:`repro.store.parse_shard_index`) rather than name order, so
+    stores mixing this pad with the historic 5-digit one still merge
+    in index order.
+    """
+    return f"shard-{index:08d}"
 
 
 class ShardWriter:
@@ -47,7 +55,15 @@ class ShardWriter:
         params: Optional[Mapping[str, Any]] = None,
         compress: bool = False,
         round: int = 0,
+        codec: str = "jsonl",
     ):
+        if codec not in SHARD_CODECS:
+            raise ValueError(f"unknown shard codec {codec!r}")
+        if codec == "columnar" and compress:
+            raise ValueError(
+                "columnar shards do not support compress "
+                "(column buffers are raw binary)"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.index = index
@@ -55,9 +71,11 @@ class ShardWriter:
         self.seed = seed
         self.params = dict(params or {})
         self.compress = compress
+        self.codec = codec
         self.round = round
         self._suffix = ".jsonl.gz" if compress else ".jsonl"
         self._files: dict[str, TextIO] = {}
+        self._columns: dict[str, ColumnarStreamWriter] = {}
         self._finalized = False
         # Stitch bookkeeping, incremental mirror of repro.store.stitch.
         self._extent = 0.0
@@ -74,12 +92,21 @@ class ShardWriter:
             raise RuntimeError("shard already finalized")
         if stream not in STREAM_TYPES:
             raise ValueError(f"unknown stream {stream!r}")
-        fh = self._files.get(stream)
-        if fh is None:
-            fh = open_trace_write(self.directory / f"{stream}{self._suffix}")
-            fh.write(json.dumps(stream_header(stream)) + "\n")
-            self._files[stream] = fh
-        fh.write(json.dumps(record.to_dict()) + "\n")
+        if self.codec == "columnar":
+            writer = self._columns.get(stream)
+            if writer is None:
+                writer = ColumnarStreamWriter(self.directory, stream)
+                self._columns[stream] = writer
+            writer.write(record)
+        else:
+            fh = self._files.get(stream)
+            if fh is None:
+                fh = open_trace_write(
+                    self.directory / f"{stream}{self._suffix}"
+                )
+                fh.write(json.dumps(stream_header(stream)) + "\n")
+                self._files[stream] = fh
+            fh.write(json.dumps(record.to_dict()) + "\n")
         self._track(stream, record)
 
     def _track(self, stream: str, record) -> None:
@@ -130,17 +157,22 @@ class ShardWriter:
         for fh in self._files.values():
             fh.close()
         self._files.clear()
+        for writer in self._columns.values():
+            writer.close()
+        self._columns.clear()
         # Hash the raw stream-file bytes after close: the digest covers
-        # exactly what a reader will see, compressed or not, so any
-        # later edit or corruption is detectable.
-        from .cache import hash_file
+        # exactly what a reader will see — one file per jsonl stream, a
+        # combined digest over a columnar stream's header + column
+        # buffers — so any later edit or corruption is detectable.
+        from .cache import stream_content_hash
 
-        content_hashes = {
-            stream: hash_file(self.directory / f"{stream}{self._suffix}")
-            for stream in sorted(self._counts)
-            if self._counts[stream]
-            and (self.directory / f"{stream}{self._suffix}").exists()
-        }
+        content_hashes = {}
+        for stream in sorted(self._counts):
+            if not self._counts[stream]:
+                continue
+            digest = stream_content_hash(self.directory, stream)
+            if digest is not None:
+                content_hashes[stream] = digest
         manifest = ShardManifest(
             index=self.index,
             app=self.app,
@@ -153,6 +185,7 @@ class ShardWriter:
             max_span_id=self._max_span_id,
             request_classes=dict(sorted(self._request_classes.items())),
             compress=self.compress,
+            codec=self.codec,
             round=self.round,
             content_hashes=content_hashes,
         )
@@ -170,3 +203,6 @@ class ShardWriter:
                 for fh in self._files.values():
                     fh.close()
                 self._files.clear()
+                for writer in self._columns.values():
+                    writer.abort()
+                self._columns.clear()

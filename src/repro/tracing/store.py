@@ -72,19 +72,46 @@ def stream_header(stream: str) -> dict:
     return {"format": TRACES_FORMAT, "version": TRACES_VERSION, "stream": stream}
 
 
+class _CanonicalGzipFile(gzip.GzipFile):
+    """Gzip writer with a canonical member header.
+
+    ``GzipFile(filename=...)`` embeds the file's basename (FNAME field)
+    and, unless overridden, the wall-clock mtime — so byte-identical
+    record streams could hash differently across paths or runs.  This
+    writer pins ``mtime=0`` and omits FNAME entirely, making the
+    compressed bytes a pure function of the uncompressed bytes.  It
+    owns the underlying raw file (``GzipFile.close`` never closes an
+    external ``fileobj``, so ``close`` is extended to do it).
+    """
+
+    def __init__(self, path: str | Path):
+        self._raw = Path(path).open("wb")
+        try:
+            super().__init__(
+                filename="", fileobj=self._raw, mode="wb", mtime=0
+            )
+        except Exception:
+            self._raw.close()
+            raise
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
 def open_trace_write(path: str | Path) -> TextIO:
     """Open a trace stream file for writing; ``.gz`` suffix gzips.
 
-    Gzip members are written with ``mtime=0`` so identical records
-    produce byte-identical files — the reproducibility contract the
-    sharded fleet tests assert at the file level.
+    Gzip members are written with a canonical header (``mtime=0``, no
+    embedded filename) so identical records produce byte-identical
+    files — the reproducibility contract the sharded fleet tests
+    assert at the file level.
     """
     path = Path(path)
     if path.suffix == ".gz":
-        return io.TextIOWrapper(
-            gzip.GzipFile(filename=str(path), mode="wb", mtime=0),
-            encoding="utf-8",
-        )
+        return io.TextIOWrapper(_CanonicalGzipFile(path), encoding="utf-8")
     return path.open("w", encoding="utf-8")
 
 
@@ -110,13 +137,16 @@ def _is_header(data: dict) -> bool:
     return isinstance(data, dict) and data.get("format") == TRACES_FORMAT
 
 
-#: Memoized header detection: file path -> ((mtime_ns, size), has_header).
+#: Memoized header detection: path -> ((mtime_ns, size, inode), has_header).
 #: Stream files are opened once per shard per analysis stream, and an
 #: incremental workflow re-opens the same (immutable) shard files across
 #: many characterize/validate calls — caching the decoded-and-validated
 #: verdict skips a json.loads per open.  Keyed on stat identity so an
-#: edited file re-validates.
-_HEADER_CACHE: dict[str, tuple[tuple[int, int], bool]] = {}
+#: edited file re-validates; the inode is part of the key because the
+#: usual rewrite pattern (write a temp file, ``os.replace`` over the
+#: original) can leave mtime and size unchanged within filesystem
+#: timestamp granularity while swapping in different bytes.
+_HEADER_CACHE: dict[str, tuple[tuple[int, int, int], bool]] = {}
 _HEADER_CACHE_MAX = 4096
 
 
@@ -125,7 +155,7 @@ def _first_line_is_header(path: Path, line: str) -> bool:
     key = str(path)
     try:
         stat = path.stat()
-        signature = (stat.st_mtime_ns, stat.st_size)
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
     except OSError:
         signature = None
     if signature is not None:
@@ -199,11 +229,33 @@ def iter_stream_records(path: str | Path, record_cls) -> Iterator:
 
 
 def save_traces(
-    traces: TraceSet, directory: str | Path, compress: bool = False
+    traces: TraceSet,
+    directory: str | Path,
+    compress: bool = False,
+    codec: str = "jsonl",
 ) -> Path:
-    """Write each stream of ``traces`` to ``directory/<stream>.jsonl[.gz]``."""
+    """Write each stream of ``traces`` to ``directory``.
+
+    ``codec="jsonl"`` (default) writes ``<stream>.jsonl[.gz]``;
+    ``codec="columnar"`` writes the binary struct-of-arrays layout of
+    :mod:`repro.tracing.columnar` (incompatible with ``compress`` —
+    the column buffers are raw binary).
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if codec == "columnar":
+        if compress:
+            raise ValueError("columnar traces do not support compress")
+        from .columnar import ColumnarStreamWriter
+
+        for stream in STREAM_TYPES:
+            writer = ColumnarStreamWriter(directory, stream)
+            for record in getattr(traces, stream):
+                writer.write(record)
+            writer.close()
+        return directory
+    if codec != "jsonl":
+        raise ValueError(f"unknown trace codec {codec!r}")
     suffix = ".jsonl.gz" if compress else ".jsonl"
     for stream in STREAM_TYPES:
         records = getattr(traces, stream)
@@ -238,10 +290,17 @@ def load_traces(directory: str | Path):
         from ..store.shards import ShardStore
 
         return ShardStore(directory)
+    from .columnar import find_columnar_stream, iter_columnar_records
+
     traces = TraceSet()
     for stream, record_cls in STREAM_TYPES.items():
         path = find_stream_file(directory, stream)
-        if path is None:
-            continue
-        getattr(traces, stream).extend(iter_stream_records(path, record_cls))
+        if path is not None:
+            getattr(traces, stream).extend(
+                iter_stream_records(path, record_cls)
+            )
+        elif find_columnar_stream(directory, stream) is not None:
+            getattr(traces, stream).extend(
+                iter_columnar_records(directory, stream)
+            )
     return traces

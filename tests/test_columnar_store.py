@@ -1,0 +1,449 @@
+"""Tests for the columnar shard codec and batched accumulator folds (PR 6).
+
+Pins down the acceptance contract of the codec work: every streaming
+accumulator's ``update_batch`` is equivalent to repeated ``add`` (bit
+for bit where the implementation promises it, within 1e-9 relative for
+the Chan-combined moment folds), including NaN/inf inputs, empty
+batches, split folds and ``state()``/``from_state()`` round-trips
+mid-fold; columnar and JSONL stores produce byte-identical
+``characterize`` and ``validate --per-class`` stdout for several
+worker counts; ``repro convert`` round-trips a store through the
+columnar codec back to byte-identical JSONL stream files; and the
+determinism bugfix sweep holds (gzip members carry no wall-clock
+mtime or filename, the header-decode memo survives an in-place
+``os.replace`` rewrite, and mixed 5-/8-digit shard directory names
+merge in parsed index order, not lexicographic).
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+import repro.tracing.store as tracing_store
+from repro.cli import main
+from repro.stats import (
+    CategoricalCounter,
+    CoMomentsAccumulator,
+    ExactQuantiles,
+    FixedHistogram,
+    InterarrivalStats,
+    MomentsAccumulator,
+    P2Quantile,
+    ReservoirQuantile,
+    SeekStats,
+    WindowedCounter,
+)
+from repro.store import (
+    ShardStore,
+    ShardWriter,
+    parse_shard_index,
+    shard_dirname,
+)
+from repro.tracing import RequestRecord, TraceSet, save_traces
+from repro.tracing.columnar import StringColumn
+
+# -- update_batch == repeated add --------------------------------------------
+
+_RNG = np.random.default_rng(20260807)
+_NORMALS = _RNG.normal(3.0, 2.0, size=200)
+_TIMES = np.sort(_RNG.uniform(0.0, 25.0, size=150))
+
+#: (name, constructor, add-argument tuples, batch is bit-identical?).
+#: Batches mix NaN/inf, boundary values and long runs; "exact" cases
+#: promise bit-identity to the sequential path, the Chan-combined
+#: moment folds promise 1e-9 relative agreement instead.
+BATCH_CASES = [
+    (
+        "moments",
+        MomentsAccumulator,
+        [(v,) for v in _NORMALS.tolist()
+         + [float("inf"), float("-inf"), float("nan"), 0.0]],
+        False,
+    ),
+    (
+        "co-moments",
+        CoMomentsAccumulator,
+        [(v, 2.0 * v - 1.0) for v in _NORMALS.tolist() + [float("nan")]],
+        False,
+    ),
+    (
+        "fixed-histogram",
+        lambda: FixedHistogram([-2.0, -1.0, 0.0, 1.0, 2.0]),
+        [(v,) for v in _NORMALS.tolist()
+         + [-2.0, 2.0, -99.0, 99.0, float("inf"), float("nan")]],
+        True,
+    ),
+    (
+        "exact-quantiles",
+        ExactQuantiles,
+        [(v,) for v in _NORMALS.tolist() + [float("inf"), float("nan")]],
+        True,
+    ),
+    (
+        "p2-quantile",
+        lambda: P2Quantile(0.9),
+        [(v,) for v in _RNG.uniform(0.0, 10.0, size=100).tolist()],
+        True,
+    ),
+    (
+        "reservoir-quantile",
+        lambda: ReservoirQuantile(capacity=16, seed=7),
+        [(v,) for v in _RNG.normal(0.0, 1.0, size=300).tolist()],
+        True,
+    ),
+    (
+        "categorical-counter",
+        CategoricalCounter,
+        [(k,) for k in _RNG.choice(
+            ["read", "write", "seek", "open", "close"], size=120
+        ).tolist()],
+        True,
+    ),
+    (
+        "windowed-counter",
+        lambda: WindowedCounter(0.5, origin=0.0),
+        list(zip(
+            _TIMES.tolist(),
+            _RNG.uniform(0.1, 3.0, size=_TIMES.size).tolist(),
+            _RNG.uniform(0.0, 0.5, size=_TIMES.size).tolist(),
+        )),
+        True,
+    ),
+    (
+        "interarrival-stats",
+        InterarrivalStats,
+        [(t,) for t in np.sort(
+            np.round(_RNG.uniform(0.0, 10.0, size=150), 2)
+        ).tolist()],
+        False,
+    ),
+    (
+        "seek-stats",
+        SeekStats,
+        [(int(l), int(s)) for l, s in zip(
+            _RNG.integers(0, 10_000, size=150),
+            _RNG.integers(1, 1 << 22, size=150),
+        )],
+        True,
+    ),
+]
+
+BATCH_IDS = [case[0] for case in BATCH_CASES]
+
+
+def snap(acc) -> str:
+    return json.dumps(acc.state(), sort_keys=True)
+
+
+def _assert_state_close(a, b, path=""):
+    """Recursive state comparison: numbers within 1e-9 rel, NaN == NaN."""
+    assert type(a) is type(b) or (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+    ), f"{path}: {a!r} vs {b!r}"
+    if isinstance(a, dict):
+        assert a.keys() == b.keys(), path
+        for key in a:
+            _assert_state_close(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_state_close(x, y, f"{path}[{i}]")
+    elif isinstance(a, float) or isinstance(b, float):
+        if math.isnan(float(a)) and math.isnan(float(b)):
+            return
+        assert float(a) == pytest.approx(float(b), rel=1e-9, abs=1e-12), path
+    else:
+        assert a == b, path
+
+
+def _assert_equivalent(batched, sequential, exact: bool):
+    if exact:
+        assert snap(batched) == snap(sequential)
+    else:
+        _assert_state_close(batched.state(), sequential.state())
+
+
+def _batch_args(samples):
+    """Transpose add-argument tuples into update_batch column arguments."""
+    return [list(column) for column in zip(*samples)]
+
+
+@pytest.mark.parametrize("name,make,samples,exact", BATCH_CASES, ids=BATCH_IDS)
+def test_update_batch_matches_repeated_add(name, make, samples, exact):
+    sequential = make()
+    for args in samples:
+        sequential.add(*args)
+    batched = make()
+    batched.update_batch(*_batch_args(samples))
+    _assert_equivalent(batched, sequential, exact)
+
+
+@pytest.mark.parametrize("name,make,samples,exact", BATCH_CASES, ids=BATCH_IDS)
+def test_update_batch_split_folds_match(name, make, samples, exact):
+    # Folding in several chunks must agree with one fold and with the
+    # sequential path — the shard-at-a-time analysis pattern.
+    sequential = make()
+    for args in samples:
+        sequential.add(*args)
+    batched = make()
+    third = len(samples) // 3
+    for chunk in (samples[:third], samples[third: 2 * third],
+                  samples[2 * third:]):
+        batched.update_batch(*_batch_args(chunk))
+    _assert_equivalent(batched, sequential, exact)
+
+
+@pytest.mark.parametrize("name,make,samples,exact", BATCH_CASES, ids=BATCH_IDS)
+def test_state_roundtrip_mid_batch_fold(name, make, samples, exact):
+    # Snapshot/restore between two batch folds must be invisible: the
+    # restored accumulator folds the continuation to the same state
+    # (including the reservoir's RNG draw sequence).
+    half = len(samples) // 2
+    acc = make()
+    acc.update_batch(*_batch_args(samples[:half]))
+    restored = type(acc).from_state(json.loads(snap(acc)))
+    assert snap(restored) == snap(acc)
+    acc.update_batch(*_batch_args(samples[half:]))
+    restored.update_batch(*_batch_args(samples[half:]))
+    assert snap(restored) == snap(acc)
+
+
+@pytest.mark.parametrize("name,make,samples,exact", BATCH_CASES, ids=BATCH_IDS)
+def test_update_batch_empty_is_noop(name, make, samples, exact):
+    arity = len(samples[0])
+    fresh = make()
+    fresh.update_batch(*[[] for _ in range(arity)])
+    assert snap(fresh) == snap(make())
+    # And after real data: an empty fold must not disturb state.
+    acc = make()
+    acc.update_batch(*_batch_args(samples))
+    before = snap(acc)
+    acc.update_batch(*[[] for _ in range(arity)])
+    assert snap(acc) == before
+
+
+def test_moments_batch_nan_poisons_mean_not_extrema():
+    acc = MomentsAccumulator()
+    acc.update_batch([float("nan"), 1.0, 5.0])
+    assert acc.n == 3
+    assert (acc.min, acc.max) == (1.0, 5.0)
+    assert math.isnan(acc.mean)
+    reference = MomentsAccumulator()
+    for v in (float("nan"), 1.0, 5.0):
+        reference.add(v)
+    assert (reference.min, reference.max) == (1.0, 5.0)
+    assert math.isnan(reference.mean)
+
+
+def test_exact_quantiles_bounded_batch_degrades_identically():
+    values = np.linspace(0.0, 1.0, 40).tolist()
+    sequential = ExactQuantiles(max_values=8)
+    with pytest.warns(RuntimeWarning, match="max_values"):
+        for v in values:
+            sequential.add(v)
+    batched = ExactQuantiles(max_values=8)
+    with pytest.warns(RuntimeWarning, match="max_values"):
+        batched.update_batch(values)
+    assert batched.degraded and sequential.degraded
+    # Bit-identical: the batch path falls back to sequential adds so
+    # the reservoir RNG consumes the same draws.
+    assert snap(batched) == snap(sequential)
+
+
+def test_categorical_counter_folds_dict_encoded_columns():
+    keys = ["read", "write", "read", "seek", "read", "write"]
+    table = ["read", "write", "seek"]
+    column = StringColumn(
+        np.array([table.index(k) for k in keys], dtype=np.int32), table
+    )
+    from_keys = CategoricalCounter()
+    from_keys.update_batch(keys)
+    from_column = CategoricalCounter()
+    from_column.update_batch(column)
+    assert from_column.counts == from_keys.counts
+    # Table entries with zero occurrences must not appear as keys.
+    sparse = CategoricalCounter()
+    sparse.update_batch(StringColumn(np.array([2, 2], dtype=np.int32), table))
+    assert sparse.counts == {"seek": 2}
+
+
+def test_paired_batch_length_mismatch_raises():
+    with pytest.raises(ValueError, match="equal length"):
+        CoMomentsAccumulator().update_batch([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError, match="equal length"):
+        SeekStats().update_batch([1, 2], [4096])
+
+
+def test_windowed_counter_batch_rejects_pre_origin_before_mutating():
+    acc = WindowedCounter(0.5, origin=0.0)
+    with pytest.raises(ValueError, match="precedes origin"):
+        acc.update_batch([5.0, -1.0])
+    assert acc.n == 0 and acc.bins == {}
+
+
+# -- cross-codec CLI byte-identity -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def codec_stores(tmp_path_factory):
+    """One workload, four stores: collected and converted, both codecs."""
+    base = tmp_path_factory.mktemp("codec-stores")
+    args = ["collect", "--app", "gfs", "--requests", "40", "--replicas", "2"]
+    jsonl = base / "jsonl"
+    columnar = base / "columnar"
+    assert main(args + ["--out", str(jsonl)]) == 0
+    assert main(args + ["--codec", "columnar", "--out", str(columnar)]) == 0
+    converted = base / "converted"
+    assert main([
+        "convert", str(jsonl), "--out", str(converted), "--codec", "columnar",
+    ]) == 0
+    roundtrip = base / "roundtrip"
+    assert main([
+        "convert", str(converted), "--out", str(roundtrip), "--codec", "jsonl",
+    ]) == 0
+    return {
+        "jsonl": jsonl,
+        "columnar": columnar,
+        "converted": converted,
+        "roundtrip": roundtrip,
+    }
+
+
+def test_convert_roundtrip_restores_byte_identical_stream_files(codec_stores):
+    jsonl, roundtrip = codec_stores["jsonl"], codec_stores["roundtrip"]
+    shards = sorted(p.name for p in jsonl.iterdir() if p.name.startswith("shard-"))
+    assert shards == sorted(
+        p.name for p in roundtrip.iterdir() if p.name.startswith("shard-")
+    )
+    for shard in shards:
+        names = sorted(p.name for p in (jsonl / shard).glob("*.jsonl"))
+        assert names, shard
+        assert names == sorted(p.name for p in (roundtrip / shard).glob("*.jsonl"))
+        for name in names:
+            assert (roundtrip / shard / name).read_bytes() == (
+                jsonl / shard / name
+            ).read_bytes(), f"{shard}/{name}"
+
+
+def test_collected_columnar_store_verifies(codec_stores):
+    for key in ("columnar", "converted"):
+        store = ShardStore(codec_stores[key])
+        assert store.verify() == {}
+        for shard_dir in codec_stores[key].glob("shard-*"):
+            assert not list(shard_dir.glob("*.jsonl")), (
+                "columnar shards must not carry jsonl stream files"
+            )
+            assert list(shard_dir.glob("*.columns.json"))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_characterize_stdout_identical_across_codecs(
+    codec_stores, workers, capsys
+):
+    outputs = {}
+    for key, path in codec_stores.items():
+        assert main([
+            "characterize", str(path), "--no-cache", "--workers", str(workers),
+        ]) == 0
+        outputs[key] = capsys.readouterr().out
+    reference = outputs["jsonl"]
+    assert "requests" in reference
+    for key, out in outputs.items():
+        assert out == reference, f"characterize stdout diverged for {key}"
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_validate_per_class_stdout_identical_across_codecs(
+    codec_stores, workers, capsys
+):
+    results = {}
+    for key in ("jsonl", "converted"):
+        code = main([
+            "validate", str(codec_stores[key]), "--per-class", "--no-cache",
+            "--workers", str(workers),
+        ])
+        results[key] = (code, capsys.readouterr().out)
+    assert results["converted"] == results["jsonl"]
+
+
+def test_cli_rejects_gzip_with_columnar(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "collect", "--app", "gfs", "--requests", "5",
+            "--codec", "columnar", "--gzip", "--out", str(tmp_path / "a"),
+        ])
+    with pytest.raises(SystemExit):
+        main([
+            "convert", str(tmp_path / "missing"), "--out",
+            str(tmp_path / "b"), "--codec", "columnar", "--gzip",
+        ])
+
+
+# -- determinism bugfix sweep ------------------------------------------------
+
+
+def test_gzip_streams_have_canonical_headers(tmp_path):
+    # RFC 1952 member header: no FNAME flag, zeroed MTIME — the bytes
+    # that previously leaked the writing host's wall clock and path.
+    traces = TraceSet()
+    traces.requests.append(
+        RequestRecord(1, "read", "s0", arrival_time=0.0, completion_time=0.5)
+    )
+    save_traces(traces, tmp_path / "a", compress=True)
+    save_traces(traces, tmp_path / "b", compress=True)
+    gz_files = sorted((tmp_path / "a").glob("*.jsonl.gz"))
+    assert gz_files
+    for path in gz_files:
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        assert raw[3] & 0x08 == 0, f"{path.name}: FNAME flag set"
+        assert raw[4:8] == b"\x00\x00\x00\x00", f"{path.name}: mtime set"
+        # Same records, different directory and instant: same bytes.
+        assert raw == (tmp_path / "b" / path.name).read_bytes()
+
+
+def test_header_memo_survives_inplace_rewrite(tmp_path):
+    # The usual atomic-rewrite pattern (temp file + os.replace) can
+    # leave mtime and size unchanged while swapping the bytes; the
+    # header-decode memo must key on the inode too and re-validate.
+    path = tmp_path / "requests.jsonl"
+    header_line = json.dumps({
+        "format": tracing_store.TRACES_FORMAT,
+        "version": tracing_store.TRACES_VERSION,
+    })
+    path.write_text(header_line + "\n")
+    assert tracing_store._first_line_is_header(path, header_line) is True
+    old = path.stat()
+    plain_line = json.dumps({"format": "x"}).ljust(len(header_line))
+    replacement = tmp_path / "requests.jsonl.tmp"
+    replacement.write_text(plain_line + "\n")
+    os.replace(replacement, path)
+    os.utime(path, ns=(old.st_atime_ns, old.st_mtime_ns))
+    st = path.stat()
+    assert (st.st_mtime_ns, st.st_size) == (old.st_mtime_ns, old.st_size)
+    assert st.st_ino != old.st_ino
+    assert tracing_store._first_line_is_header(path, plain_line) is False
+
+
+def test_mixed_pad_shard_dirs_merge_in_index_order(tmp_path):
+    # Legacy stores used a 5-digit directory pad; new stores use 8.
+    # Lexicographic order would put shard-00000010 before shard-00002 —
+    # readers must sort by the parsed index instead.
+    assert shard_dirname(3) == "shard-00000003"
+    assert parse_shard_index("shard-00002") == 2
+    assert parse_shard_index("shard-00000010") == 10
+    assert parse_shard_index("not-a-shard") is None
+    for name, index in (("shard-00002", 2), ("shard-00000010", 10)):
+        writer = ShardWriter(tmp_path / name, index=index, app="t", seed=index)
+        writer.write(
+            "requests",
+            RequestRecord(
+                1, "read", "s0", arrival_time=0.0, completion_time=0.5
+            ),
+        )
+        writer.finalize(duration=1.0)
+    store = ShardStore(tmp_path)
+    assert [m.index for m in store.manifests] == [2, 10]

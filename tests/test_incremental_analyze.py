@@ -382,7 +382,7 @@ def test_workers_spawn_only_for_the_new_round(cached_store, monkeypatch):
 
 def test_shard_edit_invalidates_only_that_shard(cached_store):
     analyze_source(cached_store, cache=True)
-    target = cached_store / "shard-00001" / "requests.jsonl"
+    target = cached_store / "shard-00000001" / "requests.jsonl"
     with open(target, "a") as fh:
         fh.write("\n")  # changes bytes, parses identically
     assert ShardStore(cached_store).verify() == {1: ["requests"]}

@@ -143,7 +143,7 @@ def test_cli_collect_replicas_identical_across_workers(tmp_path, capsys):
     assert main(args + ["--workers", "2", "--out", str(d2)]) == 0
     out = capsys.readouterr().out
     assert "3 replicas" in out
-    for shard in ("shard-00000", "shard-00001", "shard-00002"):
+    for shard in ("shard-00000000", "shard-00000001", "shard-00000002"):
         names1 = sorted(p.name for p in (d1 / shard).iterdir())
         assert names1 == sorted(p.name for p in (d2 / shard).iterdir())
         for name in names1:
