@@ -60,7 +60,11 @@ from .tracing import (
     save_traces,
 )
 
-__version__ = "1.0.0"
+from ._version import tool_version
+
+#: Resolved from installed metadata when available, so stamped shard
+#: manifests, `repro --version`, and `/healthz` all agree.
+__version__ = tool_version()
 
 __all__ = [
     "CAPABILITIES",
@@ -96,4 +100,5 @@ __all__ = [
     "run_webapp_workload",
     "save_traces",
     "__version__",
+    "tool_version",
 ]

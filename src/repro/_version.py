@@ -1,0 +1,28 @@
+"""Tool version, importable from leaf modules without package cycles.
+
+``repro.store.writer`` stamps manifests with the producing tool's
+version and ``repro.cli --version`` / the serve daemon's ``/healthz``
+report it; all of them import this module, which depends on nothing
+else in the package (``repro/__init__`` re-exports it, but leaf modules
+must not import the package root while it is still initializing).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FALLBACK_VERSION", "tool_version"]
+
+#: Used when the package is run from a source tree without installed
+#: distribution metadata (keep in sync with ``pyproject.toml``).
+FALLBACK_VERSION = "1.0.0"
+
+
+def tool_version() -> str:
+    """The installed package version, or the source-tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return FALLBACK_VERSION

@@ -15,6 +15,8 @@ cluster, model training offline, validation and studies anywhere:
     repro describe model.json
     repro validate --in traces/ --per-class --workers 4
     repro characterize --in traces/
+    repro verify --in traces/
+    repro serve --in traces/ --port 9090 --model classes.json
 
 Every trace-consuming command takes a uniform ``--in PATH`` that
 auto-detects shard stores vs flat dumps (the pre-0.3 positional path
@@ -26,12 +28,20 @@ timeline (see ``docs/streaming_analysis.md``).
 Analysis commands over a shard store default to the persistent
 per-shard cache (``--no-cache`` disables it); cache statistics go to
 stderr so cached and uncached runs print byte-identical stdout.
+
+``repro serve`` turns the same pipeline into a long-lived daemon:
+watch-folds appended rounds, optionally ingests live records over a
+socket, and serves ``/profile`` / ``/validate`` / ``/drift`` /
+``/metrics`` over HTTP (see ``docs/serving.md``).  ``Ctrl-C`` exits
+any command with status 130 after flushing open shard writers.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -437,10 +447,78 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .store import ShardStore, is_shard_store
+
+    path = _input_path(args, "store")
+    if not is_shard_store(path):
+        raise SystemExit(f"{path} is not a shard store")
+    store = ShardStore(path)
+    bad = store.verify()
+    if not bad:
+        print(f"store at {path} verified: {len(store)} shard(s) intact")
+        return 0
+    for index, streams in sorted(bad.items()):
+        print(f"shard {index}: content mismatch in {', '.join(streams)}")
+    print(f"verification FAILED: {len(bad)} of {len(store)} shard(s) corrupt")
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DriftThresholds, ServeConfig, ServeDaemon, ServeError
+
+    path = _input_path(args, "store")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+        window=args.window,
+        max_quantile_values=args.max_quantile_values,
+        cache=args.cache,
+        complete_rounds_only=not args.partial_rounds,
+        model_path=args.model,
+        checkpoint_path=args.checkpoint,
+        ingest_port=args.ingest_port,
+        ingest_host=args.host,
+        ingest_socket=args.ingest_socket,
+        drift_window_requests=args.drift_window,
+        thresholds=DriftThresholds(
+            ks=args.drift_ks_threshold,
+            mix=args.drift_mix_threshold,
+            rate_sigmas=args.drift_rate_sigmas,
+        ),
+    )
+    daemon = ServeDaemon(path, config)
+    try:
+        daemon.start()
+    except ServeError as error:
+        raise SystemExit(str(error))
+    host, port = daemon.http_address
+    print(f"serving {path} on http://{host}:{port}", flush=True)
+    if daemon.ingest is not None:
+        print(f"ingest listening on {daemon.ingest.address}", flush=True)
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    try:
+        while not stop.wait(0.5):
+            pass
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        # Runs on SIGTERM and KeyboardInterrupt alike: stops listeners,
+        # commits any half-open ingest shard, writes the checkpoint.
+        daemon.shutdown()
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from ._version import tool_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Datacenter workload modeling: in-breadth, in-depth, KOOZA",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {tool_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -655,12 +733,116 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_flag(characterize)
     characterize.set_defaults(func=_cmd_characterize)
 
+    verify = sub.add_parser(
+        "verify",
+        help="re-hash a store's stream files against its manifests",
+    )
+    add_input(verify, "store")
+    verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve live characterization of a (growing) shard store "
+        "over HTTP",
+    )
+    add_input(serve, "store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9090,
+        help="HTTP port for /healthz /metrics /profile /validate /drift "
+        "(0 = ephemeral; default 9090)",
+    )
+    serve.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="per-class model JSON (repro train --per-class); enables "
+        "/validate and model-based drift baselines",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        help="seconds between store polls for appended rounds "
+        "(<= 0 disables watching; default 2)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="daemon state file: written after folds and at shutdown, "
+        "restored at startup when it matches the store",
+    )
+    serve.add_argument(
+        "--ingest-port",
+        type=int,
+        default=None,
+        help="TCP port accepting line-delimited JSON records "
+        "(0 = ephemeral; off by default)",
+    )
+    serve.add_argument(
+        "--ingest-socket",
+        type=Path,
+        default=None,
+        help="Unix socket path accepting line-delimited JSON records",
+    )
+    serve.add_argument("--window", type=float, default=0.25)
+    serve.add_argument(
+        "--max-quantile-values",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound every exact-quantile buffer at N values (must match "
+        "the batch runs /profile should be byte-equal with)",
+    )
+    serve.add_argument(
+        "--partial-rounds",
+        action="store_true",
+        help="fold complete shards as they appear instead of waiting "
+        "for whole recorded rounds",
+    )
+    serve.add_argument(
+        "--drift-window",
+        type=int,
+        default=256,
+        help="recent completed requests judged for drift (default 256)",
+    )
+    serve.add_argument(
+        "--drift-ks-threshold",
+        type=float,
+        default=0.25,
+        help="KS distance that trips the latency drift alarm",
+    )
+    serve.add_argument(
+        "--drift-mix-threshold",
+        type=float,
+        default=0.35,
+        help="total-variation distance that trips the class-mix alarm",
+    )
+    serve.add_argument(
+        "--drift-rate-sigmas",
+        type=float,
+        default=4.0,
+        help="request-rate z-score that trips the rate alarm",
+    )
+    add_cache_flag(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Fleet workers / shard writers clean up via their context
+        # managers (aborted shards leave no manifest); the serve path
+        # additionally flushes ingest and checkpoints in its finally.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

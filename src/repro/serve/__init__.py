@@ -1,0 +1,49 @@
+"""Online characterization: the ``repro serve`` subsystem.
+
+Turns the batch collect→characterize→validate pipeline into a
+long-lived service.  A :class:`ServeDaemon` watches a shard store for
+appended rounds (:class:`StoreWatcher`), optionally ingests live
+records over a socket (:class:`IngestServer` → normal store rounds),
+keeps resident streaming accumulators equal to a batch re-analysis
+(:class:`ResidentAnalysis`), checkpoints them between restarts
+(:class:`ServeState`), and serves profile / validation / drift /
+metrics endpoints over HTTP.  See ``docs/serving.md``.
+"""
+
+from .daemon import ServeConfig, ServeDaemon, ServeError
+from .drift import Alarm, DriftBaseline, DriftMonitor, DriftReport, DriftThresholds
+from .ingest import IngestError, IngestServer, IngestSink
+from .metrics import Counter, Gauge, MetricsRegistry, parse_exposition
+from .state import (
+    SERVE_STATE_FORMAT,
+    SERVE_STATE_VERSION,
+    FoldedShard,
+    ResidentAnalysis,
+    ServeState,
+)
+from .watcher import PollResult, StoreWatcher
+
+__all__ = [
+    "Alarm",
+    "Counter",
+    "DriftBaseline",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftThresholds",
+    "FoldedShard",
+    "Gauge",
+    "IngestError",
+    "IngestServer",
+    "IngestSink",
+    "MetricsRegistry",
+    "PollResult",
+    "ResidentAnalysis",
+    "SERVE_STATE_FORMAT",
+    "SERVE_STATE_VERSION",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "ServeState",
+    "StoreWatcher",
+    "parse_exposition",
+]

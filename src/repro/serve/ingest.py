@@ -1,0 +1,257 @@
+"""Live record ingest: line-delimited JSON sockets → store rounds.
+
+Protocol (one JSON object per line, UTF-8):
+
+* ``{"stream": "requests", "record": {...}}`` — append one record.
+  ``stream`` is any trace stream name (``network``, ``cpu``,
+  ``memory``, ``storage``, ``requests``, ``spans``) and ``record`` its
+  ``to_dict`` form; decoding goes through the stream's ``from_dict``,
+  so a malformed record is rejected per-line without killing the
+  connection.
+* ``{"commit": true}`` (optionally ``{"commit": true, "duration": T}``)
+  — finalize the open shard as its own collection round.  The server
+  acks ``{"ok": true, "shard": i, "round": r, "records": n}``.
+* ``{"ping": true}`` — liveness ack.
+
+Ingested traffic lands in the store through the ordinary
+:class:`repro.store.ShardWriter` — manifest, content hashes, round
+file and all — so the watcher folds it exactly like an appended
+``repro append`` round and batch tools never know the difference.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional
+
+from ..store.manifest import ShardManifest, shard_manifest_paths, write_round_file
+from ..store.writer import ShardWriter, shard_dirname
+from ..tracing.store import STREAM_TYPES
+
+__all__ = ["IngestError", "IngestServer", "IngestSink"]
+
+
+class IngestError(ValueError):
+    """A rejected ingest line (bad stream, malformed record, ...)."""
+
+
+class IngestSink:
+    """Serializes ingested records into one store round per commit.
+
+    Thread-safe: concurrent connections interleave records into the
+    same open shard; ``commit`` finalizes it atomically and the next
+    record opens a fresh shard in a fresh round.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        app: str = "ingest",
+        compress: bool = False,
+        codec: str = "jsonl",
+        seed: int = 0,
+    ):
+        self.directory = Path(directory)
+        self.app = app
+        self.compress = compress
+        self.codec = codec
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._writer: Optional[ShardWriter] = None
+        self._pending = 0
+
+    @property
+    def pending_records(self) -> int:
+        """Records written since the last commit."""
+        with self._lock:
+            return self._pending
+
+    def _next_slots(self) -> tuple[int, int]:
+        """Next free (shard index, round index) from the manifests.
+
+        Re-scanned at each shard open so interleaved batch ``repro
+        append`` rounds and ingest commits never collide.
+        """
+        max_index = -1
+        max_round = -1
+        for path in shard_manifest_paths(self.directory):
+            manifest = ShardManifest.load(path)
+            max_index = max(max_index, manifest.index)
+            max_round = max(max_round, manifest.round)
+        return max_index + 1, max_round + 1
+
+    def _ensure_writer(self) -> ShardWriter:
+        if self._writer is None:
+            index, round_index = self._next_slots()
+            self._writer = ShardWriter(
+                self.directory / shard_dirname(index),
+                index=index,
+                app=self.app,
+                seed=self.seed,
+                params={"source": "ingest"},
+                compress=self.compress,
+                round=round_index,
+                codec=self.codec,
+            )
+        return self._writer
+
+    def write_record(self, stream: str, data: Mapping[str, Any]) -> None:
+        """Decode and append one record (raises :class:`IngestError`)."""
+        record_cls = STREAM_TYPES.get(stream)
+        if record_cls is None:
+            raise IngestError(
+                f"unknown stream {stream!r} "
+                f"(expected one of {sorted(STREAM_TYPES)})"
+            )
+        try:
+            record = record_cls.from_dict(dict(data))
+        except (TypeError, ValueError, KeyError) as error:
+            raise IngestError(f"malformed {stream} record: {error}") from error
+        with self._lock:
+            self._ensure_writer().write(stream, record)
+            self._pending += 1
+
+    def commit(self, duration: float = 0.0) -> Optional[ShardManifest]:
+        """Finalize the open shard as its own round (None if empty)."""
+        with self._lock:
+            writer = self._writer
+            if writer is None:
+                return None
+            self._writer = None
+            self._pending = 0
+        manifest = writer.finalize(max(duration, writer.extent))
+        write_round_file(self.directory, manifest.round, [manifest.index])
+        return manifest
+
+    def close(self) -> Optional[ShardManifest]:
+        """Commit whatever is pending (the daemon-shutdown flush)."""
+        return self.commit()
+
+
+class _IngestHandler(socketserver.StreamRequestHandler):
+    """One connection: read lines, apply them, ack commits and errors."""
+
+    def _reply(self, payload: Mapping[str, Any]) -> None:
+        self.wfile.write((json.dumps(payload) + "\n").encode())
+        self.wfile.flush()
+
+    def handle(self) -> None:
+        server: "IngestServer" = self.server.ingest_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise IngestError("each line must be a JSON object")
+                if "record" in message or "stream" in message:
+                    server.sink.write_record(
+                        str(message.get("stream", "")), message.get("record") or {}
+                    )
+                    server.notify_record(str(message.get("stream", "")))
+                elif message.get("commit"):
+                    manifest = server.sink.commit(
+                        float(message.get("duration", 0.0))
+                    )
+                    server.notify_commit(manifest)
+                    self._reply(
+                        {
+                            "ok": True,
+                            "shard": manifest.index if manifest else None,
+                            "round": manifest.round if manifest else None,
+                            "records": manifest.n_records if manifest else 0,
+                        }
+                    )
+                elif message.get("ping"):
+                    self._reply({"ok": True})
+                else:
+                    raise IngestError(
+                        "expected a record, commit, or ping message"
+                    )
+            except (IngestError, ValueError, json.JSONDecodeError) as error:
+                try:
+                    self._reply({"error": str(error)})
+                except OSError:
+                    return  # peer vanished mid-error; nothing to do
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _UnixServer(socketserver.ThreadingUnixStreamServer):  # type: ignore[name-defined]
+        daemon_threads = True
+
+else:  # pragma: no cover - non-Unix platforms
+    _UnixServer = None  # type: ignore[assignment]
+
+
+class IngestServer:
+    """Socket front-end over an :class:`IngestSink`.
+
+    TCP when ``port`` is given, a Unix domain socket when
+    ``socket_path`` is; ``port=0`` binds an ephemeral port (the actual
+    address is in :attr:`address` after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        sink: IngestSink,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[str | Path] = None,
+        on_record: Optional[Callable[[str], None]] = None,
+        on_commit: Optional[Callable[[Optional[ShardManifest]], None]] = None,
+    ):
+        if (port is None) == (socket_path is None):
+            raise ValueError("exactly one of port / socket_path is required")
+        self.sink = sink
+        self.on_record = on_record
+        self.on_commit = on_commit
+        if port is not None:
+            self._server: socketserver.BaseServer = _TCPServer(
+                (host, port), _IngestHandler
+            )
+            self.address: Any = self._server.server_address
+        else:
+            if _UnixServer is None:  # pragma: no cover - non-Unix platforms
+                raise ValueError("unix-socket ingest unsupported on this platform")
+            path = Path(socket_path)
+            if path.exists():
+                path.unlink()
+            self._server = _UnixServer(str(path), _IngestHandler)
+            self.address = str(path)
+        self._server.ingest_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    def notify_record(self, stream: str) -> None:
+        if self.on_record is not None:
+            self.on_record(stream)
+
+    def notify_commit(self, manifest: Optional[ShardManifest]) -> None:
+        if self.on_commit is not None:
+            self.on_commit(manifest)
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-ingest",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if isinstance(self.address, str) and Path(self.address).exists():
+            Path(self.address).unlink()

@@ -1,0 +1,251 @@
+"""Daemon state: resident accumulators and checkpoint/restore.
+
+:class:`ResidentAnalysis` is the daemon's long-lived mirror of one
+:func:`repro.store.analyze_source` reduction — the same fresh
+``WorkloadProfileBuilder`` / ``WorkloadFeatureStats`` / per-class dict,
+folded with the same sequential left-merge in shard-index order.  That
+sameness is the whole point: folding appended shards one poll at a time
+lands on accumulators *equal* to a batch re-analysis of the full store,
+so ``/profile`` can promise byte-equality with ``repro characterize``.
+
+:class:`ServeState` wraps the resident accumulators (plus the drift
+monitor's window) in a versioned JSON checkpoint.  On restart the
+daemon restores it, validates the folded-shard ledger against what is
+on disk (combined content hashes from the manifests — no re-hashing of
+stream files), and resumes; a stale or mismatched checkpoint is
+discarded and the store is cold-folded through the analysis cache
+instead, which is merely slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..store.analyze import SourceAnalysis
+from ..store.manifest import ShardManifest
+
+__all__ = [
+    "SERVE_STATE_FORMAT",
+    "SERVE_STATE_VERSION",
+    "FoldedShard",
+    "ResidentAnalysis",
+    "ServeState",
+]
+
+SERVE_STATE_FORMAT = "repro-serve-state"
+SERVE_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FoldedShard:
+    """Ledger entry: one shard the resident accumulators have absorbed."""
+
+    index: int
+    #: Combined content digest, from the manifest's per-stream hashes.
+    digest: str
+    round: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"index": self.index, "digest": self.digest, "round": self.round}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FoldedShard":
+        return cls(
+            index=int(data["index"]),
+            digest=str(data["digest"]),
+            round=int(data.get("round", 0)),
+        )
+
+
+def manifest_digest(manifest: ShardManifest) -> str:
+    """The shard's combined content digest ("" for hashless v1 shards)."""
+    from ..store.cache import combine_hashes
+
+    return (
+        combine_hashes(manifest.content_hashes)
+        if manifest.content_hashes
+        else ""
+    )
+
+
+class ResidentAnalysis:
+    """Live merged accumulators over a contiguous folded-shard prefix."""
+
+    def __init__(
+        self,
+        window: float = 0.25,
+        cores: int = 8,
+        max_quantile_values: Optional[int] = None,
+    ):
+        from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
+
+        self.window = window
+        self.cores = cores
+        self.max_quantile_values = max_quantile_values
+        self.builder = WorkloadProfileBuilder(
+            window=window, cores=cores, max_quantile_values=max_quantile_values
+        )
+        self.features = WorkloadFeatureStats()
+        self.per_class: dict[str, Any] = {}
+        self.folded: list[FoldedShard] = []
+        #: Bumped on every fold; endpoint caches key on it.
+        self.generation = 0
+
+    @property
+    def next_index(self) -> int:
+        """The only shard index :meth:`fold` will accept next."""
+        return len(self.folded)
+
+    @property
+    def n_requests(self) -> int:
+        return self.features.n
+
+    def fold(self, manifest: ShardManifest, shard_builder, shard_features,
+             shard_classes: Mapping[str, Any]) -> None:
+        """Left-merge one shard's accumulators, exactly like the batch
+        reduce in :func:`repro.store.analyze_source` (same order, same
+        adopt-or-merge per-class rule)."""
+        if manifest.index != self.next_index:
+            raise ValueError(
+                f"fold out of order: expected shard {self.next_index}, "
+                f"got {manifest.index}"
+            )
+        self.builder.merge(shard_builder)
+        self.features.merge(shard_features)
+        for cls, stats in shard_classes.items():
+            if cls in self.per_class:
+                self.per_class[cls].merge(stats)
+            else:
+                self.per_class[cls] = stats
+        self.folded.append(
+            FoldedShard(
+                index=manifest.index,
+                digest=manifest_digest(manifest),
+                round=manifest.round,
+            )
+        )
+        self.generation += 1
+
+    def profile(self):
+        return self.builder.profile()
+
+    def analysis(self) -> SourceAnalysis:
+        """The batch-shaped view, accepted by ``validate_per_class``."""
+        return SourceAnalysis(
+            profile=self.builder.profile(),
+            features=self.features,
+            per_class=dict(sorted(self.per_class.items())),
+        )
+
+    def matches_prefix(self, manifests) -> bool:
+        """Whether the folded ledger equals the store's current prefix."""
+        if len(manifests) < len(self.folded):
+            return False
+        return all(
+            entry.index == manifest.index
+            and entry.digest == manifest_digest(manifest)
+            for entry, manifest in zip(self.folded, manifests)
+        )
+
+    # -- snapshots -----------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "resident-analysis",
+            "version": SERVE_STATE_VERSION,
+            "window": self.window,
+            "cores": self.cores,
+            "max_quantile_values": self.max_quantile_values,
+            "builder": self.builder.state(),
+            "features": self.features.state(),
+            "per_class": [
+                [cls, stats.state()]
+                for cls, stats in sorted(self.per_class.items())
+            ],
+            "folded": [entry.to_dict() for entry in self.folded],
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ResidentAnalysis":
+        from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
+
+        if state.get("kind") != "resident-analysis":
+            raise ValueError(f"not a resident-analysis state: {state.get('kind')!r}")
+        version = state.get("version")
+        if not isinstance(version, int) or version > SERVE_STATE_VERSION:
+            raise ValueError(f"unsupported resident-analysis version {version!r}")
+        max_quantile_values = state.get("max_quantile_values")
+        resident = cls(
+            window=float(state["window"]),
+            cores=int(state["cores"]),
+            max_quantile_values=(
+                None if max_quantile_values is None else int(max_quantile_values)
+            ),
+        )
+        resident.builder = WorkloadProfileBuilder.from_state(state["builder"])
+        resident.features = WorkloadFeatureStats.from_state(state["features"])
+        resident.per_class = {
+            str(name): WorkloadFeatureStats.from_state(stats)
+            for name, stats in state["per_class"]
+        }
+        resident.folded = [
+            FoldedShard.from_dict(entry) for entry in state["folded"]
+        ]
+        resident.generation = int(state.get("generation", len(resident.folded)))
+        return resident
+
+
+@dataclass
+class ServeState:
+    """Versioned daemon checkpoint: resident analysis + drift window."""
+
+    resident: ResidentAnalysis
+    drift: Optional[dict[str, Any]] = None
+    tool_version: str = ""
+    store: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": SERVE_STATE_FORMAT,
+            "version": SERVE_STATE_VERSION,
+            "tool_version": self.tool_version,
+            "store": self.store,
+            "resident": self.resident.state(),
+            "drift": self.drift,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeState":
+        fmt = data.get("format")
+        if fmt != SERVE_STATE_FORMAT:
+            raise ValueError(f"not a serve checkpoint (format {fmt!r})")
+        version = data.get("version")
+        if not isinstance(version, int) or version > SERVE_STATE_VERSION:
+            raise ValueError(f"unsupported serve checkpoint version {version!r}")
+        return cls(
+            resident=ResidentAnalysis.from_state(data["resident"]),
+            drift=data.get("drift"),
+            tool_version=str(data.get("tool_version", "")),
+            store=str(data.get("store", "")),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Atomic write (temp + rename), same discipline as manifests."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ServeState":
+        return cls.from_dict(json.loads(Path(path).read_text()))

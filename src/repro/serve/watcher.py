@@ -1,0 +1,146 @@
+"""Store watcher: fold newly appended shards into resident accumulators.
+
+Polls :func:`repro.store.take_snapshot` and folds whatever complete,
+contiguous shards appeared beyond the resident prefix.  Per-shard
+results go through the *same* analysis cache as the batch path — same
+``analysis_key("profile", ...)`` parameters, same save format — so:
+
+* a daemon restart warm-loads every previously analyzed shard from
+  cache instead of re-reading stream files, and
+* a batch ``repro characterize`` run after the daemon (or vice versa)
+  hits the cache entries the other one populated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..store.analyze import ShardAnalysisTask, analyze_shard
+from ..store.cache import (
+    analysis_key,
+    load_analysis_cache,
+    save_analysis_cache,
+    shard_content_hash,
+)
+from ..store.manifest import ShardManifest
+from ..store.watch import StoreSnapshot, take_snapshot
+from .state import ResidentAnalysis
+
+__all__ = ["PollResult", "StoreWatcher"]
+
+
+class StoreShrunkError(RuntimeError):
+    """The watched store lost shards the daemon already folded."""
+
+
+@dataclass
+class PollResult:
+    """What one watcher poll changed."""
+
+    snapshot: StoreSnapshot
+    folded: list[ShardManifest] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_new_records(self) -> int:
+        return sum(m.n_records for m in self.folded)
+
+
+class StoreWatcher:
+    """Folds a store's growing shard prefix into a resident analysis."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        cache: bool = True,
+        complete_rounds_only: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.cache = cache
+        self.complete_rounds_only = complete_rounds_only
+
+    def key(self, resident: ResidentAnalysis) -> str:
+        """The cache key — identical to ``analyze_source``'s."""
+        return analysis_key(
+            "profile",
+            {
+                "window": resident.window,
+                "cores": resident.cores,
+                "max_quantile_values": resident.max_quantile_values,
+            },
+        )
+
+    def poll(
+        self,
+        resident: ResidentAnalysis,
+        on_fold: Optional[Callable[[ShardManifest, StoreSnapshot], None]] = None,
+    ) -> PollResult:
+        """Fold every newly visible shard beyond the resident prefix.
+
+        ``on_fold(manifest, snapshot)`` fires after each shard merges —
+        the daemon uses it to feed the drift window and metrics.
+        """
+        start = time.perf_counter()
+        snapshot = take_snapshot(
+            self.directory, complete_rounds_only=self.complete_rounds_only
+        )
+        if snapshot.n_shards < len(resident.folded):
+            raise StoreShrunkError(
+                f"store {self.directory} has {snapshot.n_shards} foldable "
+                f"shards but {len(resident.folded)} are already resident"
+            )
+        result = PollResult(snapshot=snapshot)
+        key = self.key(resident)
+        for manifest in snapshot.manifests[len(resident.folded):]:
+            shard_dir = snapshot.dirs[manifest.index]
+            offsets = snapshot.offsets[manifest.index]
+            content_hash = shard_content_hash(shard_dir)
+            entry = None
+            if self.cache:
+                entry = load_analysis_cache(
+                    self.directory,
+                    shard_dir.name,
+                    key,
+                    content_hash,
+                    offsets,
+                    codec=manifest.codec,
+                )
+            if entry is not None:
+                result.cache_hits += 1
+                shard_builder, shard_features, shard_classes = entry
+            else:
+                result.cache_misses += 1
+                shard_builder, shard_features, shard_classes = analyze_shard(
+                    ShardAnalysisTask(
+                        directory=str(self.directory),
+                        shard_index=manifest.index,
+                        offsets=offsets,
+                        window=resident.window,
+                        cores=resident.cores,
+                        max_quantile_values=resident.max_quantile_values,
+                    )
+                )
+                if self.cache:
+                    save_analysis_cache(
+                        self.directory,
+                        shard_dir.name,
+                        key,
+                        content_hash,
+                        offsets,
+                        shard_builder,
+                        shard_features,
+                        shard_classes,
+                        compress=manifest.compress,
+                        codec=manifest.codec,
+                    )
+            resident.fold(manifest, shard_builder, shard_features, shard_classes)
+            result.folded.append(manifest)
+            if on_fold is not None:
+                on_fold(manifest, snapshot)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result

@@ -37,6 +37,7 @@ from .streaming import (
     P2Quantile,
     ReservoirQuantile,
     SeekStats,
+    SlidingWindowCounter,
     WindowedCounter,
 )
 
@@ -56,6 +57,7 @@ __all__ = [
     "SampleSummary",
     "STREAMING_STATE_VERSION",
     "SeekStats",
+    "SlidingWindowCounter",
     "VUList",
     "WindowedCounter",
     "acf",

@@ -61,6 +61,7 @@ __all__ = [
     "P2Quantile",
     "ReservoirQuantile",
     "SeekStats",
+    "SlidingWindowCounter",
     "WindowedCounter",
 ]
 
@@ -1030,6 +1031,154 @@ class WindowedCounter:
         for name in ("t_min", "t_max", "end"):
             value = state[name]
             setattr(acc, name, None if value is None else float(value))
+        return acc
+
+
+class SlidingWindowCounter:
+    """Recent-horizon event counts: fixed-width windows with eviction.
+
+    The live-drift counterpart of :class:`WindowedCounter`: same window
+    arithmetic (window ``k`` covers ``[origin + k*w, origin + (k+1)*w)``),
+    but bounded — only the ``keep`` most recent windows are retained,
+    so a long-running daemon's rate window stays O(keep) no matter how
+    much traffic flows through it.  Adding an event in a new window
+    evicts windows older than ``keep`` behind the newest;
+    :meth:`evict_before` drops windows explicitly.  Evicted totals are
+    remembered only as scalars (``n_evicted`` / ``weight_evicted``),
+    which is why this is a separate class: :class:`WindowedCounter`
+    stays append-only and merge-exact for the batch-equality path,
+    while this one trades history for a bounded footprint.  There is
+    deliberately no ``merge`` — a sliding horizon has no seam-exact
+    combination.
+    """
+
+    def __init__(self, window: float, keep: int, origin: float = 0.0):
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.window = float(window)
+        self.keep = int(keep)
+        self.origin = float(origin)
+        self.bins: dict[int, float] = {}
+        self.counts: dict[int, int] = {}
+        self.latest: Optional[int] = None
+        #: Window of the first event ever seen — the horizon cannot
+        #: extend before it, so a counter fed from mid-timeline (a
+        #: daemon attaching to a long-lived store) reports rates over
+        #: windows it actually observed, not over empty prehistory.
+        self.first_seen: Optional[int] = None
+        self.n_evicted = 0
+        self.weight_evicted = 0.0
+
+    def _index(self, t: float) -> int:
+        return int((t - self.origin) // self.window)
+
+    def _evict_below(self, floor_index: int) -> None:
+        for k in [k for k in self.bins if k < floor_index]:
+            self.n_evicted += self.counts.pop(k)
+            self.weight_evicted += self.bins.pop(k)
+
+    def add(self, t: float, weight: float = 1.0) -> None:
+        t = float(t)
+        if t < self.origin:
+            raise ValueError(f"timestamp {t} precedes origin {self.origin}")
+        k = self._index(t)
+        if self.latest is not None and k < self.latest - self.keep + 1:
+            # Late event older than the kept horizon: count it straight
+            # into the evicted tally rather than resurrecting its window.
+            self.n_evicted += 1
+            self.weight_evicted += float(weight)
+            return
+        self.bins[k] = self.bins.get(k, 0.0) + float(weight)
+        self.counts[k] = self.counts.get(k, 0) + 1
+        if self.first_seen is None or k < self.first_seen:
+            self.first_seen = k
+        if self.latest is None or k > self.latest:
+            self.latest = k
+            self._evict_below(k - self.keep + 1)
+
+    def update_batch(self, times, weight: float = 1.0) -> None:
+        for t in np.asarray(times, dtype=float):
+            self.add(float(t), weight)
+
+    def evict_before(self, t: float) -> None:
+        """Drop windows that end at or before ``t`` (horizon trim)."""
+        self._evict_below(self._index(max(float(t), self.origin)))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_active(self) -> int:
+        """Events currently inside the kept horizon."""
+        return sum(self.counts.values())
+
+    @property
+    def weight_active(self) -> float:
+        return float(sum(self.bins.values()))
+
+    @property
+    def n_windows(self) -> int:
+        """Windows the kept horizon currently covers (incl. empty ones)."""
+        if self.latest is None:
+            return 0
+        first = self.latest - self.keep + 1
+        if self.first_seen is not None:
+            first = max(first, self.first_seen)
+        return self.latest - max(first, 0) + 1
+
+    @property
+    def span(self) -> float:
+        """Seconds the kept horizon currently covers."""
+        return self.n_windows * self.window
+
+    def rate(self) -> float:
+        """Mean event rate (events/sec) over the kept horizon."""
+        return self.n_active / self.span if self.n_windows else 0.0
+
+    def series(self) -> np.ndarray:
+        """Per-window weights over the kept horizon, oldest first."""
+        if self.latest is None:
+            return np.zeros(0, dtype=float)
+        first = self.latest - self.n_windows + 1
+        return np.array(
+            [self.bins.get(k, 0.0) for k in range(first, self.latest + 1)],
+            dtype=float,
+        )
+
+    # -- snapshots -----------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "kind": "sliding-window-counter",
+            "version": STREAMING_STATE_VERSION,
+            "window": self.window,
+            "keep": self.keep,
+            "origin": self.origin,
+            "bins": {str(k): v for k, v in self.bins.items()},
+            "counts": {str(k): v for k, v in self.counts.items()},
+            "latest": self.latest,
+            "first_seen": self.first_seen,
+            "n_evicted": self.n_evicted,
+            "weight_evicted": self.weight_evicted,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SlidingWindowCounter":
+        check_state(state, "sliding-window-counter")
+        acc = cls(
+            window=float(state["window"]),
+            keep=int(state["keep"]),
+            origin=float(state["origin"]),
+        )
+        acc.bins = {int(k): float(v) for k, v in state["bins"].items()}
+        acc.counts = {int(k): int(v) for k, v in state["counts"].items()}
+        latest = state["latest"]
+        acc.latest = None if latest is None else int(latest)
+        first_seen = state.get("first_seen")
+        acc.first_seen = None if first_seen is None else int(first_seen)
+        acc.n_evicted = int(state["n_evicted"])
+        acc.weight_evicted = float(state["weight_evicted"])
         return acc
 
 

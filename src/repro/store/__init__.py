@@ -43,6 +43,7 @@ from .manifest import (
     write_round_file,
 )
 from .shards import ShardStore, is_shard_store, shifter_for
+from .watch import StoreSnapshot, take_snapshot
 from .stitch import (
     StitchOffsets,
     accumulate_offsets,
@@ -97,6 +98,7 @@ __all__ = [
     "ShardWriter",
     "StitchOffsets",
     "StoreIndex",
+    "StoreSnapshot",
     "accumulate_offsets",
     "analysis_key",
     "combine_hashes",
@@ -123,6 +125,7 @@ __all__ = [
     "shard_stream_hashes",
     "shifter_for",
     "stream_content_hash",
+    "take_snapshot",
     "trace_extent",
     "train_per_class",
     "write_round_file",

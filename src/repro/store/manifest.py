@@ -26,11 +26,16 @@ Version 3 adds ``codec`` — which stream layout the shard's files use
 struct-of-arrays layout of :mod:`repro.tracing.columnar`).  Readers
 negotiate per shard, so a store may mix codecs freely; v1/v2 manifests
 read as ``codec="jsonl"``.
+
+Version 4 adds ``tool_version`` — the package version of the tool that
+wrote the shard, for provenance when a long-lived store accumulates
+rounds across upgrades.  Pre-v4 manifests read as ``tool_version=""``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
@@ -53,7 +58,7 @@ __all__ = [
 ]
 
 SHARD_FORMAT = "repro-shard"
-SHARD_VERSION = 3
+SHARD_VERSION = 4
 MANIFEST_FILENAME = "manifest.json"
 
 #: Stream layouts a shard may use (`ShardManifest.codec`).
@@ -96,6 +101,8 @@ class ShardManifest:
     #: sha256 hex digest of each stream file's raw bytes at finalize
     #: time, keyed by stream name.  Empty for version-1 shards.
     content_hashes: dict[str, str] = field(default_factory=dict)
+    #: Package version of the tool that wrote the shard ("" pre-v4).
+    tool_version: str = ""
     version: int = SHARD_VERSION
 
     @property
@@ -135,11 +142,19 @@ class ShardManifest:
         return manifest
 
     def save(self, directory: str | Path) -> Path:
-        """Write ``manifest.json`` into a shard directory."""
+        """Write ``manifest.json`` into a shard directory.
+
+        Written via a temp file + ``os.replace`` so a concurrent store
+        watcher either sees no manifest (shard still being written) or a
+        complete one — never a torn read.  Manifest presence is the
+        shard-visibility signal for :func:`repro.store.take_snapshot`.
+        """
         path = Path(directory) / MANIFEST_FILENAME
-        path.write_text(
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
+        os.replace(tmp, path)
         return path
 
     @classmethod

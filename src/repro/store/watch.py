@@ -1,0 +1,149 @@
+"""Watch hooks: consistent snapshots of a store that is still growing.
+
+A live store is racy in two ways a batch reader never sees:
+
+* **Shard completeness.**  Fleet workers create their shard directory
+  the moment they start and write ``manifest.json`` only at finalize
+  (atomically, via rename).  A readable manifest therefore *is* the
+  completeness signal — a ``shard-*`` directory without one is a shard
+  still being written.
+* **Prefix contiguity.**  Stitch offsets are cumulative: shard *i*'s
+  placement on the merged timeline depends on every shard below *i*.
+  Parallel workers finish out of order, so shard 3 may be complete
+  while shard 2 is still streaming.  Folding shard 3 early would pin
+  it to wrong offsets, so a snapshot only exposes the longest
+  *contiguous* complete prefix starting at index 0; later complete
+  shards are reported as ``pending`` and become visible once the gap
+  closes.
+
+With ``complete_rounds_only`` the visibility unit is coarsened from
+shards to rounds: a shard is only exposed once its collection round's
+``round-<n>.json`` (or a compacted ``index.json``) lists it, which the
+collectors write only after *every* shard of the round finalized.
+That is the daemon's default — the resident profile then moves in
+whole-round steps instead of churning mid-append.  Stores that predate
+round files have no round records at all; every complete shard is
+visible there.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .manifest import (
+    ShardManifest,
+    load_store_index,
+    load_store_rounds,
+    parse_shard_index,
+)
+from .stitch import StitchOffsets, offsets_for
+
+__all__ = ["StoreSnapshot", "take_snapshot"]
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """One consistent view of a growing store: the foldable prefix.
+
+    ``manifests`` is the contiguous complete prefix in index order
+    (``manifests[i].index == i``) with ``offsets[i]`` its stitch
+    offsets; ``pending`` lists shard indices that exist beyond the
+    prefix but are not yet foldable (incomplete, behind a gap, or
+    waiting for their round record).
+    """
+
+    directory: Path
+    manifests: tuple[ShardManifest, ...]
+    offsets: tuple[StitchOffsets, ...]
+    #: Shard directory per prefix entry (pad width varies across eras).
+    dirs: tuple[Path, ...]
+    pending: tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.manifests)
+
+    @property
+    def n_records(self) -> int:
+        return sum(m.n_records for m in self.manifests)
+
+    @property
+    def max_round(self) -> int:
+        return max((m.round for m in self.manifests), default=-1)
+
+
+def _load_manifest(shard_dir: Path) -> Optional[ShardManifest]:
+    """The shard's manifest, or None while it is incomplete/unreadable."""
+    try:
+        return ShardManifest.load(shard_dir)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, TypeError, json.JSONDecodeError):
+        # A torn or foreign manifest reads the same as an absent one:
+        # the shard is not foldable yet.  (Writers rename manifests into
+        # place, so torn reads only happen on non-atomic filesystems.)
+        return None
+
+
+def _recorded_shards(directory: Path) -> Optional[frozenset[int]]:
+    """Shard indices listed by round files / the compacted index.
+
+    ``None`` when the store has no round records at all (legacy
+    single-round store) — round gating does not apply there.
+    """
+    recorded: set[int] = set()
+    seen_any = False
+    index = load_store_index(directory)
+    if index is not None:
+        seen_any = True
+        for shards in index.rounds.values():
+            recorded.update(shards)
+    try:
+        rounds = load_store_rounds(directory)
+    except (OSError, ValueError, json.JSONDecodeError):
+        rounds = {}
+    if rounds:
+        seen_any = True
+        for shards in rounds.values():
+            recorded.update(shards)
+    return frozenset(recorded) if seen_any else None
+
+
+def take_snapshot(
+    directory: str | Path, complete_rounds_only: bool = False
+) -> StoreSnapshot:
+    """Snapshot the foldable contiguous prefix of a (growing) store."""
+    directory = Path(directory)
+    dirs: dict[int, Path] = {}
+    for path in directory.glob("shard-*"):
+        index = parse_shard_index(path.name)
+        if index is not None and path.is_dir():
+            dirs[index] = path
+    visible = _recorded_shards(directory) if complete_rounds_only else None
+
+    loaded: dict[int, Optional[ShardManifest]] = {}
+    for index, path in dirs.items():
+        manifest = _load_manifest(path)
+        if manifest is not None and visible is not None and index not in visible:
+            manifest = None  # complete but its round record isn't written yet
+        loaded[index] = manifest
+
+    manifests: list[ShardManifest] = []
+    while loaded.get(len(manifests)) is not None:
+        manifests.append(loaded[len(manifests)])  # type: ignore[arg-type]
+    pending = tuple(
+        index
+        for index in sorted(dirs)
+        if index >= len(manifests) and loaded[index] is not None
+    )
+    offsets = offsets_for([m.stitch_part() for m in manifests])
+    return StoreSnapshot(
+        directory=directory,
+        manifests=tuple(manifests),
+        offsets=tuple(offsets),
+        dirs=tuple(dirs[m.index] for m in manifests),
+        pending=pending,
+    )

@@ -18,6 +18,7 @@ import math
 from pathlib import Path
 from typing import Any, Mapping, Optional, TextIO
 
+from .._version import tool_version
 from ..tracing.columnar import ColumnarStreamWriter
 from ..tracing.store import STREAM_TYPES, open_trace_write, stream_header
 from .manifest import SHARD_CODECS, ShardManifest
@@ -188,6 +189,7 @@ class ShardWriter:
             codec=self.codec,
             round=self.round,
             content_hashes=content_hashes,
+            tool_version=tool_version(),
         )
         manifest.save(self.directory)
         return manifest

@@ -1,0 +1,474 @@
+"""End-to-end tests for the ``repro serve`` subsystem (PR 7 tentpole).
+
+The acceptance contracts from the issue, each pinned here:
+
+* ``/profile?format=text`` after watch-folding appended rounds is
+  byte-identical to batch ``repro characterize`` stdout on the same
+  store — both cold and after an append;
+* a daemon restarted from a :class:`ServeState` checkpoint resumes with
+  *identical* accumulator state (``builder.state()`` equality);
+* ``/metrics`` parses as valid Prometheus text exposition;
+* ingest-socket commits become ordinary store rounds that ``repro
+  verify`` accepts and the watcher folds;
+* the satellites: ``repro verify`` exit codes, ``repro --version``,
+  KeyboardInterrupt → exit 130, manifests stamped with the tool
+  version, and the store-watch round-visibility rules.
+"""
+
+import io
+import json
+import shutil
+import socket
+import urllib.error
+import urllib.request
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+import repro.cli as cli_mod
+from repro._version import tool_version
+from repro.cli import main
+from repro.core import WorkloadFeatureStats, WorkloadProfileBuilder
+from repro.datacenter import FleetSpec, collect_fleet_to_store
+from repro.serve import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    ResidentAnalysis,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    ServeState,
+    StoreWatcher,
+    parse_exposition,
+)
+from repro.serve.watcher import StoreShrunkError
+from repro.store import ShardStore, analyze_source, take_snapshot
+from repro.tracing.records import RequestRecord
+
+SPEC = dict(app="gfs", n_requests=120, replicas=2, seed=7)
+APPEND_SPEC = dict(app="gfs", n_requests=60, replicas=2, seed=8)
+
+
+@pytest.fixture(scope="module")
+def base_store(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serve") / "traces"
+    collect_fleet_to_store(FleetSpec(**SPEC), directory)
+    return directory
+
+
+@pytest.fixture()
+def store(base_store, tmp_path):
+    """A private mutable copy — polls write caches into the store dir."""
+    directory = tmp_path / "traces"
+    shutil.copytree(base_store, directory)
+    return directory
+
+
+def _append_round(directory):
+    collect_fleet_to_store(FleetSpec(**APPEND_SPEC), directory, append=True)
+
+
+def _characterize_stdout(directory) -> str:
+    """Batch ``repro characterize`` stdout, the /profile oracle."""
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        rc = main(["characterize", "--in", str(directory)])
+    assert rc == 0
+    return out.getvalue()
+
+
+def _http_get(daemon, path):
+    host, port = daemon.http_address
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+# -- store watch: round visibility -------------------------------------------
+
+
+def test_manifests_record_tool_version(store):
+    manifest = json.loads((store / "shard-00000000" / "manifest.json").read_text())
+    assert manifest["version"] == 4
+    assert manifest["tool_version"] == tool_version()
+
+
+def test_take_snapshot_contiguous_prefix(store):
+    snapshot = take_snapshot(store)
+    assert snapshot.n_shards == 2
+    assert [m.index for m in snapshot.manifests] == [0, 1]
+    assert snapshot.pending == ()
+    assert snapshot.max_round == 0
+    _append_round(store)
+    snapshot = take_snapshot(store)
+    assert snapshot.n_shards == 4
+    assert snapshot.max_round == 1
+    assert snapshot.n_records > 0
+
+
+def test_take_snapshot_gap_blocks_prefix(store):
+    _append_round(store)
+    # Shard 2 loses its manifest: the contiguous prefix stops before it
+    # and the complete shard beyond the gap is only *pending*.
+    manifest = store / "shard-00000002" / "manifest.json"
+    manifest.rename(manifest.with_suffix(".hidden"))
+    snapshot = take_snapshot(store)
+    assert snapshot.n_shards == 2
+    assert snapshot.pending == (3,)
+
+
+def test_take_snapshot_complete_rounds_only(store):
+    _append_round(store)
+    (store / "round-00001.json").unlink()  # round 1 no longer recorded
+    gated = take_snapshot(store, complete_rounds_only=True)
+    assert gated.n_shards == 2
+    ungated = take_snapshot(store, complete_rounds_only=False)
+    assert ungated.n_shards == 4
+
+
+# -- watcher folding ---------------------------------------------------------
+
+
+def test_watcher_fold_equals_batch(store):
+    resident = ResidentAnalysis()
+    result = StoreWatcher(store).poll(resident)
+    assert len(result.folded) == 2
+    assert result.cache_misses == 2
+
+    batch = analyze_source(str(store))
+    assert resident.profile().describe() == batch.profile.describe()
+    assert resident.features.state() == batch.features.state()
+    assert sorted(resident.per_class) == sorted(batch.per_class)
+    for cls_name, stats in batch.per_class.items():
+        assert resident.per_class[cls_name].state() == stats.state()
+
+
+def test_watcher_restart_is_warm(store):
+    cold = ResidentAnalysis()
+    StoreWatcher(store).poll(cold)
+    warm = ResidentAnalysis()
+    result = StoreWatcher(store).poll(warm)
+    assert result.cache_hits == 2
+    assert result.cache_misses == 0
+    assert warm.profile().describe() == cold.profile().describe()
+
+
+def test_watcher_folds_appended_round(store):
+    resident = ResidentAnalysis()
+    watcher = StoreWatcher(store)
+    watcher.poll(resident)
+    _append_round(store)
+    result = watcher.poll(resident)
+    assert [m.index for m in result.folded] == [2, 3]
+    assert resident.profile().describe() == analyze_source(str(store)).profile.describe()
+    # Nothing new: the next poll is a no-op.
+    assert watcher.poll(resident).folded == []
+
+
+def test_watcher_raises_when_store_shrinks(store):
+    resident = ResidentAnalysis()
+    watcher = StoreWatcher(store)
+    watcher.poll(resident)
+    shutil.rmtree(store / "shard-00000001")
+    with pytest.raises(StoreShrunkError):
+        watcher.poll(resident)
+
+
+def test_resident_rejects_out_of_order_fold(store):
+    snapshot = take_snapshot(store)
+    resident = ResidentAnalysis()
+    with pytest.raises(ValueError, match="out of order"):
+        resident.fold(
+            snapshot.manifests[1],
+            WorkloadProfileBuilder(),
+            WorkloadFeatureStats(),
+            {},
+        )
+
+
+# -- checkpoints -------------------------------------------------------------
+
+
+def test_serve_state_roundtrip(store, tmp_path):
+    resident = ResidentAnalysis()
+    StoreWatcher(store).poll(resident)
+    path = tmp_path / "ck.json"
+    ServeState(
+        resident=resident, tool_version=tool_version(), store=str(store)
+    ).save(path)
+
+    restored = ServeState.load(path)
+    assert restored.tool_version == tool_version()
+    assert restored.resident.builder.state() == resident.builder.state()
+    assert restored.resident.features.state() == resident.features.state()
+    assert restored.resident.folded == resident.folded
+    assert restored.resident.generation == resident.generation
+    assert restored.resident.matches_prefix(take_snapshot(store).manifests)
+
+    data = json.loads(path.read_text())
+    data["format"] = "something-else"
+    with pytest.raises(ValueError, match="not a serve checkpoint"):
+        ServeState.from_dict(data)
+    data["format"] = "repro-serve-state"
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        ServeState.from_dict(data)
+
+
+# -- the daemon over HTTP ----------------------------------------------------
+
+
+def test_daemon_http_endpoints(store):
+    config = ServeConfig(port=0, poll_interval=0)
+    daemon = ServeDaemon(store, config).start()
+    try:
+        status, body = _http_get(daemon, "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["version"] == tool_version()
+        assert health["shards"] == 2
+        assert health["ingest"] is False
+        assert health["restored_from_checkpoint"] is False
+
+        status, body = _http_get(daemon, "/metrics")
+        assert status == 200
+        samples = parse_exposition(body)  # raises if not valid 0.0.4 text
+        assert samples[("repro_shards_folded", ())] == 2.0
+        assert samples[("repro_build_info", (("version", tool_version()),))] == 1.0
+        assert samples[("repro_cache_misses_total", ())] == 2.0
+
+        # The tentpole equality: /profile?format=text is byte-identical
+        # to batch `repro characterize` stdout for the same store.
+        status, served = _http_get(daemon, "/profile?format=text")
+        assert status == 200
+        assert served == _characterize_stdout(store)
+
+        status, body = _http_get(daemon, "/profile")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["shards"] == 2
+        assert payload["describe"] == served.rstrip("\n")
+
+        # ... and it still holds after the watcher folds an appended round.
+        _append_round(store)
+        result = daemon.poll_once()
+        assert [m.index for m in result.folded] == [2, 3]
+        status, served = _http_get(daemon, "/profile?format=text")
+        assert served == _characterize_stdout(store)
+
+        status, body = _http_get(daemon, "/drift")
+        drift = json.loads(body)
+        assert status == 200
+        assert drift["baseline_source"] == "history"
+        assert drift["firing"] is False  # same app, same seed family
+
+        status, body = _http_get(daemon, "/validate")
+        assert status == 503  # no per-class model loaded
+        assert "model" in json.loads(body)["error"]
+
+        status, body = _http_get(daemon, "/nope")
+        assert status == 404
+    finally:
+        daemon.shutdown()
+
+
+def test_daemon_ingest_and_checkpoint_restart(store, tmp_path):
+    checkpoint = tmp_path / "serve-state.json"
+    config = ServeConfig(
+        port=0, poll_interval=0, checkpoint_path=checkpoint, ingest_port=0
+    )
+    daemon = ServeDaemon(store, config).start()
+    try:
+        assert daemon.ingest is not None
+        with socket.create_connection(daemon.ingest.address) as conn:
+            reader = conn.makefile("r")
+
+            def send(payload):
+                conn.sendall((json.dumps(payload) + "\n").encode())
+
+            # A malformed line gets an error reply without killing the
+            # connection ...
+            send({"stream": "bogus", "record": {}})
+            assert "unknown stream" in json.loads(reader.readline())["error"]
+            send({"ping": True})
+            assert json.loads(reader.readline())["ok"] is True
+
+            # ... and real records commit into an ordinary store round.
+            for i in range(5):
+                record = RequestRecord(
+                    request_id=i,
+                    request_class="read",
+                    server="live-0",
+                    arrival_time=i * 0.01,
+                    completion_time=i * 0.01 + 0.002,
+                    network_bytes=4096,
+                )
+                send({"stream": "requests", "record": record.to_dict()})
+            send({"commit": True})
+            ack = json.loads(reader.readline())
+            assert ack["ok"] is True
+            assert ack["shard"] == 2
+            assert ack["round"] == 1
+            assert ack["records"] == 5
+
+        # The commit ack means "folded": no poll wait needed.
+        health = json.loads(_http_get(daemon, "/healthz")[1])
+        assert health["shards"] == 3
+        assert ShardStore(store).verify() == {}
+        samples = parse_exposition(_http_get(daemon, "/metrics")[1])
+        assert samples[("repro_ingest_commits_total", ())] == 1.0
+        assert samples[("repro_ingest_records_total", (("stream", "requests"),))] == 5.0
+
+        builder_state = daemon.resident.builder.state()
+        features_state = daemon.resident.features.state()
+        generation = daemon.resident.generation
+    finally:
+        daemon.shutdown()
+    assert checkpoint.exists()
+
+    # Restart against the checkpoint: identical accumulator state, and
+    # the restore is free (no cache loads, no shard re-reads).
+    second = ServeDaemon(store, ServeConfig(
+        port=0, poll_interval=0, checkpoint_path=checkpoint
+    )).start()
+    try:
+        assert second.restored_from_checkpoint
+        assert second.resident.builder.state() == builder_state
+        assert second.resident.features.state() == features_state
+        assert second.resident.generation == generation
+        health = json.loads(_http_get(second, "/healthz")[1])
+        assert health["restored_from_checkpoint"] is True
+        assert health["shards"] == 3
+    finally:
+        second.shutdown()
+
+
+def test_daemon_checkpoint_param_mismatch_cold_folds(store, tmp_path):
+    checkpoint = tmp_path / "serve-state.json"
+    first = ServeDaemon(store, ServeConfig(
+        port=0, poll_interval=0, checkpoint_path=checkpoint
+    )).start()
+    first.shutdown()
+    # A different analysis window invalidates the checkpoint; the daemon
+    # quietly cold-folds instead of resuming mismatched accumulators.
+    second = ServeDaemon(store, ServeConfig(
+        port=0, poll_interval=0, checkpoint_path=checkpoint, window=0.5
+    )).start()
+    try:
+        assert not second.restored_from_checkpoint
+        assert len(second.resident.folded) == 2
+    finally:
+        second.shutdown()
+
+
+def test_daemon_refuses_corrupt_store(store):
+    stream = next((store / "shard-00000000").glob("requests.*"))
+    with stream.open("ab") as handle:
+        handle.write(b"garbage\n")
+    with pytest.raises(ServeError, match="verification failed"):
+        ServeDaemon(store, ServeConfig(port=0, poll_interval=0)).start()
+
+
+def test_daemon_refuses_non_store(tmp_path):
+    with pytest.raises(ServeError, match="not a shard store"):
+        ServeDaemon(tmp_path, ServeConfig(port=0, poll_interval=0)).start()
+
+
+# -- CLI satellites ----------------------------------------------------------
+
+
+def test_cli_verify_ok(store, capsys):
+    assert main(["verify", "--in", str(store)]) == 0
+    assert "verified: 2 shard(s) intact" in capsys.readouterr().out
+
+
+def test_cli_verify_corrupt(store, capsys):
+    stream = next((store / "shard-00000001").glob("requests.*"))
+    with stream.open("ab") as handle:
+        handle.write(b"garbage\n")
+    assert main(["verify", "--in", str(store)]) == 1
+    out = capsys.readouterr().out
+    assert "shard 1: content mismatch" in out
+    assert "verification FAILED" in out
+
+
+def test_cli_verify_not_a_store(tmp_path):
+    with pytest.raises(SystemExit, match="not a shard store"):
+        main(["verify", "--in", str(tmp_path)])
+
+
+def test_cli_version(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {tool_version()}"
+
+
+def test_cli_keyboard_interrupt_exits_130(store, capsys, monkeypatch):
+    def interrupt(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli_mod, "_cmd_verify", interrupt)
+    assert main(["verify", "--in", str(store)]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+# -- metrics exposition ------------------------------------------------------
+
+
+def test_metrics_render_and_parse_roundtrip():
+    registry = MetricsRegistry()
+    registry.counter("repro_things_total", "Things.", ("kind",)).inc(3, kind="a")
+    registry.gauge("repro_level", "Level.").set(2.5)
+    text = registry.render()
+    assert text.endswith("\n")
+    assert "# HELP repro_things_total Things." in text
+    assert "# TYPE repro_level gauge" in text
+    samples = parse_exposition(text)
+    assert samples[("repro_things_total", (("kind", "a"),))] == 3.0
+    assert samples[("repro_level", ())] == 2.5
+
+
+def test_metrics_label_escaping_roundtrips():
+    registry = MetricsRegistry()
+    nasty = 'a\\b"c\nd'
+    registry.gauge("repro_paths", "Paths.", ("path",)).set(1.0, path=nasty)
+    samples = parse_exposition(registry.render())
+    assert samples[("repro_paths", (("path", nasty),))] == 1.0
+
+
+def test_metrics_registry_conflicts():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_x_total", "X.")
+    assert registry.counter("repro_x_total", "X.") is counter  # idempotent
+    with pytest.raises(ValueError, match="different kind or label"):
+        registry.gauge("repro_x_total", "X.")
+    with pytest.raises(ValueError, match="different kind or label"):
+        registry.counter("repro_x_total", "X.", ("stream",))
+
+
+def test_metrics_validation():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("bad name", "help")
+    with pytest.raises(ValueError, match="invalid label name"):
+        Gauge("repro_ok", "help", ("bad-label",))
+    counter = Counter("repro_ok_total", "help")
+    with pytest.raises(ValueError, match=">= 0"):
+        counter.inc(-1)
+    with pytest.raises(ValueError, match="expects labels"):
+        counter.inc(1, stream="x")
+
+
+def test_parse_exposition_rejects_invalid_text():
+    with pytest.raises(ValueError, match="malformed sample"):
+        parse_exposition("}{ 1.0")
+    with pytest.raises(ValueError, match="invalid TYPE"):
+        parse_exposition("# TYPE repro_x flavor\nrepro_x 1")
+    with pytest.raises(ValueError, match="duplicate sample"):
+        parse_exposition("repro_x 1\nrepro_x 2")
+    with pytest.raises(ValueError, match="unterminated label value"):
+        parse_exposition('repro_x{a="b} 1')

@@ -1,0 +1,339 @@
+"""Drift-math tests for the serve subsystem (PR 7, satellite d).
+
+Pins down the arithmetic the `/drift` endpoint rides on: the
+:class:`SlidingWindowCounter` horizon (eviction, late events, the
+``first_seen`` anchor that keeps a mid-timeline attach from averaging
+over empty prehistory, snapshot round-trips); :class:`Alarm` hysteresis
+(a signal hovering at the threshold cannot flap the alarm); and the
+:class:`DriftMonitor` end-to-end contracts from the issue — KS against
+the window's own source stays near zero and raises nothing, a class-mix
+or rate shift trips its alarm within one window, and a steady-then-
+shifted soak fires exactly the shifted signal.
+"""
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Alarm,
+    DriftBaseline,
+    DriftMonitor,
+    DriftThresholds,
+)
+from repro.serve.drift import mix_distance
+from repro.stats import STREAMING_STATE_VERSION, SlidingWindowCounter
+
+
+# -- sliding-window counter --------------------------------------------------
+
+
+def test_sliding_counter_counts_and_rate():
+    counter = SlidingWindowCounter(window=1.0, keep=3)
+    for t in (0.2, 0.5, 1.1, 2.7):
+        counter.add(t)
+    assert counter.n_active == 4
+    assert counter.n_windows == 3
+    assert counter.span == pytest.approx(3.0)
+    assert counter.rate() == pytest.approx(4 / 3)
+    assert counter.series().tolist() == [2.0, 1.0, 1.0]
+
+
+def test_sliding_counter_evicts_behind_horizon():
+    counter = SlidingWindowCounter(window=1.0, keep=3)
+    for t in (0.2, 0.5, 1.1, 2.7):
+        counter.add(t)
+    counter.add(5.5)  # latest window 5 -> windows < 3 fall off
+    assert counter.n_active == 1
+    assert counter.n_evicted == 4
+    assert sorted(counter.bins) == [5]
+    # A late event older than the kept horizon goes straight to the
+    # evicted tally instead of resurrecting its window.
+    counter.add(0.1)
+    assert counter.n_active == 1
+    assert counter.n_evicted == 5
+
+
+def test_sliding_counter_first_seen_anchors_mid_timeline_attach():
+    # A counter first fed at t~100 (daemon attaching to a long-lived
+    # store) must not average its rate over 60 mostly-empty windows.
+    counter = SlidingWindowCounter(window=1.0, keep=60)
+    counter.add(100.5)
+    counter.add(101.2)
+    assert counter.n_windows == 2
+    assert counter.rate() == pytest.approx(1.0)
+
+
+def test_sliding_counter_evict_before():
+    counter = SlidingWindowCounter(window=1.0, keep=10)
+    for t in (0.5, 1.5, 2.5):
+        counter.add(t)
+    counter.evict_before(2.0)
+    assert counter.n_active == 1
+    assert counter.n_evicted == 2
+
+
+def test_sliding_counter_validation():
+    with pytest.raises(ValueError):
+        SlidingWindowCounter(window=0.0, keep=3)
+    with pytest.raises(ValueError):
+        SlidingWindowCounter(window=1.0, keep=0)
+    counter = SlidingWindowCounter(window=1.0, keep=3, origin=10.0)
+    with pytest.raises(ValueError):
+        counter.add(9.5)
+
+
+def test_sliding_counter_state_roundtrip():
+    counter = SlidingWindowCounter(window=0.5, keep=4, origin=1.0)
+    counter.update_batch([1.2, 1.9, 3.4, 4.9])
+    counter.add(0.0 + 6.0, weight=2.5)
+    # Through JSON, like the ServeState checkpoint stores it.
+    state = json.loads(json.dumps(counter.state()))
+    restored = SlidingWindowCounter.from_state(state)
+    for attr in ("window", "keep", "origin", "bins", "counts", "latest",
+                 "first_seen", "n_evicted", "weight_evicted"):
+        assert getattr(restored, attr) == getattr(counter, attr), attr
+    assert restored.rate() == pytest.approx(counter.rate())
+    restored.add(7.0)
+    counter.add(7.0)
+    assert restored.n_active == counter.n_active
+
+
+def test_sliding_counter_rejects_newer_state_version():
+    state = SlidingWindowCounter(window=1.0, keep=2).state()
+    state["version"] = STREAMING_STATE_VERSION + 1
+    with pytest.raises(ValueError):
+        SlidingWindowCounter.from_state(state)
+
+
+def test_sliding_counter_empty():
+    counter = SlidingWindowCounter(window=1.0, keep=3)
+    assert counter.n_active == 0
+    assert counter.n_windows == 0
+    assert counter.rate() == 0.0
+    assert counter.series().size == 0
+
+
+# -- hysteresis alarms -------------------------------------------------------
+
+
+def test_alarm_trips_strictly_above_high():
+    alarm = Alarm("ks", high=0.25, low=0.20)
+    assert not alarm.update(0.25)  # at the threshold: no trip
+    assert alarm.update(0.251)
+    assert alarm.transitions == 1
+
+
+def test_alarm_hovering_at_threshold_does_not_flap():
+    alarm = Alarm("ks", high=0.25, low=0.20)
+    # Noise oscillating around the trip level: one fire edge, no flaps,
+    # because clearing requires dropping below the *low* threshold.
+    for value in (0.26, 0.24, 0.26, 0.23, 0.26, 0.21):
+        alarm.update(value)
+    assert alarm.firing
+    assert alarm.transitions == 1
+    alarm.update(0.19)  # below low: clears (second edge)
+    assert not alarm.firing
+    assert alarm.transitions == 2
+
+
+def test_alarm_rejects_inverted_thresholds():
+    with pytest.raises(ValueError):
+        Alarm("bad", high=0.2, low=0.3)
+
+
+def test_alarm_state_roundtrip():
+    alarm = Alarm("mix", high=0.35, low=0.28)
+    alarm.update(0.5)
+    restored = Alarm.from_state(json.loads(json.dumps(alarm.state())))
+    assert restored.firing
+    assert restored.transitions == 1
+    assert restored.value == pytest.approx(0.5)
+    restored.update(0.1)
+    assert not restored.firing
+
+
+# -- drift monitor -----------------------------------------------------------
+
+
+@dataclass
+class _Req:
+    """The slice of a request record :meth:`DriftMonitor.observe` reads."""
+
+    arrival_time: float
+    completion_time: float
+    request_class: str
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time
+
+
+def _baseline(rng, n=2000, mix=None, mean_rate=100.0):
+    latencies = rng.exponential(0.01, n)
+    return DriftBaseline(
+        latencies=latencies,
+        mix=dict(mix or {"read": 1.0}),
+        mean_rate=mean_rate,
+        source="history",
+    )
+
+
+def _feed(monitor, completions, latencies, classes):
+    for t, lat, cls_name in zip(completions, latencies, classes):
+        monitor.observe(_Req(t - lat, t, cls_name))
+
+
+def test_monitor_not_ready_below_min_window():
+    rng = np.random.default_rng(0)
+    monitor = DriftMonitor(_baseline(rng), window_requests=256)
+    _feed(monitor, [0.1, 0.2], [0.01, 0.01], ["read", "read"])
+    report = monitor.check()
+    assert not report.ready
+    assert not report.firing
+    assert report.window_n == 2
+
+
+def test_monitor_ignores_incomplete_requests():
+    rng = np.random.default_rng(0)
+    monitor = DriftMonitor(_baseline(rng), window_requests=16)
+    monitor.observe(_Req(1.0, 1.0, "read"))  # never completed
+    assert monitor.n_observed == 0
+    assert len(monitor.window) == 0
+
+
+def test_ks_against_own_source_is_quiet():
+    """Traffic resampled from the baseline raises nothing (issue d1)."""
+    rng = np.random.default_rng(7)
+    baseline = _baseline(rng, mean_rate=100.0)
+    monitor = DriftMonitor(baseline, window_requests=256)
+    # 300 completions at exactly the baseline rate (100/s over [0, 3)),
+    # latencies resampled from the baseline's own empirical sample.
+    completions = np.arange(300) / 100.0
+    latencies = rng.choice(baseline.latencies, size=300)
+    _feed(monitor, completions, latencies, ["read"] * 300)
+    report = monitor.check()
+    assert report.ready
+    assert report.ks < 0.15
+    assert report.mix_distance == pytest.approx(0.0)
+    assert abs(report.rate_zscore) < 2.0
+    assert not report.firing
+    assert report.alarms == {
+        "latency_ks": False, "class_mix": False, "request_rate": False,
+    }
+
+
+def test_mix_shift_trips_within_one_window():
+    """A 50/50 mix collapsing to one class fires class_mix (issue d2)."""
+    rng = np.random.default_rng(3)
+    baseline = _baseline(rng, mix={"read": 0.5, "write": 0.5}, mean_rate=64.0)
+    monitor = DriftMonitor(baseline, window_requests=64)
+    completions = np.arange(64) / 64.0
+    latencies = rng.choice(baseline.latencies, size=64)
+    _feed(monitor, completions, latencies, ["read"] * 64)  # all one class
+    report = monitor.check()
+    assert report.ready
+    assert report.mix_distance == pytest.approx(0.5)
+    assert report.alarms["class_mix"]
+    assert not report.alarms["latency_ks"]
+
+
+def test_rate_shift_trips():
+    """10x the baseline rate fires request_rate (issue d2)."""
+    rng = np.random.default_rng(5)
+    baseline = _baseline(rng, mean_rate=50.0)
+    monitor = DriftMonitor(baseline, window_requests=64)
+    completions = np.arange(500) / 1000.0  # 500 events inside one second
+    latencies = rng.choice(baseline.latencies, size=500)
+    _feed(monitor, completions, latencies, ["read"] * 500)
+    report = monitor.check()
+    assert report.ready
+    assert abs(report.rate_zscore) > DriftThresholds().rate_sigmas
+    assert report.alarms["request_rate"]
+
+
+def test_soak_steady_then_latency_shift():
+    """Steady traffic never fires; a 5x latency shift does (issue d3)."""
+    rng = np.random.default_rng(11)
+    baseline = _baseline(rng, mean_rate=100.0)
+    monitor = DriftMonitor(baseline, window_requests=128)
+    t = 0.0
+    for _ in range(5):  # five quiet rounds of on-baseline traffic
+        completions = t + np.arange(100) / 100.0
+        latencies = rng.choice(baseline.latencies, size=100)
+        _feed(monitor, completions, latencies, ["read"] * 100)
+        report = monitor.check()
+        assert report.ready
+        assert not report.firing, report.to_dict()
+        t += 1.0
+    for name, alarm in monitor.alarms.items():
+        assert alarm.transitions == 0, name
+    completions = t + np.arange(128) / 100.0
+    latencies = 5.0 * rng.choice(baseline.latencies, size=128)
+    _feed(monitor, completions, latencies, ["read"] * 128)
+    report = monitor.check()
+    assert report.alarms["latency_ks"]
+    assert report.firing
+    assert monitor.alarms["latency_ks"].transitions == 1
+
+
+def test_monitor_empty_baseline_never_ready():
+    baseline = DriftBaseline(
+        latencies=np.zeros(0), mix={}, mean_rate=0.0, source="history"
+    )
+    monitor = DriftMonitor(baseline, window_requests=8)
+    _feed(monitor, np.arange(40) / 10.0, [0.01] * 40, ["read"] * 40)
+    report = monitor.check()
+    assert not report.ready
+    assert not report.firing
+
+
+def test_monitor_state_roundtrip_and_window_guard():
+    rng = np.random.default_rng(2)
+    baseline = _baseline(rng)
+    monitor = DriftMonitor(baseline, window_requests=64)
+    completions = np.arange(64) / 100.0
+    _feed(monitor, completions, rng.choice(baseline.latencies, 64), ["read"] * 64)
+    monitor.check()
+    state = json.loads(json.dumps(monitor.state()))
+
+    restored = DriftMonitor(baseline, window_requests=64)
+    restored.restore(state)
+    assert restored.n_observed == monitor.n_observed
+    assert [
+        (float(t), float(lat), cls_name) for t, lat, cls_name in restored.window
+    ] == [
+        (float(t), float(lat), cls_name) for t, lat, cls_name in monitor.window
+    ]
+    assert restored.check().to_dict() == monitor.check().to_dict()
+
+    resized = DriftMonitor(baseline, window_requests=32)
+    with pytest.raises(ValueError):
+        resized.restore(state)
+    with pytest.raises(ValueError):
+        restored.restore({"kind": "something-else"})
+
+
+def test_mix_distance_basics():
+    assert mix_distance({}, {}) == 0.0
+    assert mix_distance({"a": 1.0}, {"a": 1.0}) == 0.0
+    assert mix_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+    assert mix_distance(
+        {"a": 0.5, "b": 0.5}, {"a": 1.0}
+    ) == pytest.approx(0.5)
+
+
+def test_thresholds_to_dict_and_rate_profile():
+    thresholds = DriftThresholds(ks=0.3)
+    assert thresholds.to_dict()["ks"] == 0.3
+    baseline = DriftBaseline(
+        latencies=np.ones(10), mix={"read": 1.0}, mean_rate=100.0
+    )
+    profile = baseline.rate_profile(span=4.0)
+    assert profile.mean == pytest.approx(400.0)
+    assert profile.std == pytest.approx(math.sqrt(400.0))
+    # 400 observed against 400 expected: dead center.
+    assert profile.zscore(400.0) == pytest.approx(0.0)
