@@ -194,22 +194,27 @@ class ServeDaemon:
             self.restored_from_checkpoint = True
             self._drift_state = state.drift
 
+    def _make_baseline(self) -> DriftBaseline:
+        """Drift baseline from the loaded models or the folded history.
+
+        Caller holds the lock.
+        """
+        resident = self.resident
+        counts = dict(resident.builder.class_counts.counts)
+        total = sum(counts.values())
+        extent = resident.builder.max_extent
+        mean_rate = total / extent if extent > 0 else 0.0
+        if self.models:
+            return DriftBaseline.from_models(
+                self.models, counts, mean_rate, seed=self.config.drift_seed
+            )
+        return DriftBaseline.from_resident(resident)
+
     def _build_monitor(self) -> None:
         config = self.config
         with self._lock:
-            resident = self.resident
-            counts = dict(resident.builder.class_counts.counts)
-            total = sum(counts.values())
-            extent = resident.builder.max_extent
-            mean_rate = total / extent if extent > 0 else 0.0
-            if self.models:
-                baseline = DriftBaseline.from_models(
-                    self.models, counts, mean_rate, seed=config.drift_seed
-                )
-            else:
-                baseline = DriftBaseline.from_resident(resident)
             self.monitor = DriftMonitor(
-                baseline,
+                self._make_baseline(),
                 window_requests=config.drift_window_requests,
                 rate_window=config.drift_rate_window,
                 rate_keep=config.drift_rate_keep,
@@ -229,6 +234,14 @@ class ServeDaemon:
         with self._lock:
             result = self.watcher.poll(self.resident)
             if result.folded:
+                # A daemon started on an empty (or request-free) store
+                # baselined against zero latencies; rebuild from the
+                # now-folded history so drift can ever become ready.
+                if (
+                    self.monitor is not None
+                    and self.monitor.baseline.latencies.size == 0
+                ):
+                    self.monitor.baseline = self._make_baseline()
                 self._feed_drift(result)
                 self._validation_cache = None
             self._update_metrics(result)

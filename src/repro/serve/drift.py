@@ -203,6 +203,9 @@ class DriftReport:
     rate_zscore: float = 0.0
     alarms: dict[str, bool] = field(default_factory=dict)
     baseline_source: str = "history"
+    #: Baseline latency sample size; 0 means the baseline is empty and
+    #: the monitor can never become ready until it is rebuilt.
+    baseline_n: int = 0
     thresholds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -220,6 +223,7 @@ class DriftReport:
             "alarms": dict(self.alarms),
             "firing": self.firing,
             "baseline_source": self.baseline_source,
+            "baseline_n": self.baseline_n,
             "thresholds": dict(self.thresholds),
         }
 
@@ -287,6 +291,7 @@ class DriftMonitor:
                 rate=rate,
                 alarms={name: a.firing for name, a in self.alarms.items()},
                 baseline_source=self.baseline.source,
+                baseline_n=int(self.baseline.latencies.size),
                 thresholds=self.thresholds.to_dict(),
             )
         latencies = np.array([lat for _, lat, _ in self.window], dtype=float)
@@ -315,6 +320,7 @@ class DriftMonitor:
             rate_zscore=float(zscore),
             alarms={name: a.firing for name, a in self.alarms.items()},
             baseline_source=self.baseline.source,
+            baseline_n=int(self.baseline.latencies.size),
             thresholds=self.thresholds.to_dict(),
         )
 

@@ -17,6 +17,16 @@ Ingested traffic lands in the store through the ordinary
 :class:`repro.store.ShardWriter` — manifest, content hashes, round
 file and all — so the watcher folds it exactly like an appended
 ``repro append`` round and batch tools never know the difference.
+
+Concurrency: the sink serializes its own connections (records and
+commits) under one lock, and shard/round slots are re-scanned from the
+manifests at every shard open, so ingest interleaved with batch
+``repro append`` rounds that complete *between* ingest shards is safe.
+A batch append racing an ingest shard that is already **open** is not
+coordinated — both writers may claim the same round number.  Round
+files merge rather than overwrite, so neither writer's shards are
+delisted, but avoid running ``repro append`` against a store while a
+daemon is actively ingesting into it.
 """
 
 from __future__ import annotations
@@ -62,6 +72,11 @@ class IngestSink:
         self._lock = threading.Lock()
         self._writer: Optional[ShardWriter] = None
         self._pending = 0
+        # Monotonic floors for slot allocation: a shard index / round is
+        # never reused even if a manifest scan transiently misses the
+        # shard that claimed it (e.g. a manifest mid-finalize).
+        self._reserved_index = 0
+        self._reserved_round = 0
 
     @property
     def pending_records(self) -> int:
@@ -70,10 +85,15 @@ class IngestSink:
             return self._pending
 
     def _next_slots(self) -> tuple[int, int]:
-        """Next free (shard index, round index) from the manifests.
+        """Next free (shard index, round index), caller holds the lock.
 
-        Re-scanned at each shard open so interleaved batch ``repro
-        append`` rounds and ingest commits never collide.
+        Re-scanned at each shard open so batch ``repro append`` rounds
+        completed *between* ingest shards are accounted for, floored by
+        the sink's own reservations so an ingest slot is never handed
+        out twice.  A batch append racing an *open* ingest shard is not
+        coordinated here (see the module docstring); the round-file
+        merge in :func:`repro.store.manifest.write_round_file` keeps
+        even that case from delisting either writer's shards.
         """
         max_index = -1
         max_round = -1
@@ -81,7 +101,11 @@ class IngestSink:
             manifest = ShardManifest.load(path)
             max_index = max(max_index, manifest.index)
             max_round = max(max_round, manifest.round)
-        return max_index + 1, max_round + 1
+        index = max(max_index + 1, self._reserved_index)
+        round_index = max(max_round + 1, self._reserved_round)
+        self._reserved_index = index + 1
+        self._reserved_round = round_index + 1
+        return index, round_index
 
     def _ensure_writer(self) -> ShardWriter:
         if self._writer is None:
@@ -115,15 +139,24 @@ class IngestSink:
             self._pending += 1
 
     def commit(self, duration: float = 0.0) -> Optional[ShardManifest]:
-        """Finalize the open shard as its own round (None if empty)."""
+        """Finalize the open shard as its own round (None if empty).
+
+        The sink lock is held across ``finalize`` and the round-file
+        write: until the finalizing shard's manifest is on disk, a
+        concurrent :meth:`write_record` re-scanning manifests would
+        otherwise allocate the *same* shard index and open a second
+        writer on the directory still being closed and hashed.  Commits
+        are rare; blocking writers for one finalize is the cheap,
+        correct trade.
+        """
         with self._lock:
             writer = self._writer
             if writer is None:
                 return None
             self._writer = None
             self._pending = 0
-        manifest = writer.finalize(max(duration, writer.extent))
-        write_round_file(self.directory, manifest.round, [manifest.index])
+            manifest = writer.finalize(max(duration, writer.extent))
+            write_round_file(self.directory, manifest.round, [manifest.index])
         return manifest
 
     def close(self) -> Optional[ShardManifest]:
@@ -154,9 +187,18 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                     )
                     server.notify_record(str(message.get("stream", "")))
                 elif message.get("commit"):
-                    manifest = server.sink.commit(
-                        float(message.get("duration", 0.0))
-                    )
+                    raw_duration = message.get("duration", 0.0)
+                    try:
+                        duration = float(raw_duration)
+                    except (TypeError, ValueError) as error:
+                        # Reject *before* committing: a malformed commit
+                        # must not run the commit and then die without
+                        # an ack (the client would retry a commit that
+                        # already happened).
+                        raise IngestError(
+                            f"bad commit duration {raw_duration!r}"
+                        ) from error
+                    manifest = server.sink.commit(duration)
                     server.notify_commit(manifest)
                     self._reply(
                         {
@@ -172,7 +214,12 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                     raise IngestError(
                         "expected a record, commit, or ping message"
                     )
-            except (IngestError, ValueError, json.JSONDecodeError) as error:
+            except (
+                IngestError,
+                TypeError,
+                ValueError,
+                json.JSONDecodeError,
+            ) as error:
                 try:
                     self._reply({"error": str(error)})
                 except OSError:

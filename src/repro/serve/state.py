@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
@@ -238,12 +239,28 @@ class ServeState:
         )
 
     def save(self, path: str | Path) -> Path:
-        """Atomic write (temp + rename), same discipline as manifests."""
+        """Atomic write (unique temp + rename).
+
+        The temp file is unique per call (not a fixed ``<name>.tmp``),
+        so concurrent saves from different threads each publish a whole
+        checkpoint via ``os.replace`` — last writer wins, never a torn
+        file.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self.to_dict(), sort_keys=True) + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod

@@ -208,21 +208,41 @@ def round_filename(round_index: int) -> str:
 def write_round_file(
     directory: str | Path, round_index: int, shard_indices: list[int]
 ) -> Path:
-    """Record which shard indices a collection round produced."""
+    """Record which shard indices a collection round produced.
+
+    Merges with an existing round file (union of shard indices) rather
+    than overwriting it: two writers that allocated the same round
+    number — e.g. a batch ``repro append`` racing a live-ingest commit —
+    each add their shards instead of delisting the other's, which under
+    complete-rounds-only visibility gating would otherwise leave those
+    shards permanently invisible.  An unreadable existing file is
+    replaced.  Written via temp + ``os.replace`` so readers never see a
+    torn round file.
+    """
     path = Path(directory) / round_filename(round_index)
-    path.write_text(
+    shards = set(int(i) for i in shard_indices)
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("format") == ROUND_FORMAT:
+                shards.update(int(i) for i in existing.get("shards", []))
+        except (OSError, ValueError):
+            pass  # corrupt round file: rewrite it from what we know
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(
         json.dumps(
             {
                 "format": ROUND_FORMAT,
                 "version": STORE_INDEX_VERSION,
                 "round": round_index,
-                "shards": sorted(shard_indices),
+                "shards": sorted(shards),
             },
             indent=2,
             sort_keys=True,
         )
         + "\n"
     )
+    os.replace(tmp, path)
     return path
 
 

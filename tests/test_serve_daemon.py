@@ -19,6 +19,7 @@ import io
 import json
 import shutil
 import socket
+import threading
 import urllib.error
 import urllib.request
 from contextlib import redirect_stderr, redirect_stdout
@@ -33,6 +34,7 @@ from repro.datacenter import FleetSpec, collect_fleet_to_store
 from repro.serve import (
     Counter,
     Gauge,
+    IngestSink,
     MetricsRegistry,
     ResidentAnalysis,
     ServeConfig,
@@ -43,7 +45,14 @@ from repro.serve import (
     parse_exposition,
 )
 from repro.serve.watcher import StoreShrunkError
-from repro.store import ShardStore, analyze_source, take_snapshot
+from repro.store import (
+    ShardStore,
+    analyze_source,
+    load_store_rounds,
+    take_snapshot,
+    write_round_file,
+)
+from repro.store.writer import ShardWriter
 from repro.tracing.records import RequestRecord
 
 SPEC = dict(app="gfs", n_requests=120, replicas=2, seed=7)
@@ -308,6 +317,16 @@ def test_daemon_ingest_and_checkpoint_restart(store, tmp_path):
                     network_bytes=4096,
                 )
                 send({"stream": "requests", "record": record.to_dict()})
+
+            # A malformed commit duration is rejected *before* any side
+            # effect: an error reply, a surviving connection, and the
+            # pending records still uncommitted (the real commit below
+            # acks all 5).
+            send({"commit": True, "duration": None})
+            assert "duration" in json.loads(reader.readline())["error"]
+            send({"commit": True, "duration": [1.0]})
+            assert "duration" in json.loads(reader.readline())["error"]
+
             send({"commit": True})
             ack = json.loads(reader.readline())
             assert ack["ok"] is True
@@ -376,6 +395,134 @@ def test_daemon_refuses_corrupt_store(store):
 def test_daemon_refuses_non_store(tmp_path):
     with pytest.raises(ServeError, match="not a shard store"):
         ServeDaemon(tmp_path, ServeConfig(port=0, poll_interval=0)).start()
+
+
+# -- concurrency regressions -------------------------------------------------
+
+
+def _live_record(i: int) -> dict:
+    return RequestRecord(
+        request_id=i,
+        request_class="read",
+        server="live-0",
+        arrival_time=i * 0.01,
+        completion_time=i * 0.01 + 0.002,
+        network_bytes=1024,
+    ).to_dict()
+
+
+def test_ingest_commit_holds_lock_across_finalize(tmp_path, monkeypatch):
+    """A write during the finalize window must not reuse the shard slot.
+
+    Before the fix, commit() released the sink lock before finalize, so
+    a concurrent write_record re-scanned manifests (the finalizing
+    shard's manifest not yet on disk), claimed the *same* index, and
+    opened a second writer on the directory still being closed.
+    """
+    directory = tmp_path / "live"
+    sink = IngestSink(directory)
+    sink.write_record("requests", _live_record(0))
+
+    entered, release = threading.Event(), threading.Event()
+    original_finalize = ShardWriter.finalize
+
+    def slow_finalize(self, duration=0.0):
+        entered.set()
+        assert release.wait(10.0)
+        return original_finalize(self, duration)
+
+    monkeypatch.setattr(ShardWriter, "finalize", slow_finalize)
+    manifests = []
+    committer = threading.Thread(target=lambda: manifests.append(sink.commit()))
+    committer.start()
+    assert entered.wait(10.0)
+
+    wrote = threading.Event()
+
+    def write():
+        sink.write_record("requests", _live_record(1))
+        wrote.set()
+
+    writer_thread = threading.Thread(target=write)
+    writer_thread.start()
+    assert not wrote.wait(0.3)  # blocked on the sink lock, not racing
+    release.set()
+    committer.join(10.0)
+    writer_thread.join(10.0)
+    assert wrote.is_set()
+
+    monkeypatch.setattr(ShardWriter, "finalize", original_finalize)
+    second = sink.commit()
+    assert manifests[0].index == 0
+    assert second.index == 1
+    assert second.round == manifests[0].round + 1
+    assert ShardStore(directory).verify() == {}
+    rounds = load_store_rounds(directory)
+    assert rounds == {manifests[0].round: [0], second.round: [1]}
+
+
+def test_ingest_slots_never_regress(tmp_path):
+    """Slot reservation floors survive a transiently unreadable scan."""
+    directory = tmp_path / "live"
+    sink = IngestSink(directory)
+    sink.write_record("requests", _live_record(0))
+    first = sink.commit()
+    # Hide the committed shard's manifest: the scan no longer sees it,
+    # but the sink's reservations must not hand its slot out again.
+    manifest = directory / "shard-00000000" / "manifest.json"
+    hidden = manifest.with_suffix(".hidden")
+    manifest.rename(hidden)
+    sink.write_record("requests", _live_record(1))
+    second = sink.commit()
+    hidden.rename(manifest)
+    assert first.index == 0
+    assert second.index == 1
+    assert second.round == first.round + 1
+
+
+def test_write_round_file_merges_not_overwrites(tmp_path):
+    write_round_file(tmp_path, 1, [2, 3])
+    write_round_file(tmp_path, 1, [4])  # racing writer, same round number
+    assert load_store_rounds(tmp_path)[1] == [2, 3, 4]
+    # A corrupt round file is replaced from what the writer knows.
+    (tmp_path / "round-00002.json").write_text("not json")
+    write_round_file(tmp_path, 2, [7])
+    assert load_store_rounds(tmp_path)[2] == [7]
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_drift_baseline_rebuilds_after_first_fold(store):
+    """A monitor baselined on an empty history becomes ready post-fold."""
+    daemon = ServeDaemon(store, ServeConfig(port=0, poll_interval=0))
+    daemon._build_monitor()  # as if started on a request-free store
+    assert daemon.monitor.baseline.latencies.size == 0
+    assert daemon.monitor.check().ready is False
+    result = daemon.poll_once()
+    assert result.folded
+    assert daemon.monitor.baseline.latencies.size > 0
+    report = daemon.drift_report()
+    assert report.ready is True
+    assert report.to_dict()["baseline_n"] > 0
+
+
+def test_serve_state_concurrent_saves_never_tear(store, tmp_path):
+    resident = ResidentAnalysis()
+    StoreWatcher(store).poll(resident)
+    state = ServeState(resident=resident, tool_version=tool_version())
+    path = tmp_path / "ck.json"
+
+    def hammer():
+        for _ in range(10):
+            state.save(path)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    restored = ServeState.load(path)  # parses: no torn checkpoint
+    assert restored.resident.builder.state() == resident.builder.state()
+    assert not list(tmp_path.glob("ck.json.*"))  # no leaked temp files
 
 
 # -- CLI satellites ----------------------------------------------------------
