@@ -16,6 +16,7 @@ cluster, model training offline, validation and studies anywhere:
     repro validate --in traces/ --per-class --workers 4
     repro characterize --in traces/
     repro verify --in traces/
+    repro plan --in traces/ --scale 0.5:100:17 --validate-at 1,2
     repro serve --in traces/ --port 9090 --model classes.json
 
 Every trace-consuming command takes a uniform ``--in PATH`` that
@@ -464,6 +465,141 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _plan_validation_spec(args: argparse.Namespace, source):
+    """Derive the 1x simulation operating point for --validate-at.
+
+    A shard store remembers what produced it (app, seed, arrival rate
+    in the shard manifests); a flat dump or bare model file falls back
+    to ``--app`` and the app's default rate.
+    """
+    from .datacenter import FleetSpec
+    from .store import ShardStore
+
+    app = args.app
+    rate = None
+    if isinstance(source, ShardStore):
+        manifest = min(source.manifests, key=lambda m: m.index)
+        app = manifest.app
+        rate = manifest.params.get("arrival_rate")
+    if app == "mapreduce":
+        raise SystemExit(
+            "--validate-at needs a rate-scalable app; mapreduce runs a "
+            "fixed job mix with no arrival rate"
+        )
+    return FleetSpec(
+        app=app,
+        replicas=args.validate_replicas,
+        seed=args.seed,
+        n_requests=args.validate_requests,
+        arrival_rate=rate,
+    )
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from .queueing.plan import (
+        cross_validate,
+        fit_cluster_model,
+        parse_multipliers,
+        plan_sweep,
+        validation_table,
+    )
+
+    path = _input_path(args, "source")
+    try:
+        multipliers = parse_multipliers(args.scale)
+        validate_at = (
+            parse_multipliers(args.validate_at) if args.validate_at else []
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    customers = args.customers if args.solver == "mva" else None
+    spec = None
+    if Path(path).is_dir():
+        from .store import ShardStore, load_per_class_models
+
+        source = _open_source(path)
+        use_cache = args.cache and isinstance(source, ShardStore)
+        models = None
+        if args.model is not None:
+            try:
+                models = load_per_class_models(args.model)
+            except (OSError, ValueError) as error:
+                raise SystemExit(f"cannot load model {args.model}: {error}")
+        try:
+            cluster = fit_cluster_model(
+                source,
+                models=models,
+                base_rate=args.rate,
+                seed=args.seed,
+                max_per_class=args.max_per_class,
+                workers=args.workers,
+                cache=use_cache,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if validate_at:
+            spec = _plan_validation_spec(args, source)
+    else:
+        from .store import load_per_class_models
+
+        try:
+            models = load_per_class_models(path)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot load model {path}: {error}")
+        if args.rate is None:
+            raise SystemExit(
+                "a bare model file carries no arrival rates; pass --rate"
+            )
+        try:
+            cluster = fit_cluster_model(
+                models=models,
+                base_rate=args.rate,
+                seed=args.seed,
+                max_per_class=args.max_per_class,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if validate_at:
+            spec = _plan_validation_spec(args, None)
+    try:
+        plan = plan_sweep(
+            cluster,
+            multipliers,
+            solver=args.solver,
+            think_time=args.think_time,
+            customers=customers,
+        )
+        validation = (
+            cross_validate(
+                cluster,
+                validate_at,
+                spec,
+                solver=args.solver,
+                think_time=args.think_time,
+                customers=customers,
+                workers=args.workers,
+            )
+            if validate_at
+            else []
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        payload = {
+            "plan": plan.to_dict(),
+            "validation": [p.to_dict() for p in validation],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(plan.to_text())
+    if validation:
+        print("cross-validation (analytic vs targeted simulation):")
+        print(validation_table(validation))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DriftThresholds, ServeConfig, ServeDaemon, ServeError
 
@@ -739,6 +875,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_input(verify, "store")
     verify.set_defaults(func=_cmd_verify)
+
+    plan = sub.add_parser(
+        "plan",
+        help="analytic capacity plan: load sweep, saturation knee, "
+        "simulation cross-validation",
+    )
+    add_input(plan, "source")
+    plan.add_argument(
+        "--model",
+        type=Path,
+        default=None,
+        help="per-class model JSON (repro train --per-class); trained "
+        "from the input traces when omitted",
+    )
+    plan.add_argument(
+        "--scale",
+        default="0.5:100:17",
+        metavar="GRID",
+        help="load-multiplier grid: LOW:HIGH:POINTS (geometric) or an "
+        "explicit M1,M2,... list (default 0.5:100:17)",
+    )
+    plan.add_argument(
+        "--validate-at",
+        default=None,
+        metavar="M1,M2,...",
+        help="multipliers to cross-validate by targeted sharded "
+        "simulation (same grid syntax as --scale)",
+    )
+    plan.add_argument(
+        "--validate-requests",
+        type=int,
+        default=300,
+        help="requests per replica in each validation run (default 300)",
+    )
+    plan.add_argument(
+        "--validate-replicas",
+        type=int,
+        default=2,
+        help="replicas per validation run (default 2)",
+    )
+    plan.add_argument(
+        "--solver",
+        choices=("jackson", "mva"),
+        default="jackson",
+        help="open Jackson network (default) or closed MVA with "
+        "--customers interactive users",
+    )
+    plan.add_argument(
+        "--customers",
+        type=int,
+        default=16,
+        help="base closed population at 1x for --solver mva (default 16)",
+    )
+    plan.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="think time in seconds between requests for --solver mva",
+    )
+    plan.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="base arrival rate (req/s) at 1x; required for a bare "
+        "model file, overrides the profiled rate for traces",
+    )
+    plan.add_argument(
+        "--app",
+        choices=("gfs", "webapp"),
+        default="gfs",
+        help="app to simulate for --validate-at when the input is not "
+        "a shard store (stores remember their own app)",
+    )
+    plan.add_argument("--seed", type=int, default=42)
+    plan.add_argument(
+        "--max-per-class",
+        type=int,
+        default=256,
+        help="synthetic requests replayed per class to measure service "
+        "demands (default 256)",
+    )
+    plan.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for analysis and validation fleets; "
+        "0 = all cores",
+    )
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the plan and validation points as JSON",
+    )
+    add_cache_flag(plan)
+    plan.set_defaults(func=_cmd_plan)
 
     serve = sub.add_parser(
         "serve",

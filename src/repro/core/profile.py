@@ -229,6 +229,30 @@ class WorkloadProfile:
             requests=requests,
         )
 
+    @property
+    def request_rate(self) -> float:
+        """Completed requests per simulated second over the whole extent.
+
+        Replicas are stitched end-to-end on one timeline, so this is
+        the sustained per-replica completion rate — the base operating
+        point capacity planning scales from.
+        """
+        total = sum(self.classes.values())
+        return total / self.extent if self.extent > 0 else 0.0
+
+    def class_rates(self) -> dict[str, float]:
+        """Per-class completed-request rates (requests per second).
+
+        The per-class share of :attr:`request_rate`; the arrival-side
+        parameters :func:`repro.queueing.plan.fit_cluster_model`
+        extracts from a characterized store.
+        """
+        if self.extent <= 0:
+            return {cls: 0.0 for cls in self.classes}
+        return {
+            cls: count / self.extent for cls, count in self.classes.items()
+        }
+
     def describe(self) -> str:
         """Human-readable multi-line rendering (the CLI output)."""
         lines = []

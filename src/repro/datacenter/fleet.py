@@ -110,6 +110,23 @@ class FleetSpec:
             sample_every=self.sample_every,
         )
 
+    def at_rate(self, arrival_rate: float) -> "FleetSpec":
+        """The same fleet at a different operating point.
+
+        Used by ``repro plan`` cross-validation to launch targeted
+        simulations at scaled arrival rates.  Rate-less apps
+        (mapreduce) cannot be rescaled this way.
+        """
+        if _APPS[self.app] is None:
+            raise ValueError(
+                f"app {self.app!r} has no arrival rate to scale"
+            )
+        if arrival_rate <= 0:
+            raise ValueError(
+                f"arrival rate must be > 0, got {arrival_rate}"
+            )
+        return replace(self, arrival_rate=arrival_rate)
+
 
 @dataclass(frozen=True)
 class ReplicaSpec:

@@ -7,7 +7,18 @@ multi-station queueing-network simulator — the machinery of the
 in-depth modeling baseline.
 """
 
-from .analytic import MG1, MM1, MMc, erlang_c
+from .analytic import (
+    MG1,
+    MG1_saturating,
+    MM1,
+    MM1_saturating,
+    MMc,
+    MMc_saturating,
+    QueueMetrics,
+    erlang_c,
+    erlang_c_saturating,
+    saturated_metrics,
+)
 from .arrivals import (
     ArrivalProcess,
     BModelArrivals,
@@ -25,9 +36,22 @@ from .mva import (
     JacksonSolution,
     MvaSolution,
     solve_jackson,
+    solve_jackson_saturating,
     solve_mva,
 )
 from .network import NetworkResult, QueueingNetwork, Station, StationVisit
+from .plan import (
+    CapacityPlan,
+    ClassDemand,
+    ClusterModel,
+    PlanPoint,
+    ValidationPoint,
+    cross_validate,
+    fit_cluster_model,
+    parse_multipliers,
+    plan_sweep,
+    solve_point,
+)
 
 __all__ = [
     "Activity",
@@ -35,6 +59,9 @@ __all__ = [
     "ArrivalProcess",
     "BModelArrivals",
     "CANDIDATE_FAMILIES",
+    "CapacityPlan",
+    "ClassDemand",
+    "ClusterModel",
     "CopulaArrivals",
     "JacksonSolution",
     "fit_ar_coefficients",
@@ -42,15 +69,27 @@ __all__ = [
     "LqnSimulator",
     "LqnTask",
     "MvaSolution",
+    "PlanPoint",
+    "QueueMetrics",
+    "ValidationPoint",
+    "cross_validate",
+    "fit_cluster_model",
+    "parse_multipliers",
+    "plan_sweep",
     "solve_jackson",
+    "solve_jackson_saturating",
     "solve_mva",
+    "solve_point",
     "DeterministicArrivals",
     "DistributionArrivals",
     "EmpiricalArrivals",
     "FittedDistribution",
     "MG1",
+    "MG1_saturating",
     "MM1",
+    "MM1_saturating",
     "MMc",
+    "MMc_saturating",
     "MMPPArrivals",
     "NetworkResult",
     "PoissonArrivals",
@@ -58,5 +97,7 @@ __all__ = [
     "Station",
     "StationVisit",
     "erlang_c",
+    "erlang_c_saturating",
     "fit_distribution",
+    "saturated_metrics",
 ]

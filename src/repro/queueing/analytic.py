@@ -1,15 +1,31 @@
 """Closed-form queueing results: M/M/1, M/M/c, M/G/1.
 
 Used as analytic cross-checks for the simulated queueing network (the
-in-depth baseline) and as capacity-planning primitives in the examples.
-All formulas assume FCFS and stability (rho < 1) and raise otherwise.
+in-depth baseline) and as capacity-planning primitives in the examples
+and in :mod:`repro.queueing.plan`.  The bare formulas assume FCFS and
+stability (rho < 1) and raise otherwise; the ``*_saturating`` wrappers
+instead report an overloaded station as a finite-utilization,
+infinite-delay :class:`QueueMetrics` — what a load sweep that crosses
+the saturation knee needs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["MG1", "MM1", "MMc", "erlang_c"]
+__all__ = [
+    "MG1",
+    "MG1_saturating",
+    "MM1",
+    "MM1_saturating",
+    "MMc",
+    "MMc_saturating",
+    "QueueMetrics",
+    "erlang_c",
+    "erlang_c_saturating",
+    "saturated_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -22,8 +38,31 @@ class QueueMetrics:
     mean_wait: float  # Wq: queueing delay
     mean_response: float  # W = Wq + service
 
+    @property
+    def saturated(self) -> bool:
+        """True when the station has no steady state (rho >= 1)."""
+        return not math.isfinite(self.mean_response)
+
+
+def saturated_metrics(rho: float) -> QueueMetrics:
+    """The :class:`QueueMetrics` of an overloaded station.
+
+    Utilization is reported as the (>= 1) offered load so a sweep can
+    rank how far past the knee each station is; every queue/delay
+    metric is honestly infinite.
+    """
+    return QueueMetrics(
+        utilization=rho,
+        mean_queue_length=math.inf,
+        mean_number_in_system=math.inf,
+        mean_wait=math.inf,
+        mean_response=math.inf,
+    )
+
 
 def _check_stability(rho: float) -> None:
+    if math.isnan(rho):
+        raise ValueError("offered load is NaN")
     if rho >= 1.0:
         raise ValueError(f"unstable queue: offered load rho={rho:.3f} >= 1")
     if rho < 0:
@@ -51,11 +90,22 @@ def erlang_c(servers: int, offered_load: float) -> float:
     """Probability an arrival must queue in an M/M/c system.
 
     ``offered_load`` is a = lambda/mu (in Erlangs); requires a < c.
+    The bound is checked on ``servers - a`` directly, not only on the
+    rho ratio: the formula divides by ``servers - a``, and a ratio test
+    alone can round through 1.0 at huge server counts and let a
+    zero/negative denominator produce garbage instead of an error.
     """
     if servers < 1:
         raise ValueError(f"need >= 1 server, got {servers}")
     a = offered_load
-    _check_stability(a / servers)
+    if math.isnan(a):
+        raise ValueError("offered load is NaN")
+    if a < 0:
+        raise ValueError(f"negative offered load a={a:.3f}")
+    if a >= servers:
+        raise ValueError(
+            f"unstable queue: offered load a={a:.3f} >= servers={servers}"
+        )
     # Sum in log space is unnecessary at datacenter scales; direct
     # iterative evaluation is stable for c up to thousands.
     term = 1.0
@@ -109,3 +159,65 @@ def MG1(
         mean_wait=wq,
         mean_response=wq + mean_service,
     )
+
+
+# -- saturation-aware wrappers ------------------------------------------------
+#
+# Load sweeps (repro.queueing.plan) walk a multiplier grid that is
+# expected to cross saturation; they need the overloaded points reported
+# as data, not raised as exceptions.  Each wrapper validates its inputs
+# exactly like the bare formula, but maps "rho >= 1" to
+# :func:`saturated_metrics` instead of ValueError.
+
+
+def MM1_saturating(arrival_rate: float, service_rate: float) -> QueueMetrics:
+    """:func:`MM1` that reports saturation instead of raising."""
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        return saturated_metrics(rho)
+    return MM1(arrival_rate, service_rate)
+
+
+def erlang_c_saturating(servers: int, offered_load: float) -> float:
+    """:func:`erlang_c` that returns 1.0 at/past saturation.
+
+    With every server busy forever, an arrival queues with certainty —
+    the continuous limit of the Erlang-C probability as a -> c.
+    """
+    if servers < 1:
+        raise ValueError(f"need >= 1 server, got {servers}")
+    if math.isnan(offered_load):
+        raise ValueError("offered load is NaN")
+    if offered_load < 0:
+        raise ValueError(f"negative offered load a={offered_load:.3f}")
+    if offered_load >= servers:
+        return 1.0
+    return erlang_c(servers, offered_load)
+
+
+def MMc_saturating(
+    arrival_rate: float, service_rate: float, servers: int
+) -> QueueMetrics:
+    """:func:`MMc` that reports saturation instead of raising."""
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if servers < 1:
+        raise ValueError(f"need >= 1 server, got {servers}")
+    rho = arrival_rate / (service_rate * servers)
+    if rho >= 1.0:
+        return saturated_metrics(rho)
+    return MMc(arrival_rate, service_rate, servers)
+
+
+def MG1_saturating(
+    arrival_rate: float, mean_service: float, service_scv: float
+) -> QueueMetrics:
+    """:func:`MG1` that reports saturation instead of raising."""
+    if arrival_rate < 0 or mean_service <= 0 or service_scv < 0:
+        raise ValueError("invalid parameters")
+    rho = arrival_rate * mean_service
+    if rho >= 1.0:
+        return saturated_metrics(rho)
+    return MG1(arrival_rate, mean_service, service_scv)

@@ -12,13 +12,14 @@ standard solvers for that job:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from .analytic import MMc
+from .analytic import MMc, MMc_saturating
 
 __all__ = ["AnalyticStation", "JacksonSolution", "MvaSolution",
-           "solve_jackson", "solve_mva"]
+           "solve_jackson", "solve_jackson_saturating", "solve_mva"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,16 @@ class JacksonSolution:
     def bottleneck(self) -> str:
         return max(self.station_utilization, key=self.station_utilization.get)
 
+    @property
+    def feasible(self) -> bool:
+        """True when every station has a steady state (all rho < 1)."""
+        return all(u < 1.0 for u in self.station_utilization.values())
+
+    @property
+    def saturated_stations(self) -> list[str]:
+        """Stations at or past saturation, in definition order."""
+        return [s for s, u in self.station_utilization.items() if u >= 1.0]
+
 
 def solve_jackson(
     stations: Sequence[AnalyticStation], arrival_rate: float
@@ -89,6 +100,41 @@ def solve_jackson(
     )
 
 
+def solve_jackson_saturating(
+    stations: Sequence[AnalyticStation], arrival_rate: float
+) -> JacksonSolution:
+    """:func:`solve_jackson` that reports saturation instead of raising.
+
+    Stations at or past rho = 1 carry their true (>= 1) utilization and
+    an infinite per-visit response; the request latency is then
+    infinite too, and :attr:`JacksonSolution.feasible` is False.  A
+    load sweep that crosses the knee gets the whole curve back as data.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be > 0, got {arrival_rate}")
+    utilization: dict[str, float] = {}
+    response: dict[str, float] = {}
+    latency = 0.0
+    for station in stations:
+        rate_in = arrival_rate * station.visits
+        if rate_in == 0:
+            utilization[station.name] = 0.0
+            response[station.name] = station.service_time
+            continue
+        metrics = MMc_saturating(
+            rate_in, 1.0 / station.service_time, station.servers
+        )
+        utilization[station.name] = metrics.utilization
+        response[station.name] = metrics.mean_response
+        latency += station.visits * metrics.mean_response
+    return JacksonSolution(
+        arrival_rate=arrival_rate,
+        station_utilization=utilization,
+        station_response=response,
+        mean_latency=latency,
+    )
+
+
 @dataclass(frozen=True)
 class MvaSolution:
     """Closed-network solution at population N."""
@@ -100,8 +146,16 @@ class MvaSolution:
 
     @property
     def cycle_time(self) -> float:
-        """Response time + think time (derivable from throughput)."""
-        return self.n_customers / self.throughput if self.throughput else 0.0
+        """Response time + think time (derivable from throughput).
+
+        A zero-throughput solution has an infinite cycle: customers
+        never complete, so the honest answer is ``inf``, not 0.
+        """
+        return (
+            self.n_customers / self.throughput
+            if self.throughput
+            else math.inf
+        )
 
 
 def solve_mva(
@@ -132,8 +186,6 @@ def solve_mva(
     return MvaSolution(
         n_customers=n_customers,
         throughput=throughput,
-        response_time=sum(d * (1.0 + 0.0) for d in demands)
-        if n_customers == 0
-        else n_customers / throughput - think_time,
+        response_time=n_customers / throughput - think_time,
         queue_lengths={s.name: q for s, q in zip(stations, queue)},
     )

@@ -42,6 +42,10 @@ __all__ = [
     "DriftThresholds",
 ]
 
+#: Standard-normal quantile at 0.99 (norm.ppf(0.99)).  The old
+#: ``mean + 3*std`` bound was the ~p99.87 point mislabeled as p99.
+_P99_Z = 2.3263478740408408
+
 
 @dataclass(frozen=True)
 class DriftThresholds:
@@ -179,7 +183,11 @@ class DriftBaseline:
         )
 
     def rate_profile(self, span: float) -> StageProfile:
-        """Expected request count over ``span`` seconds, Poisson width."""
+        """Expected request count over ``span`` seconds, Poisson width.
+
+        ``p99`` is the normal-approximation 99th percentile of the
+        windowed count (z = 2.326, not the 3-sigma ~p99.87 point).
+        """
         expected = self.mean_rate * span
         std = float(np.sqrt(expected)) if expected > 0 else 0.0
         return StageProfile(
@@ -187,7 +195,7 @@ class DriftBaseline:
             count=len(self.latencies),
             mean=expected,
             std=std,
-            p99=expected + 3.0 * std,
+            p99=expected + _P99_Z * std,
         )
 
 

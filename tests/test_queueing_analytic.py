@@ -104,3 +104,100 @@ def test_mmc_simulation_agrees_with_formula():
     simulated = np.mean([r.latency for r in results])
     analytic = MMc(80.0, 1 / 0.03, servers=3).mean_response
     assert simulated == pytest.approx(analytic, rel=0.1)
+
+# -- saturation-aware variants and erlang_c regression ------------------------
+
+
+def test_erlang_c_rejects_offered_load_at_or_past_servers():
+    # Regression: a >= c used to reach the c - a denominator; it must be
+    # rejected up front for every overload, not just a == c.
+    with pytest.raises(ValueError):
+        erlang_c(2, 2.0)
+    with pytest.raises(ValueError):
+        erlang_c(2, 3.5)
+    with pytest.raises(ValueError):
+        erlang_c(1, 1.0)
+
+
+def test_erlang_c_rejects_nan_and_negative():
+    with pytest.raises(ValueError):
+        erlang_c(2, float("nan"))
+    with pytest.raises(ValueError):
+        erlang_c(2, -1.0)
+
+
+def test_erlang_c_saturating_clamps_to_one():
+    from repro.queueing import erlang_c_saturating
+
+    assert erlang_c_saturating(2, 2.0) == 1.0
+    assert erlang_c_saturating(2, 100.0) == 1.0
+    # Below saturation it is exactly erlang_c.
+    assert erlang_c_saturating(4, 2.0) == pytest.approx(erlang_c(4, 2.0))
+
+
+def test_mmc_single_server_matches_mm1_across_rate_grid():
+    from repro.queueing import MM1_saturating, MMc_saturating
+
+    for rate in (0.5, 2.0, 5.0, 7.5, 9.0, 9.9):
+        a = MM1(rate, 10.0)
+        b = MMc(rate, 10.0, servers=1)
+        assert b.utilization == pytest.approx(a.utilization, rel=1e-12)
+        assert b.mean_wait == pytest.approx(a.mean_wait, rel=1e-9)
+        assert b.mean_response == pytest.approx(a.mean_response, rel=1e-9)
+        assert b.mean_number_in_system == pytest.approx(
+            a.mean_number_in_system, rel=1e-9
+        )
+    # The saturating variants agree too, including past the knee.
+    for rate in (5.0, 10.0, 15.0):
+        a = MM1_saturating(rate, 10.0)
+        b = MMc_saturating(rate, 10.0, servers=1)
+        assert b.utilization == pytest.approx(a.utilization, rel=1e-12)
+        assert b.saturated == a.saturated
+
+
+def test_saturating_wrappers_at_and_past_rho_one():
+    import math
+
+    from repro.queueing import (
+        MG1_saturating,
+        MM1_saturating,
+        MMc_saturating,
+    )
+
+    # Exactly at rho = 1 and just past it: a QueueMetrics with the true
+    # utilization and infinite delays, never an exception.
+    for rate in (10.0, 10.0 + 1e-9, 25.0):
+        for metrics in (
+            MM1_saturating(rate, 10.0),
+            MMc_saturating(2.0 * rate, 10.0, servers=2),
+            MG1_saturating(rate, mean_service=0.1, service_scv=1.0),
+        ):
+            assert metrics.saturated
+            assert metrics.utilization == pytest.approx(rate / 10.0)
+            assert math.isinf(metrics.mean_wait)
+            assert math.isinf(metrics.mean_response)
+            assert math.isinf(metrics.mean_number_in_system)
+
+
+def test_saturating_wrappers_match_exact_below_knee():
+    from repro.queueing import (
+        MG1_saturating,
+        MM1_saturating,
+        MMc_saturating,
+    )
+
+    assert MM1_saturating(8.0, 10.0) == MM1(8.0, 10.0)
+    assert MMc_saturating(15.0, 10.0, 2) == MMc(15.0, 10.0, 2)
+    assert MG1_saturating(6.0, 0.1, 1.0) == MG1(6.0, 0.1, 1.0)
+    assert not MM1_saturating(8.0, 10.0).saturated
+
+
+def test_saturated_metrics_helper():
+    import math
+
+    from repro.queueing import saturated_metrics
+
+    m = saturated_metrics(1.7)
+    assert m.utilization == pytest.approx(1.7)
+    assert m.saturated
+    assert math.isinf(m.mean_queue_length)

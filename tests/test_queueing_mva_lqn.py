@@ -205,3 +205,106 @@ def test_lqn_validation():
         LqnSimulator(tasks, "a")
     with pytest.raises(ValueError):
         LqnSimulator([LqnTask("a", 1, (Activity(0.001),))], "missing")
+
+
+# -- saturation-aware solving and MVA regressions ----------------------------
+
+
+def test_jackson_saturating_below_knee_matches_exact():
+    from repro.queueing import solve_jackson_saturating
+
+    stations = [
+        AnalyticStation("cpu", 1.0, 0.004, servers=2),
+        AnalyticStation("disk", 0.6, 0.010),
+    ]
+    exact = solve_jackson(stations, 50.0)
+    soft = solve_jackson_saturating(stations, 50.0)
+    assert soft.feasible
+    assert soft.saturated_stations == []
+    assert soft.mean_latency == pytest.approx(exact.mean_latency, rel=1e-12)
+    assert soft.station_utilization == pytest.approx(exact.station_utilization)
+
+
+def test_jackson_saturating_past_knee_reports_instead_of_raising():
+    import math
+
+    from repro.queueing import solve_jackson_saturating
+
+    stations = [
+        AnalyticStation("cpu", 1.0, 0.004, servers=2),
+        AnalyticStation("disk", 0.6, 0.010),  # saturates at 1/0.006
+    ]
+    rate = 400.0
+    with pytest.raises(ValueError):
+        solve_jackson(stations, rate)
+    solution = solve_jackson_saturating(stations, rate)
+    assert not solution.feasible
+    assert solution.saturated_stations == ["disk"]
+    assert solution.bottleneck == "disk"
+    # True offered utilization, not clamped: 400 * 0.6 * 0.01 = 2.4.
+    assert solution.station_utilization["disk"] == pytest.approx(2.4)
+    assert solution.station_utilization["cpu"] == pytest.approx(0.8)
+    assert math.isinf(solution.mean_latency)
+    assert math.isinf(solution.station_response["disk"])
+    assert math.isfinite(solution.station_response["cpu"])
+
+
+def test_jackson_saturating_exactly_at_rho_one():
+    import math
+
+    from repro.queueing import solve_jackson_saturating
+
+    stations = [AnalyticStation("disk", 1.0, 0.010)]
+    solution = solve_jackson_saturating(stations, 100.0)
+    assert not solution.feasible
+    assert solution.station_utilization["disk"] == pytest.approx(1.0)
+    assert math.isinf(solution.mean_latency)
+    # Just below the knee the exact solver still works.
+    assert solve_jackson(stations, 99.999).feasible
+
+
+def test_jackson_saturating_rejects_nonpositive_rate():
+    from repro.queueing import solve_jackson_saturating
+
+    with pytest.raises(ValueError):
+        solve_jackson_saturating([AnalyticStation("s", 1.0, 0.01)], 0.0)
+
+
+def test_mva_throughput_monotone_in_population():
+    stations = [
+        AnalyticStation("cpu", 1.0, 0.02, servers=2),
+        AnalyticStation("disk", 1.0, 0.03),
+    ]
+    curve = [
+        solve_mva(stations, n, think_time=0.1).throughput
+        for n in range(1, 40)
+    ]
+    # Nondecreasing everywhere (floats plateau once converged), strictly
+    # increasing before the asymptote, and never past the bound 1/Dmax.
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert curve[5] > curve[0]
+    assert curve[-1] <= 1.0 / 0.03 + 1e-9
+
+
+def test_mva_response_time_single_customer_is_total_demand():
+    # Regression for the dead n_customers == 0 branch: the n=1 response
+    # is the sum of per-server demands (no queueing), computed through
+    # the live N/X - Z arm.
+    stations = [
+        AnalyticStation("cpu", 1.0, 0.02, servers=2),
+        AnalyticStation("disk", 1.0, 0.03),
+    ]
+    solution = solve_mva(stations, 1, think_time=0.5)
+    assert solution.response_time == pytest.approx(0.02 / 2 + 0.03, rel=1e-12)
+    assert solution.cycle_time == pytest.approx(0.5 + 0.04, rel=1e-12)
+
+
+def test_mva_cycle_time_infinite_at_zero_throughput():
+    import math
+
+    from repro.queueing import MvaSolution
+
+    stalled = MvaSolution(
+        n_customers=4, throughput=0.0, response_time=0.0, queue_lengths={}
+    )
+    assert math.isinf(stalled.cycle_time)

@@ -335,5 +335,9 @@ def test_thresholds_to_dict_and_rate_profile():
     profile = baseline.rate_profile(span=4.0)
     assert profile.mean == pytest.approx(400.0)
     assert profile.std == pytest.approx(math.sqrt(400.0))
+    # The p99 bound uses the true normal z (2.326...), not 3-sigma:
+    # mean + 3*std would be the ~p99.87 point mislabeled as p99.
+    assert profile.p99 == pytest.approx(400.0 + 2.3263478740408408 * 20.0)
+    assert profile.p99 < 400.0 + 3.0 * 20.0
     # 400 observed against 400 expected: dead center.
     assert profile.zscore(400.0) == pytest.approx(0.0)
