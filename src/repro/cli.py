@@ -6,6 +6,8 @@ cluster, model training offline, validation and studies anywhere:
     repro collect --app gfs --requests 2000 --out traces/
     repro collect --app gfs --replicas 8 --workers 4 --out traces/
     repro collect --app gfs --replicas 2 --sweep-rate 10,25,40 --out sweep/
+    repro collect --app gfs --replicas 8 --windows 4 --out traces/
+    repro resume --out traces/ --workers 4
     repro append --app gfs --replicas 4 --workers 4 --out traces/
     repro collect --app gfs --replicas 4 --codec columnar --out traces/
     repro convert --in traces/ --out traces-col/ --codec columnar
@@ -112,6 +114,14 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             "--flat writes a jsonl dump; collect into a shard store to "
             "use --codec columnar"
         )
+    if args.windows < 1:
+        raise SystemExit(f"--windows must be >= 1, got {args.windows}")
+    windowed = args.windows > 1 or args.checkpoint_dir is not None
+    if windowed and args.flat:
+        raise SystemExit(
+            "--windows/--checkpoint-dir stream window shards to a store; "
+            "they cannot combine with --flat"
+        )
     rate = None if args.app == "mapreduce" else args.rate
     sweep_rates = None
     if args.sweep_rate:
@@ -126,6 +136,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         or sweep_rates
         or args.append
         or args.codec != "jsonl"
+        or windowed
     )
     if use_store and not args.flat:
         # Sharded fleet streamed straight to an on-disk store: each
@@ -163,16 +174,19 @@ def _cmd_collect(args: argparse.Namespace) -> int:
                 on_shard=report,
                 append=args.append,
                 codec=args.codec,
+                windows=args.windows,
+                checkpoint_dir=args.checkpoint_dir,
             )
         except (FileExistsError, FileNotFoundError) as error:
             raise SystemExit(str(error))
         n_shards = len(result.manifests)
+        n_replicas = sum(1 for m in result.manifests if not m.continues)
         verb = (
             f"appended round {result.round} to" if args.append else "saved"
         )
         print(
             f"{verb} shard store at {args.out} ({n_shards} shards, "
-            f"{result.n_records} records; {n_shards} replicas x "
+            f"{result.n_records} records; {n_replicas} replicas x "
             f"{args.workers} workers in {result.elapsed_seconds:.2f}s wall)"
         )
         return 0
@@ -225,6 +239,35 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     save_traces(traces, args.out, compress=args.gzip)
     summary = ", ".join(f"{k}={v}" for k, v in traces.summary().items())
     print(f"saved traces to {args.out} ({summary}{extra})")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .datacenter import resume_fleet_collection
+    from .snapshot import SnapshotError
+
+    def report(index: int, manifest) -> None:
+        print(
+            f"shard {index} persisted: {manifest.n_records} records "
+            f"({manifest.duration:.2f}s simulated)"
+        )
+
+    try:
+        result = resume_fleet_collection(
+            args.out,
+            checkpoint_dir=args.checkpoint_dir,
+            workers=args.workers,
+            on_shard=report,
+        )
+    except (FileNotFoundError, SnapshotError) as error:
+        raise SystemExit(str(error))
+    n_shards = len(result.manifests)
+    n_replicas = sum(1 for m in result.manifests if not m.continues)
+    print(
+        f"resumed shard store at {args.out} ({n_shards} shards, "
+        f"{result.n_records} records; {n_replicas} replicas x "
+        f"{args.workers} workers in {result.elapsed_seconds:.2f}s wall)"
+    )
     return 0
 
 
@@ -652,6 +695,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Datacenter workload modeling: in-breadth, in-depth, KOOZA",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "checkpoint flags (one vocabulary across commands):\n"
+            "  serve   --checkpoint PATH      one daemon-state snapshot file,\n"
+            "                                 written after folds and at shutdown\n"
+            "  collect --windows N            split each replica into N window\n"
+            "                                 shards, engine-checkpointing at\n"
+            "                                 every window boundary\n"
+            "  collect --checkpoint-dir DIR   where those per-replica engine\n"
+            "                                 checkpoints live (default\n"
+            "                                 <out>/_checkpoints)\n"
+            "  resume  --checkpoint-dir DIR   read the same directory to finish\n"
+            "                                 an interrupted windowed collect\n"
+            "All snapshot files share the repro.snapshot versioned format."
+        ),
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {tool_version()}"
@@ -718,6 +776,22 @@ def build_parser() -> argparse.ArgumentParser:
             "binary columnar struct-of-arrays layout (vectorized "
             "analysis reads whole column buffers)",
         )
+        cmd.add_argument(
+            "--windows",
+            type=int,
+            default=1,
+            help="split each replica into N window shards, checkpointing "
+            "its engine at every boundary so a killed worker resumes "
+            "from the last window (repro resume); the finished store "
+            "merges identically to a single-shot collect (default 1)",
+        )
+        cmd.add_argument(
+            "--checkpoint-dir",
+            type=Path,
+            default=None,
+            help="directory for per-replica engine checkpoints (default "
+            "<out>/_checkpoints; implies windowed collection)",
+        )
         cmd.add_argument("--out", type=Path, required=True)
 
     collect = sub.add_parser("collect", help="run a workload, save traces")
@@ -743,6 +817,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_collect_args(append)
     append.set_defaults(func=_cmd_collect, append=True, flat=False)
+
+    resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted windowed collect from its engine "
+        "checkpoints (collect --windows)",
+    )
+    resume.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="the shard store an interrupted collect --windows was "
+        "writing",
+    )
+    resume.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="where that collect kept its engine checkpoints (default "
+        "<out>/_checkpoints)",
+    )
+    resume.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; 0 = all cores (the resumed store is "
+        "identical for any worker count)",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     compact = sub.add_parser(
         "compact",

@@ -30,15 +30,15 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from ..snapshot import SNAPSHOT_VERSION as STREAMING_STATE_VERSION
+from ..snapshot import check_state
 from ..stats import (
-    STREAMING_STATE_VERSION,
     CategoricalCounter,
     ExactQuantiles,
     SeekStats,
     WindowedCounter,
     classify_utilization_pattern,
 )
-from ..stats.streaming import check_state
 from ..tracing import READ, TraceSource, as_trace_set
 
 __all__ = [

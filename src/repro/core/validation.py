@@ -16,8 +16,9 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..snapshot import SNAPSHOT_VERSION as STREAMING_STATE_VERSION
+from ..snapshot import check_state
 from ..stats import (
-    STREAMING_STATE_VERSION,
     CategoricalCounter,
     CoMomentsAccumulator,
     ExactQuantiles,
@@ -25,7 +26,6 @@ from ..stats import (
     cross_correlation,
     ks_two_sample,
 )
-from ..stats.streaming import check_state
 from ..tracing import TraceSource
 from ..tracing.columnar import take_columns
 from .features import RequestFeatures, extract_request_features

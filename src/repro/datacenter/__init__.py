@@ -21,15 +21,18 @@ from .fleet import (
     FleetResult,
     FleetSpec,
     ReplicaResult,
+    ReplicaSpec,
     StoreFleetResult,
     collect_fleet,
     collect_fleet_to_store,
     collect_replicas,
     merge_replicas,
+    resume_fleet_collection,
     run_replica,
     sweep_grid,
     sweep_replica_specs,
 )
+from .session import ReplicaSession
 from .run import (
     GfsRun,
     default_mapreduce_jobs,
@@ -72,7 +75,10 @@ __all__ = [
     "WebRequest",
     "WebRequestClass",
     "ReplicaResult",
+    "ReplicaSession",
+    "ReplicaSpec",
     "collect_fleet",
+    "resume_fleet_collection",
     "default_mapreduce_jobs",
     "run_gfs_workload",
     "run_mapreduce_jobs",

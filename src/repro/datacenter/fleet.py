@@ -27,12 +27,14 @@ Two properties make the merged result well-defined:
 from __future__ import annotations
 
 import itertools
+import shutil
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from ..simulation import RandomStreams, run_sharded
+from ..simulation import run_sharded
+from ..snapshot import check_state, load_snapshot, make_state, save_snapshot
 from ..store.manifest import ShardManifest, write_round_file
 from ..store.stitch import (
     accumulate_offsets,
@@ -44,36 +46,35 @@ from ..store.writer import ShardWriter, shard_dirname
 from ..tracing import Tracer, TraceSet
 from .mapreduce import JobResult
 from .run import run_gfs_workload, run_mapreduce_jobs, run_webapp_workload
+from .session import ReplicaSession, _NullSink, replica_streams
 
 __all__ = [
+    "CHECKPOINT_DIRNAME",
     "FleetResult",
     "FleetSpec",
     "ReplicaResult",
     "ShardTask",
     "StoreFleetResult",
+    "WindowedTask",
+    "checkpoint_filename",
     "collect_fleet",
     "collect_fleet_to_store",
     "collect_replicas",
+    "load_fleet_plan",
     "merge_replicas",
     "replica_params",
+    "save_fleet_plan",
     "replica_streams",
+    "resume_fleet_collection",
     "run_replica",
     "sweep_grid",
     "sweep_replica_specs",
     "write_replica_shard",
+    "write_windowed_replica",
 ]
 
 #: Workloads the fleet can drive, with their default arrival rates.
 _APPS = {"gfs": 25.0, "webapp": 120.0, "mapreduce": None}
-
-
-def replica_streams(seed: int, index: int) -> RandomStreams:
-    """The stream factory for replica ``index`` of a fleet seeded ``seed``.
-
-    Pure function of ``(seed, index)`` — workers reconstruct it locally,
-    so no generator state crosses process boundaries.
-    """
-    return RandomStreams(seed).spawn("replica").spawn(str(index))
 
 
 @dataclass(frozen=True)
@@ -458,6 +459,8 @@ def collect_fleet_to_store(
     on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
     append: bool = False,
     codec: str = "jsonl",
+    windows: int = 1,
+    checkpoint_dir: Optional[str | Path] = None,
     **spec_kwargs,
 ) -> StoreFleetResult:
     """Run a fleet (or explicit sweep list) streaming shards to ``directory``.
@@ -483,6 +486,20 @@ def collect_fleet_to_store(
     files or the binary ``"columnar"`` struct-of-arrays layout); the
     simulated records are identical either way, only the on-disk
     encoding differs, and a store may mix codecs across rounds.
+
+    ``windows=N`` (or an explicit ``checkpoint_dir``) switches to
+    **windowed collection**: each replica is split into N shards —
+    shard ``r*N + w`` holds replica ``r``'s window ``w``, every window
+    after the first marked ``continues`` — and the replica's engine is
+    checkpointed into ``checkpoint_dir`` (default
+    ``<directory>/_checkpoints``) at every window boundary.  A worker
+    killed mid-window is resumed from its last boundary by
+    :func:`resume_fleet_collection` (``repro resume``); the finished
+    store merges byte-identically to a single-shot collect of the same
+    spec.  Each window lands as its own collection round, so
+    complete-rounds visibility gating exposes a consistent
+    all-replicas-through-window-``w`` prefix while later windows are
+    still running.
     """
     if replica_specs is None:
         if spec is None:
@@ -494,10 +511,14 @@ def collect_fleet_to_store(
         replica_specs = [spec.replica(k) for k in range(spec.replicas)]
     elif spec is not None or spec_kwargs:
         raise TypeError("pass either replica_specs or a spec, not both")
+    if windows < 1:
+        raise ValueError(f"need >= 1 window, got {windows}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     existing = sorted(directory.glob("shard-*/manifest.json"))
     round_index = 0
+    start_shard = 0
+    start_replica = 0
     if append:
         if not existing:
             raise FileNotFoundError(
@@ -505,16 +526,41 @@ def collect_fleet_to_store(
                 "(collect without append first)"
             )
         manifests_on_disk = [ShardManifest.load(p) for p in existing]
-        start_index = max(m.index for m in manifests_on_disk) + 1
+        start_shard = max(m.index for m in manifests_on_disk) + 1
         round_index = max(m.round for m in manifests_on_disk) + 1
-        replica_specs = [
-            replace(r, index=r.index + start_index) for r in replica_specs
-        ]
+        # Replica indices (the seeding identity) continue from the number
+        # of replicas already collected — one per non-continuation shard —
+        # not from the shard count, which windowed rounds inflate.
+        start_replica = sum(1 for m in manifests_on_disk if not m.continues)
     elif existing:
         raise FileExistsError(
             f"{directory} already holds a shard store; pass append=True "
             "to add a collection round (or choose a fresh directory)"
         )
+    if windows > 1 or checkpoint_dir is not None:
+        if checkpoint_dir is None:
+            checkpoint_dir = directory / CHECKPOINT_DIRNAME
+        replica_specs = [
+            replace(r, index=r.index + start_replica) for r in replica_specs
+        ]
+        tasks = [
+            WindowedTask(
+                replica=r,
+                directory=str(directory),
+                checkpoint_dir=str(checkpoint_dir),
+                n_windows=windows,
+                shard_base=start_shard + i * windows,
+                round_base=round_index,
+                compress=compress,
+                codec=codec,
+            )
+            for i, r in enumerate(replica_specs)
+        ]
+        save_fleet_plan(checkpoint_dir, directory, tasks)
+        return _run_windowed_tasks(directory, tasks, workers, on_shard)
+    replica_specs = [
+        replace(r, index=r.index + start_shard) for r in replica_specs
+    ]
     tasks = [
         ShardTask(
             replica=r,
@@ -538,3 +584,259 @@ def collect_fleet_to_store(
         elapsed_seconds=elapsed,
         round=round_index,
     )
+
+
+# -- windowed collection with engine checkpoints ------------------------------
+
+#: Where a windowed collection keeps its checkpoints, inside the store.
+CHECKPOINT_DIRNAME = "_checkpoints"
+
+FLEET_PLAN_KIND = "fleet-plan"
+FLEET_PLAN_FILENAME = "fleet.json"
+
+
+def checkpoint_filename(replica_index: int) -> str:
+    """Name of one replica's engine-checkpoint file."""
+    return f"replica-{replica_index:05d}.json"
+
+
+@dataclass(frozen=True)
+class WindowedTask:
+    """One worker's assignment: a replica split across N window shards.
+
+    Windows ``0..n_windows-1`` land in shards ``shard_base + w`` (the
+    coordinator allocates replica-major bases: replica ``r`` owns
+    ``start + r*N .. start + r*N + N-1``) and rounds ``round_base + w``.
+    The worker checkpoints its engine into ``checkpoint_dir`` after each
+    window, so it resumes from the last completed boundary after a kill.
+    """
+
+    replica: ReplicaSpec
+    directory: str
+    checkpoint_dir: str
+    n_windows: int
+    shard_base: int
+    round_base: int = 0
+    compress: bool = False
+    codec: str = "jsonl"
+
+
+def _window_params(spec: ReplicaSpec, window: int, n_windows: int) -> dict:
+    params = replica_params(spec)
+    params["replica"] = spec.index
+    params["window"] = window
+    params["windows"] = n_windows
+    return params
+
+
+def write_windowed_replica(task: WindowedTask) -> list[ShardManifest]:
+    """Worker entry point: one replica streamed into N window shards.
+
+    Between windows the session's engine is checkpointed (replay recipe
+    + digests, see :meth:`ReplicaSession.checkpoint`) to
+    ``checkpoint_dir/replica-<idx>.json``.  Called again after a crash
+    — directly or via :func:`resume_fleet_collection` — the worker
+    loads that checkpoint, deletes any torn shard directory the kill
+    left behind (a shard dir without its manifest, or one the stale
+    checkpoint predates), restores the session by deterministic replay,
+    and continues; determinism makes the rewritten shards byte-identical
+    to the uninterrupted run's.
+    """
+    spec = task.replica
+    n_windows = task.n_windows
+    directory = Path(task.directory)
+    ckpt_path = Path(task.checkpoint_dir) / checkpoint_filename(spec.index)
+    manifests: list[ShardManifest] = []
+    boundaries: list[float] = []
+    windows_done = 0
+    session: Optional[ReplicaSession] = None
+    if ckpt_path.exists():
+        state = load_snapshot(ckpt_path)
+        worker_meta = state.get("worker", {})
+        windows_done = int(worker_meta.get("windows_done", 0))
+        boundaries = [float(b) for b in worker_meta.get("boundaries", [])]
+        for w in range(windows_done):
+            manifests.append(
+                ShardManifest.load(directory / shard_dirname(task.shard_base + w))
+            )
+        if windows_done < n_windows:
+            session = ReplicaSession.restore(state, keep_records=False)
+    if session is None and windows_done < n_windows:
+        session = ReplicaSession(
+            spec,
+            tracer=Tracer(
+                sample_every=spec.sample_every,
+                sink=_NullSink(),
+                keep_records=False,
+            ),
+        )
+        session.tracer.sink = None
+    for w in range(windows_done, n_windows):
+        shard_index = task.shard_base + w
+        shard_dir = directory / shard_dirname(shard_index)
+        if shard_dir.exists():  # torn shard from a killed worker
+            shutil.rmtree(shard_dir)
+        writer = ShardWriter(
+            shard_dir,
+            index=shard_index,
+            app=spec.app,
+            seed=spec.seed,
+            params=_window_params(spec, w, n_windows),
+            compress=task.compress,
+            round=task.round_base + w,
+            codec=task.codec,
+            continues=w > 0,
+        )
+        session.tracer.sink = writer
+        final = w == n_windows - 1
+        if final:
+            session.run_to_completion()
+        else:
+            session.advance_progress(session.window_target(w, n_windows))
+        session.tracer.flush_spans(final=final)
+        session.tracer.sink = None
+        previous = boundaries[-1] if boundaries else 0.0
+        # The absolute end of this window: gfs replicas report simulated
+        # time, webapp/mapreduce the streamed-record extent (exactly the
+        # duration semantics of the single-shot write_replica_shard).
+        if spec.app == "gfs":
+            boundary = session.env.now
+        else:
+            boundary = max(previous, writer.extent)
+        boundaries.append(boundary)
+        # Duration stays the per-window delta (so durations sum to the
+        # replica's) while the extent floor is the absolute boundary
+        # (window records carry absolute timestamps).
+        manifests.append(
+            writer.finalize(boundary - previous, extent_floor=boundary)
+        )
+        state = session.checkpoint()
+        state["worker"] = {
+            "windows_done": w + 1,
+            "n_windows": n_windows,
+            "shard_base": task.shard_base,
+            "boundaries": boundaries,
+        }
+        save_snapshot(state, ckpt_path)
+    return manifests
+
+
+def save_fleet_plan(
+    checkpoint_dir: str | Path, directory: str | Path, tasks: Sequence[WindowedTask]
+) -> Path:
+    """Persist a windowed collection's plan so ``repro resume`` can rebuild it."""
+    state = make_state(
+        FLEET_PLAN_KIND,
+        {
+            "directory": str(directory),
+            "n_windows": tasks[0].n_windows if tasks else 1,
+            "round_base": tasks[0].round_base if tasks else 0,
+            "compress": bool(tasks[0].compress) if tasks else False,
+            "codec": tasks[0].codec if tasks else "jsonl",
+            "tasks": [
+                {
+                    "spec": {
+                        "app": t.replica.app,
+                        "index": t.replica.index,
+                        "seed": t.replica.seed,
+                        "n_requests": t.replica.n_requests,
+                        "arrival_rate": t.replica.arrival_rate,
+                        "sample_every": t.replica.sample_every,
+                    },
+                    "shard_base": t.shard_base,
+                }
+                for t in tasks
+            ],
+        },
+    )
+    return save_snapshot(state, Path(checkpoint_dir) / FLEET_PLAN_FILENAME)
+
+
+def load_fleet_plan(
+    checkpoint_dir: str | Path,
+) -> tuple[Path, list[WindowedTask]]:
+    """Rebuild the store directory + task list from a saved fleet plan."""
+    plan_path = Path(checkpoint_dir) / FLEET_PLAN_FILENAME
+    if not plan_path.exists():
+        raise FileNotFoundError(
+            f"no fleet plan at {plan_path} "
+            "(was this store collected with --windows/--checkpoint-dir?)"
+        )
+    state = load_snapshot(plan_path)
+    check_state(state, FLEET_PLAN_KIND)
+    directory = Path(state["directory"])
+    tasks = [
+        WindowedTask(
+            replica=ReplicaSpec(**entry["spec"]),
+            directory=str(directory),
+            checkpoint_dir=str(Path(checkpoint_dir)),
+            n_windows=int(state["n_windows"]),
+            shard_base=int(entry["shard_base"]),
+            round_base=int(state["round_base"]),
+            compress=bool(state["compress"]),
+            codec=str(state["codec"]),
+        )
+        for entry in state["tasks"]
+    ]
+    return directory, tasks
+
+
+def _run_windowed_tasks(
+    directory: Path,
+    tasks: list[WindowedTask],
+    workers: int,
+    on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
+) -> StoreFleetResult:
+    on_result = None
+    if on_shard is not None:
+
+        def on_result(_index: int, shard_manifests: list[ShardManifest]) -> None:
+            for manifest in shard_manifests:
+                on_shard(manifest.index, manifest)
+
+    start = time.perf_counter()
+    manifest_lists = run_sharded(
+        write_windowed_replica, tasks, workers, on_result=on_result
+    )
+    elapsed = time.perf_counter() - start
+    n_windows = tasks[0].n_windows if tasks else 1
+    round_base = tasks[0].round_base if tasks else 0
+    for w in range(n_windows):
+        write_round_file(
+            directory, round_base + w, [t.shard_base + w for t in tasks]
+        )
+    return StoreFleetResult(
+        directory=directory,
+        manifests=[m for ms in manifest_lists for m in ms],
+        workers=workers,
+        elapsed_seconds=elapsed,
+        round=round_base,
+    )
+
+
+def resume_fleet_collection(
+    directory: str | Path,
+    checkpoint_dir: Optional[str | Path] = None,
+    workers: int = 1,
+    on_shard: Optional[Callable[[int, ShardManifest], None]] = None,
+) -> StoreFleetResult:
+    """Finish an interrupted windowed collection (``repro resume``).
+
+    Reads the fleet plan persisted in ``checkpoint_dir`` (default
+    ``<directory>/_checkpoints``), re-dispatches every replica, and lets
+    each worker fast-forward: completed windows return their manifests
+    straight from disk, a replica killed mid-window restores its engine
+    from the last boundary checkpoint and re-simulates forward.  The
+    finished store is byte-identical to one whose collection was never
+    interrupted.  Idempotent — resuming a complete store re-reads
+    manifests and rewrites round files without re-simulating.
+    """
+    directory = Path(directory)
+    if checkpoint_dir is None:
+        checkpoint_dir = directory / CHECKPOINT_DIRNAME
+    plan_directory, tasks = load_fleet_plan(checkpoint_dir)
+    if plan_directory.resolve() != directory.resolve():
+        # The store moved since the plan was written; trust the caller's
+        # location and point the tasks at it.
+        tasks = [replace(t, directory=str(directory)) for t in tasks]
+    return _run_windowed_tasks(directory, tasks, workers, on_shard)

@@ -4,6 +4,13 @@ These helpers cover the standard trace-collection runs the benches and
 examples repeat: build an environment, instrument a cluster, drive it
 with a workload, return the collected :class:`TraceSet`.
 
+The wiring itself lives in :mod:`repro.datacenter.session` (the
+``build_*_session`` functions), shared with the checkpointable
+:class:`~repro.datacenter.session.ReplicaSession` — a one-call run here
+and a stepwise session replaying the same spec execute the identical
+component graph in the identical order, which is what makes engine
+checkpoints restorable against these drivers' output.
+
 Each helper accepts an optional injected :class:`RandomStreams` so a
 coordinating layer (notably :mod:`repro.datacenter.fleet`) can control
 seeding — e.g. handing replica ``k`` the substream factory
@@ -20,14 +27,20 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..queueing import ArrivalProcess, PoissonArrivals
+from ..queueing import ArrivalProcess
 from ..simulation import Environment, RandomStreams
 from ..tracing import Tracer, TraceSet
-from ..workloads import OpenLoopClient, WorkloadMix, table2_mix
+from ..workloads import WorkloadMix, table2_mix
 from .gfs import GfsCluster, GfsSpec
 from .machine import MachineSpec
-from .mapreduce import JobResult, MapReduceCluster, MapReduceJob, MapReduceSpec
-from .webapp import WebAppCluster, WebAppSpec
+from .mapreduce import JobResult, MapReduceJob, MapReduceSpec
+from .session import (
+    build_gfs_session,
+    build_mapreduce_session,
+    build_webapp_session,
+    default_mapreduce_jobs,
+)
+from .webapp import WebAppSpec
 
 __all__ = [
     "GfsRun",
@@ -93,23 +106,24 @@ def run_gfs_workload(
         raise ValueError(f"need >= 1 request, got {n_requests}")
     if streams is None:
         streams = RandomStreams(seed)
-    env = Environment()
     if tracer is None:
         tracer = Tracer(sample_every=sample_every)
-    cluster = GfsCluster(
-        env, gfs_spec or GfsSpec(), streams, tracer, machine_spec
+    parts = build_gfs_session(
+        n_requests,
+        streams,
+        tracer,
+        arrival_rate=arrival_rate,
+        mix_factory=mix_factory,
+        gfs_spec=gfs_spec,
+        machine_spec=machine_spec,
+        arrivals=arrivals,
     )
-    mix = mix_factory(streams.get("workload/mix"))
-    if arrivals is None:
-        arrivals = PoissonArrivals(arrival_rate, streams.get("workload/arrivals"))
-    client = OpenLoopClient(env, cluster.client_request, mix.make_request, arrivals)
-    client.start(n_requests)
-    env.run()
+    parts.env.run()
     return GfsRun(
         traces=tracer.traces,
-        cluster=cluster,
-        env=env,
-        duration=env.now - settle_time,
+        cluster=parts.cluster,
+        env=parts.env,
+        duration=parts.env.now - settle_time,
         settle_time=settle_time,
     )
 
@@ -134,39 +148,19 @@ def run_webapp_workload(
         raise ValueError(f"need >= 1 request, got {n_requests}")
     if streams is None:
         streams = RandomStreams(seed)
-    env = Environment()
     if tracer is None:
         tracer = Tracer(sample_every=sample_every)
-    cluster = WebAppCluster(
-        env, webapp_spec or WebAppSpec(), streams, tracer, machine_spec
+    parts = build_webapp_session(
+        n_requests,
+        streams,
+        tracer,
+        arrival_rate=arrival_rate,
+        webapp_spec=webapp_spec,
+        machine_spec=machine_spec,
+        arrivals=arrivals,
     )
-    request_rng = streams.get("workload/requests")
-    if arrivals is None:
-        arrivals = PoissonArrivals(arrival_rate, streams.get("workload/arrivals"))
-    client = OpenLoopClient(
-        env,
-        cluster.client_request,
-        lambda: cluster.make_request(request_rng),
-        arrivals,
-    )
-    client.start(n_requests)
-    env.run()
+    parts.env.run()
     return tracer.traces
-
-
-def default_mapreduce_jobs(
-    rng: np.random.Generator, n_jobs: int = 8
-) -> list[MapReduceJob]:
-    """Synthesize the standard batch of small MapReduce jobs."""
-    return [
-        MapReduceJob(
-            name=f"job-{i}",
-            input_bytes=int(rng.integers(16, 256)) * 1024 * 1024,
-            n_map=int(rng.integers(2, 9)),
-            n_reduce=int(rng.integers(1, 5)),
-        )
-        for i in range(n_jobs)
-    ]
 
 
 def run_mapreduce_jobs(
@@ -189,19 +183,10 @@ def run_mapreduce_jobs(
     """
     if streams is None:
         streams = RandomStreams(seed)
-    if jobs is None:
-        jobs = default_mapreduce_jobs(streams.get("workload/jobs"))
-    env = Environment()
     if tracer is None:
         tracer = Tracer(sample_every=sample_every)
-    cluster = MapReduceCluster(
-        env, spec or MapReduceSpec(), streams, tracer, machine_spec
+    parts = build_mapreduce_session(
+        streams, tracer, jobs=jobs, spec=spec, machine_spec=machine_spec
     )
-
-    def driver(env):
-        for job in jobs:
-            yield env.process(cluster.run_job(job))
-
-    env.process(driver(env))
-    env.run()
-    return tracer.traces, cluster.results
+    parts.env.run()
+    return tracer.traces, parts.cluster.results

@@ -14,9 +14,12 @@ from .daemon import ServeConfig, ServeDaemon, ServeError
 from .drift import Alarm, DriftBaseline, DriftMonitor, DriftReport, DriftThresholds
 from .ingest import IngestError, IngestServer, IngestSink
 from .metrics import Counter, Gauge, MetricsRegistry, parse_exposition
+# Quiet compatibility alias: the canonical constant is
+# repro.snapshot.SNAPSHOT_VERSION (the repro.serve.state attribute of the
+# old name still works but warns).
+from ..snapshot import SNAPSHOT_VERSION as SERVE_STATE_VERSION
 from .state import (
     SERVE_STATE_FORMAT,
-    SERVE_STATE_VERSION,
     FoldedShard,
     ResidentAnalysis,
     ServeState,

@@ -9,23 +9,33 @@ lands on accumulators *equal* to a batch re-analysis of the full store,
 so ``/profile`` can promise byte-equality with ``repro characterize``.
 
 :class:`ServeState` wraps the resident accumulators (plus the drift
-monitor's window) in a versioned JSON checkpoint.  On restart the
-daemon restores it, validates the folded-shard ledger against what is
-on disk (combined content hashes from the manifests — no re-hashing of
-stream files), and resumes; a stale or mismatched checkpoint is
-discarded and the store is cold-folded through the analysis cache
-instead, which is merely slower, never wrong.
+monitor's window) in a versioned JSON checkpoint following the
+repository-wide :mod:`repro.snapshot` protocol.  On restart the daemon
+restores it, validates the folded-shard ledger against what is on disk
+(combined content hashes from the manifests — no re-hashing of stream
+files), and resumes; a stale or mismatched checkpoint is discarded and
+the store is cold-folded through the analysis cache instead, which is
+merely slower, never wrong.
+
+``SERVE_STATE_VERSION`` is now an alias of
+:data:`repro.snapshot.SNAPSHOT_VERSION`; importing it from here still
+works but emits ``DeprecationWarning`` (removed one release after 1.0).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
+from ..snapshot import (
+    SNAPSHOT_VERSION as _SNAPSHOT_VERSION,
+    SnapshotFormatError,
+    check_state as _check_state,
+    load_snapshot,
+    save_snapshot,
+)
 from ..store.analyze import SourceAnalysis
 from ..store.manifest import ShardManifest
 
@@ -38,7 +48,21 @@ __all__ = [
 ]
 
 SERVE_STATE_FORMAT = "repro-serve-state"
-SERVE_STATE_VERSION = 1
+
+_MOVED_TO_SNAPSHOT = {"SERVE_STATE_VERSION": _SNAPSHOT_VERSION}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_SNAPSHOT:
+        warnings.warn(
+            f"repro.serve.state.{name} is deprecated; use "
+            "repro.snapshot.SNAPSHOT_VERSION instead. The alias will be "
+            "removed one release after 1.0.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_SNAPSHOT[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -157,7 +181,7 @@ class ResidentAnalysis:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "resident-analysis",
-            "version": SERVE_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "window": self.window,
             "cores": self.cores,
             "max_quantile_values": self.max_quantile_values,
@@ -175,11 +199,7 @@ class ResidentAnalysis:
     def from_state(cls, state: Mapping[str, Any]) -> "ResidentAnalysis":
         from ..core import WorkloadFeatureStats, WorkloadProfileBuilder
 
-        if state.get("kind") != "resident-analysis":
-            raise ValueError(f"not a resident-analysis state: {state.get('kind')!r}")
-        version = state.get("version")
-        if not isinstance(version, int) or version > SERVE_STATE_VERSION:
-            raise ValueError(f"unsupported resident-analysis version {version!r}")
+        _check_state(state, "resident-analysis")
         max_quantile_values = state.get("max_quantile_values")
         resident = cls(
             window=float(state["window"]),
@@ -214,7 +234,7 @@ class ServeState:
     def to_dict(self) -> dict[str, Any]:
         return {
             "format": SERVE_STATE_FORMAT,
-            "version": SERVE_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "tool_version": self.tool_version,
             "store": self.store,
             "resident": self.resident.state(),
@@ -224,12 +244,10 @@ class ServeState:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ServeState":
-        fmt = data.get("format")
+        fmt = data.get("format") if isinstance(data, Mapping) else None
         if fmt != SERVE_STATE_FORMAT:
-            raise ValueError(f"not a serve checkpoint (format {fmt!r})")
-        version = data.get("version")
-        if not isinstance(version, int) or version > SERVE_STATE_VERSION:
-            raise ValueError(f"unsupported serve checkpoint version {version!r}")
+            raise SnapshotFormatError(f"not a serve checkpoint (format {fmt!r})")
+        _check_state(data, SERVE_STATE_FORMAT, kind_key="format")
         return cls(
             resident=ResidentAnalysis.from_state(data["resident"]),
             drift=data.get("drift"),
@@ -238,31 +256,20 @@ class ServeState:
             extra=dict(data.get("extra", {})),
         )
 
-    def save(self, path: str | Path) -> Path:
-        """Atomic write (unique temp + rename).
+    # ``state``/``from_state`` complete the Snapshotable protocol; the
+    # historic ``to_dict``/``from_dict`` names remain the primary spelling
+    # inside the serve subsystem.
+    def state(self) -> dict[str, Any]:
+        return self.to_dict()
 
-        The temp file is unique per call (not a fixed ``<name>.tmp``),
-        so concurrent saves from different threads each publish a whole
-        checkpoint via ``os.replace`` — last writer wins, never a torn
-        file.
-        """
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(json.dumps(self.to_dict(), sort_keys=True) + "\n")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "ServeState":
+        return cls.from_dict(state)
+
+    def save(self, path: str | Path) -> Path:
+        """Atomic write via :func:`repro.snapshot.save_snapshot`."""
+        return save_snapshot(self.to_dict(), path)
 
     @classmethod
     def load(cls, path: str | Path) -> "ServeState":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        return cls.from_dict(load_snapshot(path))

@@ -7,6 +7,7 @@ A compact generator-based simulation kernel (:class:`Environment`,
 in :mod:`repro.datacenter` run on this engine.
 """
 
+from .checkpoint import engine_digest, verify_engine_digest
 from .engine import (
     AllOf,
     AnyOf,
@@ -36,6 +37,8 @@ __all__ = [
     "Timeout",
     "UtilizationMeter",
     "available_workers",
+    "engine_digest",
     "resolve_workers",
     "run_sharded",
+    "verify_engine_digest",
 ]

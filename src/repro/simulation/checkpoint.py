@@ -1,0 +1,77 @@
+"""Engine checkpoint digests: validating a replayed simulation.
+
+Simulation processes are live Python generators, which cannot be
+serialized; an engine checkpoint is therefore a *replay recipe* — the
+replica spec plus the engine's step count — and restore means
+deterministically re-executing the program for that many steps (see
+:class:`repro.datacenter.session.ReplicaSession`).  The functions here
+make that honest: :func:`engine_digest` fingerprints the engine state
+that a correct replay must land on (clock, event ids, step count, the
+multiset of scheduled events), and :func:`verify_engine_digest` raises
+a typed :class:`~repro.snapshot.SnapshotMismatchError` when a replay
+drifts — which happens precisely when the code or inputs changed
+between save and restore.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping
+
+from ..snapshot import SnapshotMismatchError
+from .engine import Environment
+
+__all__ = ["engine_digest", "verify_engine_digest"]
+
+
+def _queue_sha(env: Environment) -> str:
+    """Order-insensitive fingerprint of the scheduled-event multiset.
+
+    Hashes the sorted ``(time, priority, eid)`` triples: two heaps with
+    the same pending events always digest equal even though ``heapq``'s
+    internal array layout depends on push/pop history.  Event payloads
+    are excluded deliberately — they are functions of the deterministic
+    program, so (time, priority, eid) identity pins them.
+    """
+    triples = sorted((time, priority, eid) for time, priority, eid, _ in env._queue)
+    digest = hashlib.sha256()
+    for time, priority, eid in triples:
+        digest.update(f"{time!r}:{priority}:{eid};".encode())
+    return digest.hexdigest()
+
+
+def engine_digest(env: Environment) -> dict[str, Any]:
+    """The JSON-able fingerprint a correct replay must reproduce."""
+    return {
+        "now": env.now,
+        "steps": env.steps,
+        "eid": env._eid,
+        "queue_len": len(env._queue),
+        "queue_sha": _queue_sha(env),
+    }
+
+
+def verify_engine_digest(
+    env: Environment, expected: Mapping[str, Any], context: str = "engine"
+) -> None:
+    """Raise :class:`SnapshotMismatchError` unless ``env`` matches.
+
+    ``now`` is compared exactly: checkpoint digests serialize floats
+    via ``repr`` (JSON does the same), which round-trips IEEE doubles
+    bit-for-bit.
+    """
+    actual = engine_digest(env)
+    mismatched = {
+        key: (expected.get(key), actual[key])
+        for key in actual
+        if expected.get(key) != actual[key]
+    }
+    if mismatched:
+        details = ", ".join(
+            f"{key}: recorded {want!r}, replayed {got!r}"
+            for key, (want, got) in sorted(mismatched.items())
+        )
+        raise SnapshotMismatchError(
+            f"{context} state diverged from checkpoint after replay ({details}); "
+            "the code or inputs changed between save and restore"
+        )

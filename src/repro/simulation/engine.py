@@ -306,6 +306,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
+        self._steps = 0
         self._active_process: Optional[Process] = None
         self._active_proc_target: Optional[Event] = None
 
@@ -313,6 +314,18 @@ class Environment:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def steps(self) -> int:
+        """Events processed so far — the engine's replay clock.
+
+        A deterministic simulation's entire history is indexed by this
+        counter: re-running the same program and stepping the same
+        number of times lands on the identical state, which is what
+        checkpoint restore (:mod:`repro.simulation.checkpoint`) replays
+        against.
+        """
+        return self._steps
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -360,6 +373,7 @@ class Environment:
         if not self._queue:
             raise SimulationError("no scheduled events")
         self._now, _, _, event = heapq.heappop(self._queue)
+        self._steps += 1
         event._run_callbacks()
         if event._ok is False and not getattr(event, "_defused", False):
             # A failure nobody handled: propagate to the caller of run().

@@ -4,13 +4,33 @@ Every stochastic component in the repository draws from a named
 substream derived from one root seed, so simulations are exactly
 reproducible and independent components never share a stream (changing
 how many samples one device draws cannot perturb another device).
+
+Factories are :class:`~repro.snapshot.Snapshotable`: ``state()``
+captures the seed, the namespace path, the fork lineage and every live
+generator's bit-generator state across the whole spawn tree, and
+``from_state`` rebuilds a factory whose future draws continue exactly
+where the snapshot left off.  :meth:`RandomStreams.fork` rebrands a
+warmed-up factory (in place, including generators components already
+hold) as an independent deterministic branch: two forks of the same
+snapshot agree on everything except their fork keys.
 """
 
 from __future__ import annotations
 
+from typing import Any, Mapping
+
 import numpy as np
 
+from ..snapshot import SNAPSHOT_VERSION, check_state
+
 __all__ = ["RandomStreams"]
+
+#: Domain separator mixed into derivation keys of forked factories.  A
+#: legacy (unforked) key is ``[seed] + encoded-path`` whose second
+#: element is a segment *byte length* (< 2**32 but realistically tiny);
+#: this tag is far outside that range, so forked and unforked key spaces
+#: cannot collide.
+_FORK_TAG = 0x464F524B2D544147  # ASCII "FORK-TAG"
 
 
 def _encode_path(path: tuple[str, ...]) -> list[int]:
@@ -47,27 +67,126 @@ class RandomStreams:
     ``spawn("a").get("b/c")``, ``spawn("a/b").get("c")`` and
     ``get("a/b/c")`` are three mutually disjoint streams: a ``"/"``
     inside a name is just a character, not a namespace hop.
+
+    ``spawn`` is memoized: spawning the same name twice returns the
+    *same* child factory, so every component holding "the stream at
+    path P" holds the same generator object.  (Unmemoized spawns used
+    to hand out duplicate generators for one path — two objects with
+    identical seeds advancing independently — which snapshots could not
+    represent and restores could not reconcile.)
     """
 
     def __init__(self, seed: int = 0, prefix: str = ""):
         self.seed = int(seed)
         self._path: tuple[str, ...] = (prefix,) if prefix else ()
+        self._forks: tuple[str, ...] = ()
         self._streams: dict[str, np.random.Generator] = {}
+        self._children: dict[str, "RandomStreams"] = {}
 
     @property
     def prefix(self) -> str:
         """Human-readable namespace path (diagnostic only)."""
         return "/".join(self._path)
 
+    @property
+    def forks(self) -> tuple[str, ...]:
+        """The fork keys applied to this factory, oldest first."""
+        return self._forks
+
+    def _derive_key(self, path: tuple[str, ...]) -> list[int]:
+        """The SeedSequence entropy key for a stream at ``path``.
+
+        Unforked factories keep the historic ``[seed] + path`` layout
+        (so existing runs reproduce bit-for-bit); forked factories mix
+        in a domain tag plus the fork lineage ahead of the path.
+        """
+        if not self._forks:
+            return [self.seed] + _encode_path(path)
+        return (
+            [self.seed, _FORK_TAG]
+            + _encode_path(self._forks)
+            + _encode_path(path)
+        )
+
     def get(self, name: str) -> np.random.Generator:
         """Return (creating if needed) the stream for ``name``."""
         if name not in self._streams:
-            key = [self.seed] + _encode_path(self._path + (name,))
+            key = self._derive_key(self._path + (name,))
             self._streams[name] = np.random.default_rng(np.random.SeedSequence(key))
         return self._streams[name]
 
     def spawn(self, name: str) -> "RandomStreams":
-        """A child factory whose streams are disjoint from this one's."""
-        child = RandomStreams(self.seed)
-        child._path = self._path + (name,)
-        return child
+        """The child factory for ``name`` (memoized; disjoint streams)."""
+        if name not in self._children:
+            child = RandomStreams(self.seed)
+            child._path = self._path + (name,)
+            child._forks = self._forks
+            self._children[name] = child
+        return self._children[name]
+
+    # -- forking -------------------------------------------------------------
+
+    def fork(self, key: str) -> "RandomStreams":
+        """Rebrand this factory (in place) as deterministic branch ``key``.
+
+        Every existing generator in the spawn tree is reseeded from the
+        forked derivation of its own path — in place, because live
+        components hold references to those generator objects — and
+        every stream or child created afterwards derives from the
+        forked key space too.  Two factories restored from the same
+        snapshot and forked with different keys therefore produce fully
+        independent draws; forked with the same key they stay identical.
+        Returns ``self`` for chaining.
+        """
+        self._apply_fork(key)
+        return self
+
+    def _apply_fork(self, key: str) -> None:
+        self._forks = self._forks + (key,)
+        for name, stream in self._streams.items():
+            fresh_key = self._derive_key(self._path + (name,))
+            fresh = np.random.default_rng(np.random.SeedSequence(fresh_key))
+            stream.bit_generator.state = fresh.bit_generator.state
+        for child in self._children.values():
+            child._apply_fork(key)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """A JSON-able snapshot of the whole spawn tree.
+
+        Captures every generator's bit-generator state, so a stream
+        that was never drawn from snapshots to exactly the state a
+        fresh derivation would produce — restored and fresh factories
+        are indistinguishable, drawn-from or not.
+        """
+        return {
+            "kind": "random-streams",
+            "version": SNAPSHOT_VERSION,
+            "seed": self.seed,
+            "path": list(self._path),
+            "forks": list(self._forks),
+            "streams": {
+                name: stream.bit_generator.state
+                for name, stream in sorted(self._streams.items())
+            },
+            "children": {
+                name: child.state()
+                for name, child in sorted(self._children.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "RandomStreams":
+        """Rebuild a factory whose draws continue the snapshot exactly."""
+        check_state(state, "random-streams")
+        factory = cls(int(state["seed"]))
+        factory._path = tuple(str(s) for s in state["path"])
+        factory._forks = tuple(str(s) for s in state.get("forks", ()))
+        for name, rng_state in state["streams"].items():
+            stream = factory.get(str(name))
+            stream.bit_generator.state = rng_state
+        for name, child_state in state["children"].items():
+            child = cls.from_state(child_state)
+            factory._children[str(name)] = child
+        return factory

@@ -26,8 +26,12 @@ from .pca import PCA
 from .regression import LinearRegression
 from .sampling import reservoir_sample, systematic_sample
 from .selfsim import arrivals_to_counts, hurst_aggregated_variance, hurst_rs
+
+# Quiet compatibility alias: the canonical constant is
+# repro.snapshot.SNAPSHOT_VERSION (the repro.stats.streaming attribute of
+# the old name still works but warns).
+from ..snapshot import SNAPSHOT_VERSION as STREAMING_STATE_VERSION
 from .streaming import (
-    STREAMING_STATE_VERSION,
     CategoricalCounter,
     CoMomentsAccumulator,
     ExactQuantiles,

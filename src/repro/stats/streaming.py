@@ -36,9 +36,17 @@ process pools as-is.  Each one additionally carries a versioned
 ``from_state(a.state())`` is behaviorally identical to ``a`` (same
 future adds, merges and results), which is what lets the incremental
 re-analysis cache persist per-shard accumulator state beside a trace
-store and fold it back in later sessions.  Snapshots embed
-:data:`STREAMING_STATE_VERSION`; a snapshot newer than the running code
-raises ``ValueError`` so stale caches are skipped, not misread.
+store and fold it back in later sessions.  Snapshots follow the
+repository-wide protocol in :mod:`repro.snapshot` and embed
+:data:`~repro.snapshot.SNAPSHOT_VERSION`; a snapshot newer than the
+running code raises ``ValueError`` so stale caches are skipped, not
+misread.
+
+The protocol pieces formerly defined here — ``STREAMING_STATE_VERSION``
+and ``check_state`` — now live in :mod:`repro.snapshot` as
+``SNAPSHOT_VERSION`` and ``check_state``.  The old names still import
+from this module but emit ``DeprecationWarning`` and will be removed
+one release after 1.0.
 """
 
 from __future__ import annotations
@@ -49,6 +57,9 @@ from bisect import bisect_right
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
+
+from ..snapshot import SNAPSHOT_VERSION as _SNAPSHOT_VERSION
+from ..snapshot import check_state as _check_state
 
 __all__ = [
     "STREAMING_STATE_VERSION",
@@ -65,27 +76,29 @@ __all__ = [
     "WindowedCounter",
 ]
 
-#: Schema version embedded in every accumulator snapshot.  Bump when a
-#: ``state()`` layout changes incompatibly; readers reject newer
-#: versions, and the analysis cache keys on it so old cache files are
-#: invalidated rather than misinterpreted.
-STREAMING_STATE_VERSION = 1
+#: Deprecated names now living in :mod:`repro.snapshot`, served lazily
+#: through module ``__getattr__`` so importing them warns exactly once
+#: per site without penalizing the package import itself.
+_MOVED_TO_SNAPSHOT = {
+    "STREAMING_STATE_VERSION": _SNAPSHOT_VERSION,
+    "check_state": _check_state,
+}
 
 
-def check_state(state: Mapping[str, Any], kind: str) -> Mapping[str, Any]:
-    """Validate a snapshot's kind and version before restoring from it."""
-    if not isinstance(state, Mapping):
-        raise ValueError(f"accumulator state must be a mapping, got {type(state)}")
-    got = state.get("kind")
-    if got != kind:
-        raise ValueError(f"expected {kind!r} state, got {got!r}")
-    version = state.get("version")
-    if not isinstance(version, int) or version > STREAMING_STATE_VERSION:
-        raise ValueError(
-            f"unsupported {kind} state version {version!r} "
-            f"(this build reads <= {STREAMING_STATE_VERSION})"
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_SNAPSHOT:
+        replacement = (
+            "SNAPSHOT_VERSION" if name == "STREAMING_STATE_VERSION" else name
         )
-    return state
+        warnings.warn(
+            f"repro.stats.streaming.{name} is deprecated; use "
+            f"repro.snapshot.{replacement} instead. The alias will be "
+            "removed one release after 1.0.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_SNAPSHOT[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class MomentsAccumulator:
@@ -170,7 +183,7 @@ class MomentsAccumulator:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "moments",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "n": self.n,
             "mean": self.mean,
             "m2": self.m2,
@@ -180,7 +193,7 @@ class MomentsAccumulator:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "MomentsAccumulator":
-        check_state(state, "moments")
+        _check_state(state, "moments")
         acc = cls()
         acc.n = int(state["n"])
         acc.mean = float(state["mean"])
@@ -287,7 +300,7 @@ class CoMomentsAccumulator:
     def state(self) -> dict[str, Any]:
         data: dict[str, Any] = {
             "kind": "co-moments",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
         }
         for name in self.__slots__:
             data[name] = getattr(self, name)
@@ -295,7 +308,7 @@ class CoMomentsAccumulator:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "CoMomentsAccumulator":
-        check_state(state, "co-moments")
+        _check_state(state, "co-moments")
         acc = cls()
         acc.n = int(state["n"])
         for name in ("mean_x", "mean_y", "m2x", "m2y", "cxy"):
@@ -378,7 +391,7 @@ class FixedHistogram:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "fixed-histogram",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "edges": list(self.edges),
             "counts": list(self.counts),
             "underflow": self.underflow,
@@ -387,7 +400,7 @@ class FixedHistogram:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "FixedHistogram":
-        check_state(state, "fixed-histogram")
+        _check_state(state, "fixed-histogram")
         hist = cls(state["edges"])
         hist.counts = [int(c) for c in state["counts"]]
         if len(hist.counts) != len(hist.edges) - 1:
@@ -560,7 +573,7 @@ class ExactQuantiles:
     def state(self) -> dict[str, Any]:
         data: dict[str, Any] = {
             "kind": "exact-quantiles",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "max_values": self.max_values,
         }
         if self._reservoir is not None:
@@ -572,7 +585,7 @@ class ExactQuantiles:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "ExactQuantiles":
-        check_state(state, "exact-quantiles")
+        _check_state(state, "exact-quantiles")
         max_values = state.get("max_values")
         acc = cls(max_values=None if max_values is None else int(max_values))
         if "reservoir" in state:
@@ -693,7 +706,7 @@ class P2Quantile:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "p2-quantile",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "p": self.p,
             "n": self.n,
             "initial": list(self._initial),
@@ -704,7 +717,7 @@ class P2Quantile:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "P2Quantile":
-        check_state(state, "p2-quantile")
+        _check_state(state, "p2-quantile")
         acc = cls(float(state["p"]))
         acc.n = int(state["n"])
         acc._initial = [float(v) for v in state["initial"]]
@@ -788,7 +801,7 @@ class ReservoirQuantile:
         # — snapshot/restore is invisible to future adds and merges.
         return {
             "kind": "reservoir-quantile",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "capacity": self.capacity,
             "seed": self.seed,
             "n_seen": self.n_seen,
@@ -798,7 +811,7 @@ class ReservoirQuantile:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "ReservoirQuantile":
-        check_state(state, "reservoir-quantile")
+        _check_state(state, "reservoir-quantile")
         acc = cls(capacity=int(state["capacity"]), seed=int(state["seed"]))
         acc.n_seen = int(state["n_seen"])
         acc.values = [float(v) for v in state["values"]]
@@ -858,13 +871,13 @@ class CategoricalCounter:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "categorical-counter",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "counts": dict(self.counts),
         }
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "CategoricalCounter":
-        check_state(state, "categorical-counter")
+        _check_state(state, "categorical-counter")
         acc = cls()
         acc.counts = {str(k): int(v) for k, v in state["counts"].items()}
         return acc
@@ -1012,7 +1025,7 @@ class WindowedCounter:
         # through str(int).
         return {
             "kind": "windowed-counter",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "window": self.window,
             "origin": self.origin,
             "bins": {str(k): v for k, v in self.bins.items()},
@@ -1024,7 +1037,7 @@ class WindowedCounter:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "WindowedCounter":
-        check_state(state, "windowed-counter")
+        _check_state(state, "windowed-counter")
         acc = cls(window=float(state["window"]), origin=float(state["origin"]))
         acc.bins = {int(k): float(v) for k, v in state["bins"].items()}
         acc.n = int(state["n"])
@@ -1151,7 +1164,7 @@ class SlidingWindowCounter:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "sliding-window-counter",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "window": self.window,
             "keep": self.keep,
             "origin": self.origin,
@@ -1165,7 +1178,7 @@ class SlidingWindowCounter:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "SlidingWindowCounter":
-        check_state(state, "sliding-window-counter")
+        _check_state(state, "sliding-window-counter")
         acc = cls(
             window=float(state["window"]),
             keep=int(state["keep"]),
@@ -1275,7 +1288,7 @@ class InterarrivalStats:
     def state(self) -> dict[str, Any]:
         return {
             "kind": "interarrival-stats",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
             "first": self.first,
             "last": self.last,
             "all_gaps": self.all_gaps.state(),
@@ -1284,7 +1297,7 @@ class InterarrivalStats:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "InterarrivalStats":
-        check_state(state, "interarrival-stats")
+        _check_state(state, "interarrival-stats")
         acc = cls()
         acc.first = None if state["first"] is None else float(state["first"])
         acc.last = None if state["last"] is None else float(state["last"])
@@ -1391,7 +1404,7 @@ class SeekStats:
     def state(self) -> dict[str, Any]:
         data: dict[str, Any] = {
             "kind": "seek-stats",
-            "version": STREAMING_STATE_VERSION,
+            "version": _SNAPSHOT_VERSION,
         }
         for name in self._STATE_FIELDS:
             data[name] = getattr(self, name)
@@ -1399,7 +1412,7 @@ class SeekStats:
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "SeekStats":
-        check_state(state, "seek-stats")
+        _check_state(state, "seek-stats")
         acc = cls()
         for name in cls._STATE_FIELDS:
             value = state[name]

@@ -45,7 +45,7 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
-from ..stats.streaming import STREAMING_STATE_VERSION
+from ..snapshot import SNAPSHOT_VERSION as STREAMING_STATE_VERSION
 from ..tracing.columnar import columnar_stream_files, find_columnar_stream
 from ..tracing.store import _CanonicalGzipFile, find_stream_file
 from .stitch import StitchOffsets

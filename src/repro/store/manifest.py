@@ -30,6 +30,15 @@ read as ``codec="jsonl"``.
 Version 4 adds ``tool_version`` — the package version of the tool that
 wrote the shard, for provenance when a long-lived store accumulates
 rounds across upgrades.  Pre-v4 manifests read as ``tool_version=""``.
+
+Version 5 adds ``continues`` — set on every window shard after a
+replica's first when ``repro collect --windows N`` splits one replica
+across N shards.  A continuation shard carries timestamps and ids that
+are already absolute within its replica, so the stitch arithmetic gives
+the whole continuation group the group leader's offsets and advances by
+the group max instead of summing (see
+:func:`repro.store.stitch.accumulate_offsets`).  Pre-v5 manifests read
+as ``continues=False``.
 """
 
 from __future__ import annotations
@@ -58,7 +67,7 @@ __all__ = [
 ]
 
 SHARD_FORMAT = "repro-shard"
-SHARD_VERSION = 4
+SHARD_VERSION = 5
 MANIFEST_FILENAME = "manifest.json"
 
 #: Stream layouts a shard may use (`ShardManifest.codec`).
@@ -103,15 +112,20 @@ class ShardManifest:
     content_hashes: dict[str, str] = field(default_factory=dict)
     #: Package version of the tool that wrote the shard ("" pre-v4).
     tool_version: str = ""
+    #: True when this shard continues the previous shard's replica (a
+    #: non-first window of a windowed collection): its timestamps and
+    #: ids are absolute within that replica, so it shares the group
+    #: leader's stitch offsets instead of opening a new timeline slot.
+    continues: bool = False
     version: int = SHARD_VERSION
 
     @property
     def n_records(self) -> int:
         return sum(self.counts.values())
 
-    def stitch_part(self) -> tuple[float, int, int]:
-        """The ``(extent, max_request_id, max_span_id)`` stitch tuple."""
-        return (self.extent, self.max_request_id, self.max_span_id)
+    def stitch_part(self) -> tuple[float, int, int, bool]:
+        """The ``(extent, max_request_id, max_span_id, continues)`` tuple."""
+        return (self.extent, self.max_request_id, self.max_span_id, self.continues)
 
     def param(self, key: str, default: Any = None) -> Any:
         """Look up a grouping key: manifest field first, then params."""

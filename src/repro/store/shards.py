@@ -40,7 +40,7 @@ from ..tracing.store import (
     stream_header,
 )
 from .manifest import MANIFEST_FILENAME, ShardManifest, shard_manifest_paths
-from .stitch import StitchOffsets, offsets_for
+from .stitch import StitchOffsets, offsets_for, total_extent
 
 __all__ = ["ShardStore", "is_shard_store", "shifter_for"]
 
@@ -192,11 +192,12 @@ class ShardStore:
     def extent(self) -> float:
         """Total stitched timeline length, from manifests alone.
 
-        The sum of per-shard extents: each shard is shifted past the
-        cumulative extent of its predecessors, so the merged timeline
-        ends where the last shard's shifted extent does.
+        Each shard (or windowed continuation group, which occupies one
+        slot) is shifted past the cumulative extent of its predecessors,
+        so the merged timeline ends where the last group's shifted
+        extent does.
         """
-        return sum(m.extent for m in self.manifests)
+        return total_extent([m.stitch_part() for m in self.manifests])
 
     def classes(self) -> dict[str, int]:
         """Completed-request counts per class (``TraceSource`` protocol)."""

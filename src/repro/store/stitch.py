@@ -26,7 +26,7 @@ Extent semantics (tightened from the original fleet-internal helper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..tracing import TraceSet, TraceSource
 
@@ -36,6 +36,7 @@ __all__ = [
     "max_request_id",
     "max_span_id",
     "offsets_for",
+    "total_extent",
     "trace_extent",
 ]
 
@@ -76,7 +77,7 @@ class StitchOffsets:
 
 
 def accumulate_offsets(
-    parts: Iterable[tuple[float, int, int]],
+    parts: Iterable[tuple],
 ) -> Iterator[StitchOffsets]:
     """Yield the offsets for each part of a merge, in part order.
 
@@ -86,17 +87,60 @@ def accumulate_offsets(
     over parts ``0..k-1``; an empty part contributes its extent (its
     simulated duration) but zero id headroom, so it neither collapses
     the timeline nor burns identifier space.
+
+    A part may carry a fourth element, the ``continues`` flag a windowed
+    collection stamps into continuation shards (every window of one
+    replica after the first).  Continuation parts extend the *group*
+    their predecessor opened: all members share the group leader's
+    offsets — their timestamps and identifiers are already absolute
+    within the replica, not window-relative — and the group advances
+    the accumulator once, by its **max** (not sum) extent and ids, which
+    for absolute values is exactly what the replica's single-shot shard
+    would have contributed.
     """
     time = 0.0
     request_id = 0
     span_id = 0
-    for extent, part_max_request_id, part_max_span_id in parts:
+    group: Optional[tuple[float, int, int]] = None
+    for part in parts:
+        extent, part_max_request_id, part_max_span_id = part[0], part[1], part[2]
+        continues = len(part) > 3 and bool(part[3])
+        if continues and group is not None:
+            group = (
+                max(group[0], extent),
+                max(group[1], part_max_request_id),
+                max(group[2], part_max_span_id),
+            )
+        else:
+            if group is not None:
+                time += group[0]
+                request_id += group[1]
+                span_id += group[2]
+            group = (extent, part_max_request_id, part_max_span_id)
         yield StitchOffsets(time=time, request_id=request_id, span_id=span_id)
-        time += extent
-        request_id += part_max_request_id
-        span_id += part_max_span_id
 
 
-def offsets_for(parts: Sequence[tuple[float, int, int]]) -> list[StitchOffsets]:
+def offsets_for(parts: Sequence[tuple]) -> list[StitchOffsets]:
     """Materialized :func:`accumulate_offsets` (convenience for indexing)."""
     return list(accumulate_offsets(parts))
+
+
+def total_extent(parts: Iterable[tuple]) -> float:
+    """Stitched timeline length for ``parts`` (group-aware, like offsets).
+
+    Plain parts sum their extents; a continuation group contributes its
+    max member extent once.
+    """
+    total = 0.0
+    group = 0.0
+    first = True
+    for part in parts:
+        extent = part[0]
+        continues = len(part) > 3 and bool(part[3])
+        if continues and not first:
+            group = max(group, extent)
+        else:
+            total += group
+            group = extent
+        first = False
+    return total + group

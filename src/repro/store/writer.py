@@ -57,6 +57,7 @@ class ShardWriter:
         compress: bool = False,
         round: int = 0,
         codec: str = "jsonl",
+        continues: bool = False,
     ):
         if codec not in SHARD_CODECS:
             raise ValueError(f"unknown shard codec {codec!r}")
@@ -74,6 +75,7 @@ class ShardWriter:
         self.compress = compress
         self.codec = codec
         self.round = round
+        self.continues = continues
         self._suffix = ".jsonl.gz" if compress else ".jsonl"
         self._files: dict[str, TextIO] = {}
         self._columns: dict[str, ColumnarStreamWriter] = {}
@@ -144,13 +146,19 @@ class ShardWriter:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def finalize(self, duration: float = 0.0) -> ShardManifest:
+    def finalize(
+        self, duration: float = 0.0, extent_floor: Optional[float] = None
+    ) -> ShardManifest:
         """Close stream files, write ``manifest.json``, return the manifest.
 
         ``duration`` is the replica's simulated duration when the caller
         knows it (e.g. ``env.now``); the manifest extent is its max with
         the streamed-record extent, so even a shard with zero records
-        keeps its slot on the merged timeline.
+        keeps its slot on the merged timeline.  A windowed collection
+        passes ``extent_floor`` separately — the *absolute* window
+        boundary — while ``duration`` stays the per-window delta, since
+        window shards carry absolute timestamps but report incremental
+        durations.
         """
         if self._finalized:
             raise RuntimeError("shard already finalized")
@@ -180,7 +188,10 @@ class ShardWriter:
             seed=self.seed,
             params=dict(self.params),
             duration=duration,
-            extent=max(duration, self._extent),
+            extent=max(
+                duration if extent_floor is None else extent_floor,
+                self._extent,
+            ),
             counts=dict(self._counts),
             max_request_id=self._max_request_id,
             max_span_id=self._max_span_id,
@@ -188,6 +199,7 @@ class ShardWriter:
             compress=self.compress,
             codec=self.codec,
             round=self.round,
+            continues=self.continues,
             content_hashes=content_hashes,
             tool_version=tool_version(),
         )

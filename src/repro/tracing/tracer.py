@@ -228,9 +228,15 @@ class Tracer:
     recorded and are forwarded immediately; spans are mutated until
     :meth:`end_span` (their ``end`` is backfilled), so they are held in
     memory and flushed to the sink, in collection order, by
-    :meth:`close`.  With ``keep_records=False`` the forwarded streams
-    are *not* also accumulated in :attr:`traces`, bounding memory to
-    the (sampled) span set no matter how long the run is.
+    :meth:`flush_spans` / :meth:`close`.  With ``keep_records=False``
+    the forwarded streams are *not* also accumulated in :attr:`traces`,
+    bounding memory to the (sampled) span set no matter how long the
+    run is.
+
+    Windowed collection swaps :attr:`sink` between windows and calls
+    :meth:`flush_spans` at each boundary; :attr:`emitted` counts every
+    record forwarded per stream, which engine checkpoints record and
+    replays validate against.
     """
 
     def __init__(self, sample_every: int = 1, sink=None, keep_records: bool = True):
@@ -242,10 +248,17 @@ class Tracer:
         self.traces = TraceSet()
         self.sink = sink
         self.keep_records = keep_records
+        #: Records forwarded so far, per stream (spans count when flushed).
+        self.emitted: dict[str, int] = {name: 0 for name in STREAM_NAMES}
         self._closed = False
         self._next_span_id = 0
         self._sampled: set[int] = set()
         self._request_counter = 0
+        #: Spans written to a sink so far (prefix of collection order).
+        self._spans_flushed = 0
+        #: Flushed spans dropped from the front of ``traces.spans``
+        #: (non-zero only with ``keep_records=False``).
+        self._spans_base = 0
 
     # -- request lifecycle -------------------------------------------------
 
@@ -312,25 +325,52 @@ class Tracer:
     # -- streaming ----------------------------------------------------------
 
     def _emit(self, stream: str, record) -> None:
+        self.emitted[stream] += 1
         if self.keep_records:
             getattr(self.traces, stream).append(record)
         if self.sink is not None:
             self.sink.write(stream, record)
 
-    def close(self) -> None:
-        """Flush spans to the sink (idempotent).
+    def flush_spans(self, final: bool = False) -> int:
+        """Forward unflushed spans to the sink; returns how many.
 
-        Spans cannot be streamed eagerly because ``end`` is backfilled;
-        once the run is over they are final, so they are forwarded in
-        collection order — the same order :attr:`traces` holds them in,
-        keeping on-disk shards record-for-record identical to the
-        in-memory stream.
+        Spans cannot be streamed eagerly because ``end`` is backfilled,
+        and they must reach sinks in *collection order* (the order
+        :attr:`traces` holds them in, and the order a single-shot run's
+        :meth:`close` writes) for on-disk shards to stay
+        record-for-record identical to the in-memory stream.  So a
+        non-``final`` flush — a window boundary, where later windows
+        write to a *different* sink — forwards only the longest prefix
+        of completed spans: a still-open span holds back every span
+        collected after it, however finished, because those must land
+        behind it in a later shard.  ``final`` flushes everything,
+        open spans included (end-of-run semantics, identical to what
+        :meth:`close` always wrote).
+
+        With ``keep_records=False`` flushed spans are dropped from
+        memory, keeping long windowed runs bounded.
         """
+        spans = self.traces.spans
+        start = self._spans_flushed - self._spans_base
+        stop = len(spans) if final else start
+        if not final:
+            while stop < len(spans) and not math.isnan(spans[stop].end):
+                stop += 1
+        if self.sink is not None:
+            for span in spans[start:stop]:
+                self.sink.write("spans", span)
+        count = stop - start
+        self._spans_flushed += count
+        self.emitted["spans"] += count
+        if not self.keep_records:
+            del spans[:stop]
+            self._spans_base = self._spans_flushed
+        return count
+
+    def close(self) -> None:
+        """Flush all remaining spans to the sink (idempotent)."""
         if self._closed or self.sink is None:
             self._closed = True
             return
         self._closed = True
-        for span in self.traces.spans:
-            self.sink.write("spans", span)
-        if not self.keep_records:
-            self.traces.spans.clear()
+        self.flush_spans(final=True)

@@ -1,0 +1,409 @@
+"""Engine checkpoint/restore, the unified snapshot protocol, and forking.
+
+Covers the acceptance contract of the checkpoint subsystem:
+
+* the shared ``repro.snapshot`` protocol (typed errors, atomic save/load,
+  deprecation shims over the old per-module versions);
+* RNG snapshot fidelity, including spawned substreams and the
+  never-drawn-generator pitfall;
+* run / checkpoint / restore / run byte-identity for all three standard
+  workloads;
+* deterministic forking from a warmed-up checkpoint;
+* windowed collection (``--windows N``) merging byte-identically to a
+  single-shot collect, and kill-mid-replica resume equivalence.
+"""
+
+import gzip
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.datacenter import (
+    ReplicaSession,
+    ReplicaSpec,
+    collect_fleet_to_store,
+    resume_fleet_collection,
+)
+from repro.simulation import RandomStreams, engine_digest, verify_engine_digest
+from repro.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    SnapshotVersionError,
+    Snapshotable,
+    check_state,
+    load_snapshot,
+    make_state,
+    save_snapshot,
+)
+from repro.stats.streaming import ReservoirQuantile
+from repro.store import ShardStore
+from repro.tracing.tracer import STREAM_NAMES
+
+APPS = ("gfs", "webapp", "mapreduce")
+
+
+def spec_for(app, index=0, seed=11, n_requests=80):
+    rate = {"gfs": 25.0, "webapp": 120.0, "mapreduce": None}[app]
+    return ReplicaSpec(
+        app=app,
+        index=index,
+        seed=seed,
+        n_requests=n_requests,
+        arrival_rate=rate,
+        sample_every=1,
+    )
+
+
+def stream_dicts(traces):
+    return {
+        stream: [r.to_dict() for r in traces.iter_records(stream)]
+        for stream in STREAM_NAMES
+    }
+
+
+# -- snapshot protocol --------------------------------------------------------
+
+
+def test_make_and_check_state_round_trip():
+    state = make_state("thing", {"x": 1.5})
+    assert state["kind"] == "thing"
+    assert state["version"] == SNAPSHOT_VERSION
+    check_state(state, "thing")  # does not raise
+
+
+def test_check_state_typed_errors():
+    with pytest.raises(SnapshotFormatError, match="state"):
+        check_state(None, "thing")
+    with pytest.raises(SnapshotFormatError, match="expected 'thing'"):
+        check_state({"kind": "other", "version": 1}, "thing")
+    with pytest.raises(SnapshotVersionError, match="version"):
+        check_state({"kind": "thing", "version": 99}, "thing")
+    # Typed errors stay catchable as the legacy ValueError.
+    with pytest.raises(ValueError):
+        check_state({"kind": "thing", "version": 99}, "thing")
+    assert issubclass(SnapshotVersionError, SnapshotError)
+    assert issubclass(SnapshotMismatchError, SnapshotError)
+
+
+def test_save_load_snapshot_plain_and_gz(tmp_path):
+    state = make_state("thing", {"b": [1, 2], "a": 0.1})
+    plain = save_snapshot(state, tmp_path / "s.json")
+    zipped = save_snapshot(state, tmp_path / "s.json.gz")
+    assert load_snapshot(plain) == state
+    assert load_snapshot(zipped) == state
+    # Canonical gzip (fixed mtime) => byte-identical rewrites.
+    before = zipped.read_bytes()
+    save_snapshot(state, zipped)
+    assert zipped.read_bytes() == before
+    assert gzip.decompress(before).decode() == plain.read_text()
+
+
+def test_load_snapshot_rejects_non_snapshot(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("not json")
+    with pytest.raises(SnapshotFormatError):
+        load_snapshot(path)
+    path.write_text("[1, 2]")
+    with pytest.raises(SnapshotFormatError):
+        load_snapshot(path)
+
+
+def test_deprecated_streaming_aliases_warn():
+    import repro.stats.streaming as streaming
+
+    with pytest.warns(DeprecationWarning, match="repro.snapshot"):
+        assert streaming.STREAMING_STATE_VERSION == SNAPSHOT_VERSION
+    with pytest.warns(DeprecationWarning, match="repro.snapshot"):
+        assert streaming.check_state is check_state
+
+
+def test_deprecated_serve_state_version_warns():
+    import repro.serve.state as serve_state
+
+    with pytest.warns(DeprecationWarning, match="repro.snapshot"):
+        assert serve_state.SERVE_STATE_VERSION == SNAPSHOT_VERSION
+
+
+def test_package_level_aliases_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        from repro.serve import SERVE_STATE_VERSION
+        from repro.stats import STREAMING_STATE_VERSION
+    assert STREAMING_STATE_VERSION == SERVE_STATE_VERSION == SNAPSHOT_VERSION
+
+
+# -- RNG snapshots ------------------------------------------------------------
+
+
+def rng_json(streams):
+    return json.dumps(streams.state(), sort_keys=True)
+
+
+def test_random_streams_round_trip_with_substreams():
+    rs = RandomStreams(5)
+    rs.get("a").random(3)
+    child = rs.spawn("replica").spawn("2")
+    child.get("workload/arrivals").random(7)
+    state = json.loads(rng_json(rs))
+    restored = RandomStreams.from_state(state)
+    assert rng_json(restored) == rng_json(rs)
+    # Identical draws after restore, at both levels of the tree.
+    a = rs.get("a").random(4).tolist()
+    b = restored.get("a").random(4).tolist()
+    assert a == b
+    c = rs.spawn("replica").spawn("2").get("workload/arrivals").random(4)
+    d = restored.spawn("replica").spawn("2").get("workload/arrivals").random(4)
+    assert c.tolist() == d.tolist()
+
+
+def test_random_streams_never_drawn_restores_identically():
+    # A generator created but never drawn from must serialize exactly as
+    # a fresh one, or restore-validation would reject pristine state.
+    rs = RandomStreams(3)
+    rs.get("untouched")
+    restored = RandomStreams.from_state(json.loads(rng_json(rs)))
+    fresh = RandomStreams(3)
+    fresh.get("untouched")
+    assert rng_json(restored) == rng_json(fresh) == rng_json(rs)
+    assert (
+        restored.get("untouched").random(4).tolist()
+        == fresh.get("untouched").random(4).tolist()
+    )
+
+
+def test_spawn_is_memoized():
+    rs = RandomStreams(1)
+    assert rs.spawn("replica") is rs.spawn("replica")
+    # Memoization makes the substream tree snapshot-representable: two
+    # handles to one path share state instead of diverging silently.
+    g1 = rs.spawn("replica").get("x")
+    g2 = rs.spawn("replica").get("x")
+    assert g1 is g2
+
+
+def test_reservoir_quantile_never_drawn_round_trip():
+    res = ReservoirQuantile(capacity=8, seed=3)
+    restored = ReservoirQuantile.from_state(res.state())
+    assert json.dumps(restored.state(), sort_keys=True) == json.dumps(
+        res.state(), sort_keys=True
+    )
+    fresh = ReservoirQuantile(capacity=8, seed=3)
+    for r in (res, restored, fresh):
+        for v in range(20):
+            r.add(float(v))
+    assert restored.quantile(0.5) == fresh.quantile(0.5) == res.quantile(0.5)
+
+
+# -- engine digests -----------------------------------------------------------
+
+
+def test_engine_digest_detects_divergence():
+    session = ReplicaSession(spec_for("gfs"))
+    session.advance_progress(10)
+    digest = engine_digest(session.env)
+    verify_engine_digest(session.env, digest)  # matches itself
+    session.env.step()
+    with pytest.raises(SnapshotMismatchError, match="diverged"):
+        verify_engine_digest(session.env, digest)
+
+
+# -- run / checkpoint / restore / run ----------------------------------------
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_run_restore_run_byte_identity(app):
+    n = 60 if app != "mapreduce" else 80
+    reference = ReplicaSession(spec_for(app, n_requests=n))
+    reference.run_to_completion()
+
+    session = ReplicaSession(spec_for(app, n_requests=n))
+    session.advance_progress(session.total_progress // 2)
+    state = session.checkpoint()
+    # The checkpoint must survive a JSON round trip (what save/load do).
+    state = json.loads(json.dumps(state))
+    restored = ReplicaSession.restore(state)
+    restored.run_to_completion()
+
+    assert stream_dicts(restored.traces) == stream_dicts(reference.traces)
+    assert restored.env.now == reference.env.now
+    assert restored.env.steps == reference.env.steps
+    assert rng_json(restored.streams) == rng_json(reference.streams)
+
+
+def test_checkpoint_save_load_file_round_trip(tmp_path):
+    session = ReplicaSession(spec_for("gfs"))
+    session.advance_progress(20)
+    path = save_snapshot(session.checkpoint(), tmp_path / "ckpt.json")
+    restored = ReplicaSession.restore(load_snapshot(path))
+    restored.run_to_completion()
+    reference = ReplicaSession(spec_for("gfs"))
+    reference.run_to_completion()
+    assert stream_dicts(restored.traces) == stream_dicts(reference.traces)
+
+
+def test_restore_rejects_tampered_checkpoint():
+    session = ReplicaSession(spec_for("gfs"))
+    session.advance_progress(15)
+    state = json.loads(json.dumps(session.checkpoint()))
+    state["engine"]["queue_sha"] = "0" * 64
+    with pytest.raises(SnapshotMismatchError, match="diverged"):
+        ReplicaSession.restore(state)
+
+
+def test_restore_rejects_changed_inputs():
+    session = ReplicaSession(spec_for("gfs", seed=1))
+    session.advance_progress(15)
+    state = json.loads(json.dumps(session.checkpoint()))
+    state["spec"]["seed"] = 2  # replay under a different seed drifts
+    with pytest.raises(SnapshotMismatchError):
+        ReplicaSession.restore(state)
+
+
+# -- forking ------------------------------------------------------------------
+
+
+def test_fork_determinism_from_shared_checkpoint():
+    base = ReplicaSession(spec_for("gfs"))
+    base.advance_progress(base.total_progress // 2)
+    state = json.loads(json.dumps(base.checkpoint()))
+    shared = stream_dicts(base.traces)
+
+    def branch(key):
+        session = ReplicaSession.restore(state).fork(key)
+        session.run_to_completion()
+        return stream_dicts(session.traces)
+
+    a1, a2, b = branch("alpha"), branch("alpha"), branch("beta")
+    # Same key => bit-identical branch; different key => divergence.
+    assert a1 == a2
+    assert a1 != b
+    # Both branches share the pre-fork history verbatim.
+    for branch_traces in (a1, b):
+        for stream in STREAM_NAMES:
+            done = shared[stream]
+            if stream == "spans":  # open spans mutate (end backfilled)
+                done = [s for s in done if s["end"] == s["end"]]
+                prefix = branch_traces[stream][: len(done)]
+                assert [s["span_id"] for s in prefix] == [
+                    s["span_id"] for s in done
+                ]
+                continue
+            assert branch_traces[stream][: len(done)] == done
+
+
+def test_forked_session_checkpoints_restore():
+    session = ReplicaSession(spec_for("gfs"))
+    session.advance_progress(10)
+    session.fork("branch-a")
+    session.advance_progress(30)
+    state = json.loads(json.dumps(session.checkpoint()))
+    restored = ReplicaSession.restore(state)
+    restored.run_to_completion()
+    session.run_to_completion()
+    assert stream_dicts(restored.traces) == stream_dicts(session.traces)
+    assert rng_json(restored.streams) == rng_json(session.streams)
+
+
+def test_fork_requires_distinct_keys_to_diverge():
+    a = RandomStreams(9).fork("x")
+    b = RandomStreams(9).fork("x")
+    c = RandomStreams(9).fork("y")
+    assert a.get("s").random(3).tolist() == b.get("s").random(3).tolist()
+    assert a.get("s").random(3).tolist() != c.get("s").random(3).tolist()
+
+
+# -- windowed collection ------------------------------------------------------
+
+
+@pytest.mark.parametrize("app", ("gfs", "webapp"))
+def test_windowed_collect_merges_identically(tmp_path, app):
+    kwargs = dict(app=app, replicas=2, seed=7, n_requests=60)
+    collect_fleet_to_store(directory=tmp_path / "single", **kwargs)
+    collect_fleet_to_store(directory=tmp_path / "windowed", windows=3, **kwargs)
+    single = ShardStore(tmp_path / "single")
+    windowed = ShardStore(tmp_path / "windowed")
+    assert len(windowed.manifests) == 6
+    assert [m.continues for m in windowed.manifests] == [
+        False, True, True, False, True, True,
+    ]
+    assert windowed.extent() == pytest.approx(single.extent(), abs=1e-12)
+    assert stream_dicts(windowed) == stream_dicts(single)
+    # Each window is its own collection round across all replicas.
+    assert {r: [m.index for m in ms] for r, ms in windowed.rounds().items()} == {
+        0: [0, 3], 1: [1, 4], 2: [2, 5],
+    }
+
+
+def _store_files(directory):
+    return {
+        str(p.relative_to(directory)): p.read_bytes()
+        for p in sorted(Path(directory).rglob("*"))
+        if p.is_file() and "_checkpoints" not in p.parts
+    }
+
+
+def test_kill_mid_replica_resume_equivalence(tmp_path, monkeypatch):
+    import repro.datacenter.fleet as fleet
+
+    kwargs = dict(app="gfs", replicas=2, seed=3, n_requests=60)
+    collect_fleet_to_store(directory=tmp_path / "full", windows=3, **kwargs)
+
+    class Kill(Exception):
+        pass
+
+    # Die on the third snapshot write (1: fleet plan, 2: window-0
+    # checkpoint, 3: window-1 checkpoint) *before* it lands: window 1's
+    # shard is on disk but the checkpoint still says one window done —
+    # exactly the torn state a SIGKILL between finalize and checkpoint
+    # leaves behind.
+    real_save = fleet.save_snapshot
+    calls = []
+
+    def dying_save(state, path):
+        calls.append(path)
+        if len(calls) == 3:
+            raise Kill()
+        return real_save(state, path)
+
+    monkeypatch.setattr(fleet, "save_snapshot", dying_save)
+    with pytest.raises(Kill):
+        collect_fleet_to_store(directory=tmp_path / "cut", windows=3, **kwargs)
+    monkeypatch.setattr(fleet, "save_snapshot", real_save)
+
+    resumed = resume_fleet_collection(tmp_path / "cut", workers=1)
+    assert len(resumed.manifests) == 6
+    assert _store_files(tmp_path / "cut") == _store_files(tmp_path / "full")
+    # Resume is idempotent: a second pass re-reads manifests untouched.
+    resume_fleet_collection(tmp_path / "cut", workers=1)
+    assert _store_files(tmp_path / "cut") == _store_files(tmp_path / "full")
+
+
+def test_windowed_append_continues_replica_numbering(tmp_path):
+    kwargs = dict(app="gfs", seed=7, n_requests=40)
+    collect_fleet_to_store(directory=tmp_path / "w", windows=2, replicas=2, **kwargs)
+    collect_fleet_to_store(
+        directory=tmp_path / "w", windows=2, replicas=1, append=True, **kwargs
+    )
+    collect_fleet_to_store(directory=tmp_path / "flat", replicas=3, **kwargs)
+    windowed = ShardStore(tmp_path / "w")
+    flat = ShardStore(tmp_path / "flat")
+    assert len(windowed.manifests) == 6
+    # Appended replica 2 reuses the same substream as single-shot replica 2.
+    assert stream_dicts(windowed) == stream_dicts(flat)
+
+
+# -- protocol conformance -----------------------------------------------------
+
+
+def test_snapshotable_protocol_members():
+    from repro.serve.state import ServeState
+    from repro.stats.streaming import MomentsAccumulator
+
+    assert isinstance(RandomStreams(0), Snapshotable)
+    assert isinstance(MomentsAccumulator(), Snapshotable)
+    assert isinstance(ReservoirQuantile(), Snapshotable)
+    assert hasattr(ServeState, "state") and hasattr(ServeState, "from_state")

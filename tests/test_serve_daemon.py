@@ -101,7 +101,7 @@ def _http_get(daemon, path):
 
 def test_manifests_record_tool_version(store):
     manifest = json.loads((store / "shard-00000000" / "manifest.json").read_text())
-    assert manifest["version"] == 4
+    assert manifest["version"] == 5
     assert manifest["tool_version"] == tool_version()
 
 

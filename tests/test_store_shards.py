@@ -82,7 +82,7 @@ def test_manifest_round_trip(tmp_path):
     manifest.save(tmp_path)
     loaded = ShardManifest.load(tmp_path)
     assert loaded == manifest
-    assert loaded.stitch_part() == (4.5, 50, 120)
+    assert loaded.stitch_part() == (4.5, 50, 120, False)
     assert loaded.param("arrival_rate") == 25.0
     assert loaded.param("app") == "gfs"
     assert loaded.n_records == 170
