@@ -1,0 +1,50 @@
+"""Record the pinned collect-throughput baseline for BENCH_collect.
+
+Run this against the *pre-optimization* kernel to pin the baseline that
+``benchmarks/test_collect_speed.py`` asserts its speedup against:
+
+    PYTHONPATH=src python benchmarks/record_collect_baseline.py
+
+Writes ``benchmarks/baselines/collect_baseline.json``.  The file also
+records a calibration score (a fixed pure-Python workload timed on the
+same machine), so the benchmark can rescale the pinned events/sec to
+the machine it runs on before comparing — see docs/performance.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_collect_speed import (  # noqa: E402
+    BASELINE_PATH,
+    calibration_score,
+    measure_all_apps,
+)
+
+
+def main() -> None:
+    calibration = calibration_score()
+    apps = measure_all_apps()
+    payload = {
+        "calibration_score": calibration,
+        "apps": apps,
+        "recorded_at": time.strftime("%Y-%m-%d", time.gmtime()),
+    }
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    for app, stats in apps.items():
+        print(
+            f"  {app}: {stats['events_per_sec']:.0f} events/s, "
+            f"{stats['records_per_sec']:.0f} records/s"
+        )
+    print(f"  calibration: {calibration:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -100,7 +100,8 @@ class GfsCluster:
         self.env = env
         self.spec = spec
         self.tracer = tracer
-        self.rng = streams.get("gfs/placement")
+        # Placement draws raw doubles only (cache-hit checks): buffered.
+        self.rng = streams.buffered("gfs/placement")
         self.master = Machine(env, "master", machine_spec, streams, tracer)
         # Chunkservers can share machines with other tenants (pass
         # ``machines``) for colocation/QoS studies.

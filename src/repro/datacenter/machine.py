@@ -46,11 +46,14 @@ class Machine:
         self.env = env
         self.name = name
         self.spec = spec
-        self.cpu = Cpu(env, name, spec.cpu, streams.get(f"{name}/cpu"), tracer)
+        # Cpu draws only normals and Disk only raw doubles, so both take
+        # block-prefetched wrappers (bit-identical to scalar draws, see
+        # BufferedStream); Memory and Nic never draw and keep raw streams.
+        self.cpu = Cpu(env, name, spec.cpu, streams.buffered(f"{name}/cpu"), tracer)
         self.memory = Memory(
             env, name, spec.memory, streams.get(f"{name}/memory"), tracer
         )
-        self.disk = Disk(env, name, spec.disk, streams.get(f"{name}/disk"), tracer)
+        self.disk = Disk(env, name, spec.disk, streams.buffered(f"{name}/disk"), tracer)
         self.nic = Nic(env, name, spec.nic, streams.get(f"{name}/nic"), tracer)
 
     def utilization_report(self, since: float = 0.0) -> dict[str, float]:

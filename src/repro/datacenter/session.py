@@ -120,7 +120,7 @@ def build_gfs_session(
     cluster = GfsCluster(env, gfs_spec or GfsSpec(), streams, tracer, machine_spec)
     mix = mix_factory(streams.get("workload/mix"))
     if arrivals is None:
-        arrivals = PoissonArrivals(arrival_rate, streams.get("workload/arrivals"))
+        arrivals = PoissonArrivals(arrival_rate, streams.buffered("workload/arrivals"))
     client = OpenLoopClient(env, cluster.client_request, mix.make_request, arrivals)
     client.start(n_requests)
     return SessionParts(env, streams, tracer, cluster, client, n_requests)
@@ -142,7 +142,7 @@ def build_webapp_session(
     )
     request_rng = streams.get("workload/requests")
     if arrivals is None:
-        arrivals = PoissonArrivals(arrival_rate, streams.get("workload/arrivals"))
+        arrivals = PoissonArrivals(arrival_rate, streams.buffered("workload/arrivals"))
     client = OpenLoopClient(
         env,
         cluster.client_request,

@@ -142,6 +142,10 @@ class WebAppCluster:
         self._buffer_cursor = 0
         weights = np.array([c.weight for c in spec.classes], dtype=float)
         self._class_probs = weights / weights.sum()
+        # Precomputed cdf: searchsorted on one raw double draws the same
+        # index sequence as ``choice(n, p=...)`` at a fraction of the cost.
+        self._class_cdf = self._class_probs.cumsum()
+        self._class_cdf /= self._class_cdf[-1]
 
     def _pick(self, tier: str, machines: list[Machine]) -> Machine:
         machine = machines[self._rr[tier] % len(machines)]
@@ -150,7 +154,7 @@ class WebAppCluster:
 
     def make_request(self, rng: np.random.Generator) -> WebRequest:
         """Draw a request from the class mix (random DB block)."""
-        index = int(rng.choice(len(self.spec.classes), p=self._class_probs))
+        index = int(self._class_cdf.searchsorted(rng.random(), side="right"))
         rc = self.spec.classes[index]
         lbn = int(rng.integers(0, self.spec.db_working_set_blocks))
         return WebRequest(

@@ -9,11 +9,20 @@ The engine is deliberately small but complete enough to drive the
 datacenter substrate used throughout this repository: timeouts, process
 joining, condition events (``AllOf`` / ``AnyOf``), failure propagation and
 process interruption are all supported.
+
+The kernel is the collection hot path (every trace record costs a
+handful of events), so the event hierarchy is ``__slots__``-only, the
+schedule push is inlined at every trigger site, and the ``step``/``run``
+loops work on bound locals.  None of this may move a byte of output:
+event ids, step counts and timestamps are the replay clock that
+checkpoint digests (:mod:`repro.simulation.checkpoint`) verify, and the
+golden-store tests pin ``repro collect`` output bytes across kernel
+changes.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -55,11 +64,16 @@ class Event:
     simulation time.  Processes wait on events by ``yield``-ing them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
+        #: True once a waiter (or ``run(until=...)``) owns this event's
+        #: failure; an undefused failure propagates out of ``step()``.
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -91,7 +105,9 @@ class Event:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -102,7 +118,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def _run_callbacks(self) -> None:
@@ -114,25 +132,34 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after ``delay`` time units."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
         self.delay = delay
-        env._schedule(self, NORMAL, delay)
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, URGENT)
+        self._ok = True
+        self._defused = False
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, self))
 
 
 class Process(Event):
@@ -142,6 +169,8 @@ class Process(Event):
     terminates — other processes can therefore ``yield`` a process to
     join on it.  The generator's ``return`` value becomes the event value.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send"):
@@ -158,7 +187,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._ok is not None:
             raise SimulationError("cannot interrupt a terminated process")
         if self is self.env._active_process:
             raise SimulationError("a process cannot interrupt itself")
@@ -170,8 +199,8 @@ class Process(Event):
             # Detach at fire time (the process may have moved on since the
             # interrupt was scheduled) and drop the interrupt entirely if
             # the process terminated in the meantime.
-            if not self.is_alive:
-                evt._defused = True  # type: ignore[attr-defined]
+            if self._ok is not None:
+                evt._defused = True
                 return
             if self._target is not None and self._target.callbacks is not None:
                 try:
@@ -182,41 +211,55 @@ class Process(Event):
             self._resume(evt)
 
         event.callbacks.append(deliver)
-        self.env._schedule(event, URGENT)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, event))
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
-        self.env._active_proc_target = self._target
+        env = self.env
+        env._active_process = self
         self._target = None
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # Mark the failure as handled: the waiting process
                     # receives the exception and may catch it.
-                    event._defused = True  # type: ignore[attr-defined]
-                    next_event = self._generator.throw(event._value)
+                    event._defused = True
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                self.env._schedule(self, NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL, env._eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env._now, NORMAL, env._eid, self))
+                break
+            if next_event.__class__ is Timeout:
+                # Fast path: a fresh Timeout is always pending (it was
+                # scheduled at creation and cannot have been processed
+                # mid-resume), so skip the generic dispatch below.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
                 break
             if not isinstance(next_event, Event):
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except BaseException as err:
                     self._ok = False
                     self._value = err
-                    self.env._schedule(self, NORMAL)
+                    env._eid += 1
+                    heappush(env._queue, (env._now, NORMAL, env._eid, self))
                 break
             if next_event.callbacks is not None:
                 # Event pending: wait for it.
@@ -225,65 +268,97 @@ class Process(Event):
                 break
             # Event already processed: continue immediately with its value.
             event = next_event
-        self.env._active_process = None
-        self.env._active_proc_target = None
+        env._active_process = None
 
 
 class Condition(Event):
-    """Base for composite events over several sub-events."""
+    """Base for composite events over several sub-events.
+
+    Completion is tracked with a countdown (:attr:`_remaining`) updated
+    once per sub-event trigger — O(1) per callback where re-scanning
+    every sub-event would make wide fan-ins quadratic.
+    """
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
-        self._events = list(events)
-        for event in self._events:
+        events = list(events)
+        self._events = events
+        for event in events:
             if event.env is not env:
                 raise SimulationError("events from mixed environments")
-        if not self._events:
+        if not events:
             # An empty condition is vacuously satisfied.  Triggering it
             # at creation (as SimPy does) matters most for AnyOf, where
             # ``any([]) is False`` would otherwise leave the condition
             # pending forever and deadlock the yielding process.
             self._finish()
             return
-        for event in self._events:
+        self._remaining = len(events)
+        check = self._check
+        for event in events:
             if event.callbacks is None:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
-        if self._ok is None and self._satisfied():
-            self._finish()
+                event.callbacks.append(check)
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def _finish(self) -> None:
         results = {
-            i: e._value for i, e in enumerate(self._events) if e.processed and e._ok
+            i: e._value
+            for i, e in enumerate(self._events)
+            if e.callbacks is None and e._ok
         }
         self.succeed(results)
 
-    def _check(self, event: Event) -> None:
-        if self._ok is not None:
-            return
-        if event._ok is False:
-            event._defused = True  # type: ignore[attr-defined]
-            self.fail(event._value)
-        elif self._satisfied():
-            self._finish()
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
 
 class AllOf(Condition):
     """Triggers once *all* sub-events have fired successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return all(e.processed and e._ok for e in self._events)
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if event._ok is False:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._finish()
 
 
 class AnyOf(Condition):
     """Triggers once *any* sub-event has fired successfully."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return any(e.processed and e._ok for e in self._events)
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if event._ok is False:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self._finish()
+
+
+def _defuse(event: Event) -> None:
+    """Callback marking an event's failure as owned by ``run(until=...)``."""
+    event._defused = True
 
 
 class Environment:
@@ -308,7 +383,6 @@ class Environment:
         self._eid = 0
         self._steps = 0
         self._active_process: Optional[Process] = None
-        self._active_proc_target: Optional[Event] = None
 
     @property
     def now(self) -> float:
@@ -358,7 +432,7 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -370,12 +444,15 @@ class Environment:
         Raises :class:`SimulationError` when the queue is empty, and
         re-raises unhandled process failures.
         """
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = heappop(queue)
         self._steps += 1
-        event._run_callbacks()
-        if event._ok is False and not getattr(event, "_defused", False):
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
             # A failure nobody handled: propagate to the caller of run().
             raise event._value
 
@@ -395,23 +472,49 @@ class Environment:
         ``run(until=...)`` calls should therefore treat each window as
         owning its right edge — a follow-up ``run(until=t)`` with the
         same ``t`` executes nothing further.
+
+        When ``until`` is an event that fails, the failure is raised
+        here exactly once: the event is marked defused the moment it is
+        processed, so ``step()`` does not also propagate it as an
+        unhandled failure.
         """
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        "simulation ran out of events before target event fired"
-                    )
-                self.step()
+            if stop.callbacks is not None:
+                # Own the failure before it fires so step() defers to
+                # the raise below instead of surfacing it a second time.
+                stop.callbacks.append(_defuse)
+                while stop.callbacks is not None:
+                    if not self._queue:
+                        raise SimulationError(
+                            "simulation ran out of events before target "
+                            "event fired"
+                        )
+                    self.step()
             if stop._ok:
                 return stop._value
+            stop._defused = True
             raise stop._value
         limit = float("inf") if until is None else float(until)
         if limit < self._now:
             raise ValueError(f"until={limit} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= limit:
-            self.step()
+        # The hot loop: identical semantics to repeated step() calls,
+        # with the heap, the pop and the step counter held in locals.
+        queue = self._queue
+        pop = heappop
+        steps = self._steps
+        try:
+            while queue and queue[0][0] <= limit:
+                self._now, _, _, event = pop(queue)
+                steps += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    self._steps = steps
+                    raise event._value
+        finally:
+            self._steps = steps
         if limit != float("inf"):
             self._now = limit
         return None

@@ -28,12 +28,15 @@ class Request(Event):
             ... hold the resource ...
     """
 
+    __slots__ = ("resource", "priority", "submit_time", "grant_time", "_cancelled")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
         self.submit_time = resource.env.now
         self.grant_time: Optional[float] = None
+        self._cancelled = False
 
     @property
     def wait_time(self) -> float:
@@ -156,12 +159,12 @@ class Resource:
         else:
             # Cancel a queued request (e.g. context-manager exit after an
             # interrupt): mark it so _grant skips it.
-            request._cancelled = True  # type: ignore[attr-defined]
+            request._cancelled = True
 
     def _grant(self) -> None:
         while self._queue and len(self._users) < self.capacity:
             _, _, req = heapq.heappop(self._queue)
-            if getattr(req, "_cancelled", False) or req.triggered:
+            if req._cancelled or req.triggered:
                 continue
             req.grant_time = self.env.now
             self.total_wait += req.wait_time

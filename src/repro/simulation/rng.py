@@ -23,7 +23,7 @@ import numpy as np
 
 from ..snapshot import SNAPSHOT_VERSION, check_state
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "BufferedStream"]
 
 #: Domain separator mixed into derivation keys of forked factories.  A
 #: legacy (unforked) key is ``[seed] + encoded-path`` whose second
@@ -50,6 +50,172 @@ def _encode_path(path: tuple[str, ...]) -> list[int]:
         key.append(len(data))
         key.extend(data)
     return key
+
+
+class BufferedStream:
+    """Block-prefetched scalar draws over a ``numpy.random.Generator``.
+
+    Scalar numpy draws cost a full Python → C round trip each; vector
+    fills amortize that across a block.  Crucially, a vector fill of
+    ``n`` variates consumes *exactly* the same underlying bit-generator
+    sequence — and produces the same values — as ``n`` scalar draws of
+    the same kind, so prefetching is invisible to reproducibility as
+    long as the generator's public state is re-synchronized before
+    anyone else observes it.
+
+    The wrapper keeps one block of one *kind* at a time (raw doubles,
+    standard exponentials, or standard normals) plus the bit-generator
+    state captured just before the block was filled.  :meth:`sync`
+    rewinds to that state and re-draws exactly the consumed count, which
+    lands the generator on the state the scalar path would have reached:
+
+    * snapshots (``RandomStreams.state()``) sync first, so checkpoint
+      payloads — and the replay digests that verify them — are
+      byte-identical to unbuffered runs;
+    * switching kinds (or falling back to a delegated method such as
+      ``integers``) syncs first, so mixed-kind streams stay exact.
+
+    Derived scalar draws reuse numpy's own reductions (verified
+    bit-identical to the corresponding scalar methods):
+    ``exponential(s) == s * standard_exponential()``,
+    ``normal(m, s) == m + s * standard_normal()``, and
+    ``uniform(a, b) == a + (b - a) * random()``.
+
+    A stream wrapped by a ``BufferedStream`` must not also be drawn from
+    via the raw generator while a block is outstanding — route every
+    draw for that stream through the wrapper (delegated methods
+    included).
+    """
+
+    __slots__ = ("_gen", "_block", "_kind", "_buf", "_pos", "_len", "_block_state")
+
+    #: Draws prefetched per block fill.
+    BLOCK = 1024
+
+    def __init__(self, generator: np.random.Generator, block: int = BLOCK):
+        self._gen = generator
+        self._block = int(block)
+        self._kind: str | None = None
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+        self._len = 0
+        self._block_state: Any = None
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The wrapped generator (sync'd so its state is current)."""
+        self.sync()
+        return self._gen
+
+    def sync(self) -> None:
+        """Re-synchronize the generator to the logically-consumed position.
+
+        Rewinds to the pre-block state and re-draws exactly the consumed
+        count, discarding the unconsumed tail of the block.  After this
+        the generator's public state equals what scalar-path draws would
+        have produced; a never-drawn block rewinds to exactly the
+        pre-fill state.
+        """
+        kind = self._kind
+        if kind is None:
+            return
+        gen = self._gen
+        gen.bit_generator.state = self._block_state
+        pos = self._pos
+        if pos:
+            if kind == "double":
+                gen.random(pos)
+            elif kind == "exponential":
+                gen.standard_exponential(pos)
+            else:
+                gen.standard_normal(pos)
+        self._kind = None
+        self._buf = None
+        self._pos = 0
+        self._len = 0
+        self._block_state = None
+
+    def discard(self) -> None:
+        """Drop any outstanding block without touching the generator.
+
+        Used when the generator is reseeded out from under the wrapper
+        (``RandomStreams.fork``): the prefetched values belong to the
+        old seed and the captured pre-block state must not be restored.
+        """
+        self._kind = None
+        self._buf = None
+        self._pos = 0
+        self._len = 0
+        self._block_state = None
+
+    def _fill(self, kind: str) -> np.ndarray:
+        self.sync()
+        gen = self._gen
+        self._block_state = gen.bit_generator.state
+        n = self._block
+        if kind == "double":
+            buf = gen.random(n)
+        elif kind == "exponential":
+            buf = gen.standard_exponential(n)
+        else:
+            buf = gen.standard_normal(n)
+        self._kind = kind
+        self._buf = buf
+        self._pos = 0
+        self._len = n
+        return buf
+
+    # -- buffered scalar draws ------------------------------------------
+
+    def random(self) -> float:
+        """Next raw double in [0, 1) — identical to ``Generator.random()``."""
+        pos = self._pos
+        if self._kind != "double" or pos >= self._len:
+            buf = self._fill("double")
+            pos = 0
+        else:
+            buf = self._buf
+        self._pos = pos + 1
+        return float(buf[pos])
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform draw on [low, high) via the buffered double stream."""
+        return low + (high - low) * self.random()
+
+    def exponential(self, scale: float = 1.0) -> float:
+        """Exponential draw — identical to ``Generator.exponential(scale)``."""
+        pos = self._pos
+        if self._kind != "exponential" or pos >= self._len:
+            buf = self._fill("exponential")
+            pos = 0
+        else:
+            buf = self._buf
+        self._pos = pos + 1
+        return scale * float(buf[pos])
+
+    def standard_exponential(self) -> float:
+        """Unit-scale exponential draw from the buffered stream."""
+        return self.exponential(1.0)
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Gaussian draw — identical to ``Generator.normal(loc, scale)``."""
+        pos = self._pos
+        if self._kind != "normal" or pos >= self._len:
+            buf = self._fill("normal")
+            pos = 0
+        else:
+            buf = self._buf
+        self._pos = pos + 1
+        return loc + scale * float(buf[pos])
+
+    def standard_normal(self) -> float:
+        """Unit Gaussian draw from the buffered stream."""
+        return self.normal(0.0, 1.0)
+
+    def __getattr__(self, name: str) -> Any:
+        """Fall back to the raw generator for anything else (sync'd first)."""
+        self.sync()
+        return getattr(self._gen, name)
 
 
 class RandomStreams:
@@ -82,6 +248,7 @@ class RandomStreams:
         self._forks: tuple[str, ...] = ()
         self._streams: dict[str, np.random.Generator] = {}
         self._children: dict[str, "RandomStreams"] = {}
+        self._buffered: dict[str, BufferedStream] = {}
 
     @property
     def prefix(self) -> str:
@@ -115,6 +282,20 @@ class RandomStreams:
             self._streams[name] = np.random.default_rng(np.random.SeedSequence(key))
         return self._streams[name]
 
+    def buffered(self, name: str) -> BufferedStream:
+        """A block-prefetching wrapper over the stream for ``name``.
+
+        Memoized, and backed by the *same* generator :meth:`get` would
+        return — but the two access paths must not be mixed for one
+        name: while a prefetched block is outstanding the raw
+        generator's state lags the logical draw position (snapshots and
+        forks re-synchronize automatically; ad-hoc ``get()`` draws do
+        not).
+        """
+        if name not in self._buffered:
+            self._buffered[name] = BufferedStream(self.get(name))
+        return self._buffered[name]
+
     def spawn(self, name: str) -> "RandomStreams":
         """The child factory for ``name`` (memoized; disjoint streams)."""
         if name not in self._children:
@@ -143,6 +324,10 @@ class RandomStreams:
 
     def _apply_fork(self, key: str) -> None:
         self._forks = self._forks + (key,)
+        # Prefetched blocks belong to the old seed: drop them without
+        # restoring their pre-block states over the fresh reseed.
+        for wrapper in self._buffered.values():
+            wrapper.discard()
         for name, stream in self._streams.items():
             fresh_key = self._derive_key(self._path + (name,))
             fresh = np.random.default_rng(np.random.SeedSequence(fresh_key))
@@ -159,7 +344,13 @@ class RandomStreams:
         that was never drawn from snapshots to exactly the state a
         fresh derivation would produce — restored and fresh factories
         are indistinguishable, drawn-from or not.
+
+        Buffered wrappers are re-synchronized first, so the captured
+        bit-generator states equal what scalar-path draws would have
+        produced and the payload format is unchanged by prefetching.
         """
+        for wrapper in self._buffered.values():
+            wrapper.sync()
         return {
             "kind": "random-streams",
             "version": SNAPSHOT_VERSION,

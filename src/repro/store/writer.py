@@ -25,6 +25,14 @@ from .manifest import SHARD_CODECS, ShardManifest
 
 __all__ = ["ShardWriter", "shard_dirname"]
 
+_dumps = json.dumps
+
+#: Lines buffered per jsonl stream before hitting the file object.  The
+#: buffered bytes are identical to per-record writes (flushes are pure
+#: concatenation), but gzip streams see ~2 orders of magnitude fewer
+#: write calls.
+_BUFFER_LINES = 256
+
 
 def shard_dirname(index: int) -> str:
     """Canonical shard directory name.
@@ -78,6 +86,7 @@ class ShardWriter:
         self.continues = continues
         self._suffix = ".jsonl.gz" if compress else ".jsonl"
         self._files: dict[str, TextIO] = {}
+        self._buffers: dict[str, list[str]] = {}
         self._columns: dict[str, ColumnarStreamWriter] = {}
         self._finalized = False
         # Stitch bookkeeping, incremental mirror of repro.store.stitch.
@@ -90,27 +99,44 @@ class ShardWriter:
     # -- sink protocol -------------------------------------------------------
 
     def write(self, stream: str, record) -> None:
-        """Append one record to its stream file and update bookkeeping."""
+        """Append one record to its stream file and update bookkeeping.
+
+        jsonl records are staged in a per-stream line buffer and flushed
+        in batches (and at :meth:`finalize`); the flushed bytes are
+        identical to unbuffered per-record writes.
+        """
         if self._finalized:
             raise RuntimeError("shard already finalized")
-        if stream not in STREAM_TYPES:
-            raise ValueError(f"unknown stream {stream!r}")
         if self.codec == "columnar":
             writer = self._columns.get(stream)
             if writer is None:
+                if stream not in STREAM_TYPES:
+                    raise ValueError(f"unknown stream {stream!r}")
                 writer = ColumnarStreamWriter(self.directory, stream)
                 self._columns[stream] = writer
             writer.write(record)
         else:
-            fh = self._files.get(stream)
-            if fh is None:
+            buffer = self._buffers.get(stream)
+            if buffer is None:
+                if stream not in STREAM_TYPES:
+                    raise ValueError(f"unknown stream {stream!r}")
                 fh = open_trace_write(
                     self.directory / f"{stream}{self._suffix}"
                 )
-                fh.write(json.dumps(stream_header(stream)) + "\n")
+                fh.write(_dumps(stream_header(stream)) + "\n")
                 self._files[stream] = fh
-            fh.write(json.dumps(record.to_dict()) + "\n")
+                buffer = self._buffers[stream] = []
+            buffer.append(_dumps(record.to_dict()))
+            if len(buffer) >= _BUFFER_LINES:
+                self._files[stream].write("\n".join(buffer) + "\n")
+                buffer.clear()
         self._track(stream, record)
+
+    def _flush_buffers(self) -> None:
+        for stream, buffer in self._buffers.items():
+            if buffer:
+                self._files[stream].write("\n".join(buffer) + "\n")
+                buffer.clear()
 
     def _track(self, stream: str, record) -> None:
         self._counts[stream] += 1
@@ -163,9 +189,11 @@ class ShardWriter:
         if self._finalized:
             raise RuntimeError("shard already finalized")
         self._finalized = True
+        self._flush_buffers()
         for fh in self._files.values():
             fh.close()
         self._files.clear()
+        self._buffers.clear()
         for writer in self._columns.values():
             writer.close()
         self._columns.clear()
@@ -214,6 +242,7 @@ class ShardWriter:
             if exc_type is None:
                 self.finalize()
             else:  # leave no half-valid shard behind a failed replica
+                self._buffers.clear()
                 for fh in self._files.values():
                     fh.close()
                 self._files.clear()

@@ -16,7 +16,7 @@ per-request feature vectors can be reassembled.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
@@ -44,8 +44,18 @@ class NetworkRecord:
     size_bytes: int
     direction: str  # "rx" | "tx"
 
+    # Literal dicts in field order: ``dataclasses.asdict`` recurses and
+    # deep-copies per call, which dominates the record-serialization
+    # profile; the emitted key order (and therefore store bytes) is
+    # identical.
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        return {
+            "request_id": self.request_id,
+            "server": self.server,
+            "timestamp": self.timestamp,
+            "size_bytes": self.size_bytes,
+            "direction": self.direction,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "NetworkRecord":
@@ -68,7 +78,13 @@ class CpuRecord:
     phase: str  # e.g. "lookup", "aggregate"
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        return {
+            "request_id": self.request_id,
+            "server": self.server,
+            "timestamp": self.timestamp,
+            "busy_seconds": self.busy_seconds,
+            "phase": self.phase,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CpuRecord":
@@ -88,7 +104,15 @@ class MemoryRecord:
     duration: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        return {
+            "request_id": self.request_id,
+            "server": self.server,
+            "timestamp": self.timestamp,
+            "bank": self.bank,
+            "size_bytes": self.size_bytes,
+            "op": self.op,
+            "duration": self.duration,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MemoryRecord":
@@ -109,7 +133,16 @@ class StorageRecord:
     queue_depth: int = 0
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        return {
+            "request_id": self.request_id,
+            "server": self.server,
+            "timestamp": self.timestamp,
+            "lbn": self.lbn,
+            "size_bytes": self.size_bytes,
+            "op": self.op,
+            "duration": self.duration,
+            "queue_depth": self.queue_depth,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StorageRecord":
@@ -151,7 +184,20 @@ class RequestRecord:
         return self.cpu_busy_seconds / self.latency
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        return {
+            "request_id": self.request_id,
+            "request_class": self.request_class,
+            "server": self.server,
+            "arrival_time": self.arrival_time,
+            "completion_time": self.completion_time,
+            "network_bytes": self.network_bytes,
+            "cpu_busy_seconds": self.cpu_busy_seconds,
+            "memory_bytes": self.memory_bytes,
+            "memory_op": self.memory_op,
+            "storage_bytes": self.storage_bytes,
+            "storage_op": self.storage_op,
+            "extra": dict(self.extra),
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RequestRecord":

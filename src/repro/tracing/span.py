@@ -10,7 +10,7 @@ the ordered sequence of subsystem activations for each request class.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 __all__ = ["Annotation", "Span", "TraceTree", "build_trace_trees"]
@@ -45,10 +45,22 @@ class Span:
         """Attach a timestamped annotation."""
         self.annotations.append(Annotation(timestamp, message))
 
+    # Literal dicts in field order (``asdict`` recurses + deep-copies on
+    # the span-close hot path); emitted key order is unchanged.
     def to_dict(self) -> dict[str, Any]:
-        data = asdict(self)
-        data["annotations"] = [asdict(a) for a in self.annotations]
-        return data
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "server": self.server,
+            "start": self.start,
+            "end": self.end,
+            "annotations": [
+                {"timestamp": a.timestamp, "message": a.message}
+                for a in self.annotations
+            ],
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Span":

@@ -276,7 +276,11 @@ class Tracer:
 
     def record_request(self, record: RequestRecord) -> None:
         """Register an end-to-end request record (always collected)."""
-        self._emit("requests", record)
+        self.emitted["requests"] += 1
+        if self.keep_records:
+            self.traces.requests.append(record)
+        if self.sink is not None:
+            self.sink.write("requests", record)
 
     # -- span API (sampled) --------------------------------------------------
 
@@ -310,26 +314,42 @@ class Tracer:
 
     # -- subsystem record API (always on) -----------------------------------
 
+    # Each recorder inlines its emit (counter bump, optional in-memory
+    # append, optional sink forward) rather than dispatching through a
+    # stream-name-keyed helper: these five calls are the per-record hot
+    # path, and the string-keyed getattr plus the extra frame showed up
+    # in collect profiles.  ``sink`` is re-read every call because
+    # windowed collection swaps it between windows.
+
     def record_network(self, record: NetworkRecord) -> None:
-        self._emit("network", record)
+        self.emitted["network"] += 1
+        if self.keep_records:
+            self.traces.network.append(record)
+        if self.sink is not None:
+            self.sink.write("network", record)
 
     def record_cpu(self, record: CpuRecord) -> None:
-        self._emit("cpu", record)
+        self.emitted["cpu"] += 1
+        if self.keep_records:
+            self.traces.cpu.append(record)
+        if self.sink is not None:
+            self.sink.write("cpu", record)
 
     def record_memory(self, record: MemoryRecord) -> None:
-        self._emit("memory", record)
+        self.emitted["memory"] += 1
+        if self.keep_records:
+            self.traces.memory.append(record)
+        if self.sink is not None:
+            self.sink.write("memory", record)
 
     def record_storage(self, record: StorageRecord) -> None:
-        self._emit("storage", record)
+        self.emitted["storage"] += 1
+        if self.keep_records:
+            self.traces.storage.append(record)
+        if self.sink is not None:
+            self.sink.write("storage", record)
 
     # -- streaming ----------------------------------------------------------
-
-    def _emit(self, stream: str, record) -> None:
-        self.emitted[stream] += 1
-        if self.keep_records:
-            getattr(self.traces, stream).append(record)
-        if self.sink is not None:
-            self.sink.write(stream, record)
 
     def flush_spans(self, final: bool = False) -> int:
         """Forward unflushed spans to the sink; returns how many.

@@ -1,0 +1,151 @@
+"""Golden-store diffs: collect output is byte-pinned across kernel changes.
+
+The strongest invariant the collection hot path has: optimizing the
+engine, the RNG layer, or the tracer emission path must not move a
+single byte of ``repro collect`` output.  These tests re-collect a
+small grid of stores (jsonl and columnar, windowed and single-shot,
+gzip and plain, all three apps) and compare every file against sha256
+digests pinned in ``tests/golden/collect_golden.json`` — digests that
+were recorded on the *pre-optimization* seed kernel, so any drift the
+byte-identity refactors introduce fails loudly, file by file.
+
+``ReplicaSession.checkpoint()`` payloads are pinned the same way: the
+canonical-JSON digest of a mid-run checkpoint must not move either.
+
+Regenerate (only when output is *supposed* to change, e.g. a manifest
+format bump) with::
+
+    PYTHONPATH=src python tests/test_golden_collect.py --regenerate
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datacenter import FleetSpec, collect_fleet_to_store
+from repro.datacenter.fleet import ReplicaSpec
+from repro.datacenter.session import ReplicaSession
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "collect_golden.json"
+
+#: Files whose bytes legitimately differ between runs (absolute paths).
+EXCLUDED = {"_checkpoints/fleet.json"}
+
+#: The golden grid: name -> collect_fleet_to_store arguments.
+GRID = {
+    "gfs-jsonl": dict(
+        spec=dict(app="gfs", replicas=1, seed=7, n_requests=200),
+    ),
+    "gfs-jsonl-windowed": dict(
+        spec=dict(app="gfs", replicas=2, seed=7, n_requests=120),
+        windows=2,
+    ),
+    "gfs-jsonl-gzip": dict(
+        spec=dict(app="gfs", replicas=1, seed=7, n_requests=120),
+        compress=True,
+    ),
+    "gfs-columnar": dict(
+        spec=dict(app="gfs", replicas=1, seed=7, n_requests=200),
+        codec="columnar",
+    ),
+    "webapp-jsonl": dict(
+        spec=dict(app="webapp", replicas=1, seed=7, n_requests=150),
+    ),
+    "mapreduce-jsonl": dict(
+        spec=dict(app="mapreduce", replicas=1, seed=7, n_requests=1),
+    ),
+}
+
+
+def store_digests(directory: Path) -> dict[str, str]:
+    """Per-file sha256 digests of a store, keyed by relative path."""
+    digests = {}
+    for path in sorted(directory.rglob("*")):
+        if not path.is_file():
+            continue
+        rel = path.relative_to(directory).as_posix()
+        if rel in EXCLUDED:
+            continue
+        digests[rel] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return digests
+
+
+def collect_store(name: str, directory: Path) -> dict[str, str]:
+    """Run one golden grid entry and return its file digests."""
+    args = dict(GRID[name])
+    spec = FleetSpec(**args.pop("spec"))
+    collect_fleet_to_store(spec, directory=directory, **args)
+    return store_digests(directory)
+
+
+def checkpoint_digest() -> str:
+    """Canonical-JSON digest of a mid-run gfs session checkpoint."""
+    spec = ReplicaSpec(
+        app="gfs", index=0, seed=7, n_requests=200, arrival_rate=25.0,
+        sample_every=1,
+    )
+    session = ReplicaSession(spec)
+    session.advance_progress(100)
+    state = session.checkpoint()
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _generate() -> dict:
+    import tempfile
+
+    golden: dict = {"stores": {}}
+    with tempfile.TemporaryDirectory() as td:
+        for name in GRID:
+            golden["stores"][name] = collect_store(name, Path(td) / name)
+    golden["checkpoint_sha256"] = checkpoint_digest()
+    return golden
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"golden digests missing: {GOLDEN_PATH}; regenerate with "
+        "`python tests/test_golden_collect.py --regenerate`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(GRID))
+def test_store_bytes_match_golden(name, golden, tmp_path):
+    recorded = golden["stores"][name]
+    actual = collect_store(name, tmp_path / name)
+    missing = sorted(set(recorded) - set(actual))
+    extra = sorted(set(actual) - set(recorded))
+    assert not missing and not extra, (
+        f"{name}: store layout drifted (missing files: {missing}, "
+        f"unexpected files: {extra})"
+    )
+    drifted = sorted(
+        rel for rel, sha in recorded.items() if actual[rel] != sha
+    )
+    assert not drifted, (
+        f"{name}: collect output is no longer byte-identical to the "
+        f"pre-optimization golden store; drifted files: {drifted}"
+    )
+
+
+def test_checkpoint_digest_matches_golden(golden):
+    assert checkpoint_digest() == golden["checkpoint_sha256"], (
+        "ReplicaSession.checkpoint() payload drifted from the "
+        "pre-optimization golden digest"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_collect.py --regenerate")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_generate(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -368,3 +368,137 @@ def test_run_until_boundary_executes_events_at_limit():
     # to the same bound executes nothing further.
     env.run(until=5.0)
     assert fired == [5.0]
+
+
+# -- optimized-kernel edge cases ---------------------------------------------
+
+
+def test_wide_fanout_conditions_complete_in_linear_time():
+    # Regression: Condition._check used to re-scan every sub-event on
+    # every trigger, making an n-event AllOf O(n^2); with the
+    # remaining-count this finishes in O(n).  The bound is generous so
+    # a slow machine never trips it, but the quadratic kernel (tens of
+    # millions of scans at this width) cannot get under it.
+    import time
+
+    n = 10_000
+    env = Environment()
+    events = [env.timeout(float(i % 7), value=i) for i in range(n)]
+    all_done = env.all_of(events)
+    any_done = env.any_of([env.timeout(float(i % 5)) for i in range(n)])
+    start = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - start
+    assert all_done.ok and len(all_done.value) == n
+    assert any_done.ok
+    assert elapsed < 3.0, f"wide-fanout conditions took {elapsed:.2f}s"
+
+
+def test_run_until_failed_event_raises_exactly_once():
+    # run(until=event) must own the event's failure: it is raised from
+    # run() and marked defused so step() does not surface the same
+    # exception a second time as an unhandled process failure.
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    def bystander(env):
+        yield env.timeout(5.0)
+
+    p = env.process(failer(env))
+    env.process(bystander(env))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=p)
+    assert p.triggered and not p.ok
+    assert p._defused
+    # The failure was consumed: the rest of the simulation drains
+    # cleanly instead of re-raising "boom".
+    env.run()
+    assert env.now == 5.0
+
+
+def test_run_until_already_failed_event_raises_without_stepping():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1.0)
+        raise ValueError("late")
+
+    p = env.process(failer(env))
+    with pytest.raises(ValueError, match="late"):
+        env.run(until=p)
+    steps = env.steps
+    # A second run(until=p) must re-raise from the processed event
+    # without executing anything further.
+    with pytest.raises(ValueError, match="late"):
+        env.run(until=p)
+    assert env.steps == steps
+
+
+def test_interrupt_while_waiting_on_fast_path_timeout():
+    # The resume loop registers fresh Timeouts via a fast path; an
+    # interrupt arriving mid-wait must still detach the process from
+    # that timeout so its later firing cannot resume the process twice.
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10.0)
+            log.append("slept")
+        except Interrupt as interrupt:
+            log.append(("interrupted", env.now, interrupt.cause))
+            yield env.timeout(1.0)
+            log.append(("resumed", env.now))
+
+    p = env.process(sleeper(env))
+
+    def interrupter(env):
+        yield env.timeout(3.0)
+        p.interrupt("wake")
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [("interrupted", 3.0, "wake"), ("resumed", 4.0)]
+    # The abandoned 10s timeout still pops harmlessly at its slot.
+    assert env.now == 10.0
+
+
+def test_replay_mid_all_of_reaches_identical_digest():
+    # Checkpoint restore re-simulates to a step count and verifies the
+    # engine digest; a countdown-based AllOf that is partially complete
+    # at that step must replay to the identical queue fingerprint.
+    from repro.simulation.checkpoint import engine_digest
+
+    def program(env, results):
+        def worker(env, i):
+            yield env.timeout(float(i + 1))
+            return i
+
+        procs = [env.process(worker(env, i)) for i in range(10)]
+
+        def waiter(env):
+            got = yield env.all_of(procs)
+            results.append(sorted(got.values()))
+
+        env.process(waiter(env))
+
+    first_results = []
+    first = Environment()
+    program(first, first_results)
+    for _ in range(25):  # lands with several workers done, several not
+        first.step()
+    digest = engine_digest(first)
+
+    replay_results = []
+    replay = Environment()
+    program(replay, replay_results)
+    for _ in range(25):
+        replay.step()
+    assert engine_digest(replay) == digest
+
+    first.run()
+    replay.run()
+    assert first_results == replay_results == [list(range(10))]

@@ -86,3 +86,94 @@ def test_prefix_kwarg_matches_spawn():
     a = RandomStreams(seed=4, prefix="replay").get("disk").random(3)
     b = RandomStreams(seed=4).spawn("replay").get("disk").random(3)
     assert (a == b).all()
+
+
+# -- block-prefetched (buffered) streams --------------------------------------
+
+
+def _canonical(state):
+    import json
+
+    return json.dumps(state, sort_keys=True, default=str)
+
+
+def test_buffered_draws_match_scalar_draws_across_kinds():
+    # The prefetched block consumes the identical bit-generator
+    # sequence as scalar draws, including across kind switches and
+    # fallback methods — values AND post-draw generator state agree.
+    buffered = RandomStreams(seed=13).buffered("dev")
+    scalar = RandomStreams(seed=13).get("dev")
+
+    got = [buffered.random() for _ in range(3)]
+    want = [scalar.random() for _ in range(3)]
+    got += [buffered.exponential(0.25) for _ in range(4)]
+    want += [scalar.exponential(0.25) for _ in range(4)]
+    got += [buffered.normal(2.0, 0.5) for _ in range(4)]
+    want += [scalar.normal(2.0, 0.5) for _ in range(4)]
+    got += [buffered.uniform(1.0, 9.0) for _ in range(3)]
+    want += [scalar.uniform(1.0, 9.0) for _ in range(3)]
+    got.append(float(buffered.integers(0, 1 << 20)))  # delegated fallback
+    want.append(float(scalar.integers(0, 1 << 20)))
+    got.append(buffered.random())
+    want.append(scalar.random())
+    assert got == want
+
+    assert _canonical(buffered.generator.bit_generator.state) == _canonical(
+        scalar.bit_generator.state
+    )
+
+
+def test_buffered_never_drawn_round_trips():
+    # A buffered stream that was created but never drawn from must
+    # snapshot to exactly the fresh-derivation state (the wrapper
+    # rewinds its untouched block), and a restored factory must draw
+    # the same first value whether accessed buffered or raw.
+    streams = RandomStreams(seed=3)
+    streams.buffered("hot")
+    fresh = RandomStreams(seed=3)
+    fresh.get("hot")
+    assert _canonical(streams.state()) == _canonical(fresh.state())
+
+    restored = RandomStreams.from_state(streams.state())
+    assert restored.buffered("hot").random() == RandomStreams(seed=3).get(
+        "hot"
+    ).random()
+
+
+def test_buffered_mid_block_snapshot_continues_exactly():
+    # state() mid-block rewinds to the logically-consumed position: a
+    # factory restored from the snapshot continues the draw sequence
+    # exactly where the original's buffered stream left off.
+    streams = RandomStreams(seed=21)
+    hot = streams.buffered("arrivals")
+    consumed = [hot.exponential(2.0) for _ in range(7)]
+
+    restored = RandomStreams.from_state(streams.state())
+    continued = [restored.buffered("arrivals").exponential(2.0) for _ in range(5)]
+
+    scalar = RandomStreams(seed=21).get("arrivals")
+    want = [scalar.exponential(2.0) for _ in range(12)]
+    assert consumed + continued == want
+
+    # ...and the original keeps drawing correctly after its own sync.
+    assert [hot.exponential(2.0) for _ in range(5)] == continued
+
+
+def test_buffered_is_memoized_and_shares_the_raw_generator():
+    streams = RandomStreams(seed=8)
+    wrapper = streams.buffered("disk")
+    assert streams.buffered("disk") is wrapper
+    assert wrapper.generator is streams.get("disk")
+
+
+def test_fork_discards_outstanding_buffered_blocks():
+    # fork() reseeds every generator in place; prefetched values drawn
+    # under the old seed must not leak into post-fork draws, and the
+    # stale pre-block state must not be restored over the reseed.
+    forked = RandomStreams(seed=5)
+    hot = forked.buffered("dev")
+    hot.random()  # leaves a mostly-unconsumed block outstanding
+    forked.fork("branch")
+
+    want = RandomStreams(seed=5).fork("branch").get("dev").random()
+    assert hot.random() == want
